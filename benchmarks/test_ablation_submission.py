@@ -1,0 +1,102 @@
+"""E12 — ablation: confirmation robustness vs. vendor review behaviour.
+
+Two sweeps over the §4 methodology's moving parts:
+
+- **Retest timing** — retesting before the vendor's review window
+  closes yields 0 blocked (a false negative for the method); the §4.2
+  "3-5 days" wait is load-bearing.
+- **Vendor acceptance rate** — the confirmed verdict survives one
+  dropped submission (Table 3's Du row) but collapses as the vendor
+  rejects more; quantifies the §6.2 worry.
+"""
+
+from __future__ import annotations
+
+from repro import ConfirmationConfig, ConfirmationStudy, build_scenario
+from repro.world.content import ContentClass
+from repro.world.scenario import ScenarioConfig
+
+
+def _smartfilter_case(wait_days: float) -> ConfirmationConfig:
+    return ConfirmationConfig(
+        product_name="McAfee SmartFilter",
+        isp_name="bayanat",
+        content_class=ContentClass.ADULT_IMAGES,
+        category_label="Pornography",
+        requested_category="Pornography",
+        wait_days=wait_days,
+    )
+
+
+def test_retest_timing_sweep(benchmark):
+    def sweep():
+        rows = []
+        for wait_days in (1.0, 2.0, 3.0, 5.0, 7.0):
+            scenario = build_scenario()
+            study = ConfirmationStudy(
+                scenario.world,
+                scenario.smartfilter,
+                scenario.hosting_asns[0],
+            )
+            result = study.run(_smartfilter_case(wait_days))
+            rows.append((wait_days, result.blocked_submitted, result.confirmed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nwait_days  blocked  confirmed")
+    for wait_days, blocked, confirmed in rows:
+        print(f"   {wait_days:4.1f}      {blocked}/5     {confirmed}")
+
+    by_wait = {w: (b, c) for w, b, c in rows}
+    # Before the minimum review delay (3 days) nothing is categorized.
+    assert by_wait[1.0] == (0, False)
+    assert by_wait[2.0] == (0, False)
+    # After the maximum review delay (4.5 days) everything accepted is live.
+    assert by_wait[5.0] == (5, True)
+    assert by_wait[7.0] == (5, True)
+    # Blocking is non-decreasing in wait time.
+    blocked_series = [b for _w, b, _c in rows]
+    assert blocked_series == sorted(blocked_series)
+
+
+def test_acceptance_rate_sweep(benchmark):
+    def sweep():
+        rows = []
+        for accept_rate in (1.0, 0.9, 0.6, 0.3, 0.0):
+            scenario = build_scenario(
+                config=ScenarioConfig(netsweeper_accept_rate=accept_rate)
+            )
+            study = ConfirmationStudy(
+                scenario.world,
+                scenario.netsweeper,
+                scenario.hosting_asns[0],
+            )
+            result = study.run(
+                ConfirmationConfig(
+                    product_name="Netsweeper",
+                    isp_name="ooredoo",
+                    content_class=ContentClass.PROXY_ANONYMIZER,
+                    category_label="Proxy anonymizer",
+                    total_domains=12,
+                    submit_count=6,
+                    pre_validate=False,
+                )
+            )
+            rows.append(
+                (accept_rate, result.blocked_submitted, result.confirmed)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\naccept_rate  blocked  confirmed")
+    for accept_rate, blocked, confirmed in rows:
+        print(f"    {accept_rate:4.2f}      {blocked}/6     {confirmed}")
+
+    by_rate = dict((r, (b, c)) for r, b, c in rows)
+    assert by_rate[1.0] == (6, True)
+    assert by_rate[0.0] == (0, False)
+    # Full acceptance blocks at least as much as full rejection, with a
+    # generally decreasing trend in between.
+    blocked_series = [b for _r, b, _c in rows]
+    assert blocked_series[0] >= blocked_series[-1]
+    assert blocked_series[0] - blocked_series[-1] == 6

@@ -1,0 +1,119 @@
+"""E6 — §4.4 Challenge 2: inconsistent blocking and the access queue.
+
+Two effects complicate Netsweeper confirmation in Yemen:
+
+1. **License fail-open flicker** — with offered load near the seat
+   count, each (URL, minute) independently sees the filter on or off.
+   Single-round retests undercount blocking; the paper's remedy
+   (repeat the tests) recovers it. We quantify both.
+2. **The access queue** — merely *pre-validating* domains queues them
+   for categorization; with a fast queue, held-out control domains end
+   up blocked, destroying the causal differential. This is why the
+   Netsweeper variant skips pre-validation.
+"""
+
+from __future__ import annotations
+
+from repro import build_scenario
+from repro.measure.client import MeasurementClient
+from repro.measure.domains import TestDomainFactory
+from repro.net.url import Url
+from repro.world.content import ContentClass
+from repro.world.scenario import ScenarioConfig
+
+
+def _flaky_scenario():
+    return build_scenario(
+        config=ScenarioConfig(
+            yemen_license_seats=2000,
+            yemen_license_mean=2000.0,
+            yemen_license_stddev=400.0,
+        )
+    )
+
+
+def test_single_round_undercounts_blocking(benchmark):
+    """Known-blocked URLs flicker accessible under license overflow."""
+    scenario = _flaky_scenario()
+    world = scenario.world
+    blocked_hosts = [
+        domain
+        for domain in sorted(world.websites)
+        if world.websites[domain].content_class is ContentClass.PORNOGRAPHY
+    ][:20]
+    assert len(blocked_hosts) == 20
+    client = MeasurementClient(world.vantage("yemennet"), world.lab_vantage())
+    urls = [Url.for_host(host) for host in blocked_hosts]
+
+    def measure_rounds():
+        per_round = []
+        ever_blocked = set()
+        for _round in range(3):
+            run = client.run_list(urls)
+            blocked_now = {t.url.host for t in run.blocked_tests()}
+            per_round.append(len(blocked_now))
+            ever_blocked |= blocked_now
+            world.advance_days(0.25)
+        return per_round, ever_blocked
+
+    per_round, ever_blocked = benchmark.pedantic(
+        measure_rounds, rounds=1, iterations=1
+    )
+    print(f"\nper-round blocked counts: {per_round}; union {len(ever_blocked)}")
+
+    # Flicker: every single round undercounts the union.
+    assert max(per_round) < len(ever_blocked)
+    # Repetition recovers substantially more of the blocked set than any
+    # single round (the paper's "repeat the tests numerous times").
+    assert len(ever_blocked) > max(per_round)
+    assert len(ever_blocked) >= int(0.55 * len(urls))
+
+
+def test_flicker_is_per_url_not_global(benchmark):
+    """§4.4: 'some proxy URLs are accessible on runs where other proxy
+    URLs are blocked' — the failure is per-flow, not a global outage."""
+    scenario = _flaky_scenario()
+    world = scenario.world
+    blocked_hosts = [
+        domain
+        for domain in sorted(world.websites)
+        if world.websites[domain].content_class is ContentClass.PORNOGRAPHY
+    ][:30]
+    client = MeasurementClient(world.vantage("yemennet"), world.lab_vantage())
+    urls = [Url.for_host(host) for host in blocked_hosts]
+
+    run = benchmark.pedantic(client.run_list, args=(urls,), rounds=1, iterations=1)
+    blocked = run.blocked_count()
+    # Mixed outcomes within one run: neither all blocked nor none.
+    assert 0 < blocked < len(urls), (
+        f"expected mixed outcomes, got {blocked}/{len(urls)}"
+    )
+
+
+def test_prevalidation_poisons_controls_under_fast_queue(benchmark):
+    """Accessing a fresh proxy site queues it; with a fast queue the
+    control half gets categorized and blocked without any submission —
+    a false confirmation if the methodology pre-validated."""
+    scenario = build_scenario(
+        config=ScenarioConfig(netsweeper_queue_days=(1.0, 2.0))
+    )
+    world = scenario.world
+    factory = TestDomainFactory(world, scenario.hosting_asns[0])
+    domains = factory.create_batch(6, ContentClass.PROXY_ANONYMIZER)
+    client = MeasurementClient(world.vantage("du"), world.lab_vantage())
+    urls = [d.url for d in domains]
+
+    def pre_validate_then_wait():
+        first = client.run_list(urls)  # the forbidden pre-validation
+        world.advance_days(5.0)
+        second = client.run_list(urls)  # no submissions were ever made!
+        return first, second
+
+    first, second = benchmark.pedantic(
+        pre_validate_then_wait, rounds=1, iterations=1
+    )
+    assert first.blocked_count() == 0, "fresh domains start accessible"
+    assert second.blocked_count() >= 5, (
+        "the access queue alone should have categorized and blocked "
+        f"the sites; got {second.blocked_count()}/6"
+    )

@@ -1,0 +1,94 @@
+"""E8 — §4.5 Challenge 3: products used in combination.
+
+Etisalat's box is a Blue Coat ProxySG whose filtering decisions come
+from SmartFilter. Consequences the benchmark verifies:
+
+- §3 identification sees Blue Coat in Etisalat's AS (the appliance);
+- submitting to Blue Coat's database changes nothing (Table 3: 0/3);
+- submitting the same kind of content to SmartFilter flips it to
+  blocked — resolving the apparent contradiction.
+"""
+
+from __future__ import annotations
+
+from repro import ConfirmationConfig, ConfirmationStudy, FullStudy, build_scenario
+from repro.world.content import ContentClass
+
+
+def _proxy_case(product_name: str, submit: int, total: int) -> ConfirmationConfig:
+    return ConfirmationConfig(
+        product_name=product_name,
+        isp_name="etisalat",
+        content_class=ContentClass.PROXY_ANONYMIZER,
+        category_label="Proxy Avoidance"
+        if product_name == "Blue Coat"
+        else "Anonymizers",
+        requested_category="Proxy Avoidance"
+        if product_name == "Blue Coat"
+        else "Anonymizers",
+        total_domains=total,
+        submit_count=submit,
+    )
+
+
+def test_stacked_deployment_resolves_contradiction(benchmark):
+    def run_both():
+        scenario = build_scenario()
+        world = scenario.world
+        bluecoat_study = ConfirmationStudy(
+            world, scenario.bluecoat, scenario.hosting_asns[0]
+        )
+        bluecoat_result = bluecoat_study.run(_proxy_case("Blue Coat", 3, 6))
+        smartfilter_study = ConfirmationStudy(
+            world, scenario.smartfilter, scenario.hosting_asns[0]
+        )
+        smartfilter_result = smartfilter_study.run(
+            _proxy_case("McAfee SmartFilter", 5, 10)
+        )
+        return scenario, bluecoat_result, smartfilter_result
+
+    scenario, bluecoat_result, smartfilter_result = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    print(
+        f"\nBlue Coat submissions:   {bluecoat_result.blocked_submitted}/"
+        f"{len(bluecoat_result.submitted_outcomes)} blocked "
+        f"(confirmed={bluecoat_result.confirmed})"
+    )
+    print(
+        f"SmartFilter submissions: {smartfilter_result.blocked_submitted}/"
+        f"{len(smartfilter_result.submitted_outcomes)} blocked "
+        f"(confirmed={smartfilter_result.confirmed})"
+    )
+
+    # Blue Coat's database was updated (the vendor accepted the sites) —
+    # yet nothing in Etisalat consults it.
+    accepted = [
+        s for s in bluecoat_result.submissions if s.status.value == "accepted"
+    ]
+    assert len(accepted) == 3
+    assert bluecoat_result.blocked_submitted == 0
+    assert not bluecoat_result.confirmed
+
+    assert smartfilter_result.blocked_submitted == 5
+    assert smartfilter_result.confirmed
+
+    # The block pages testers saw are SmartFilter's, not Blue Coat's.
+    vendors = smartfilter_result.detected_vendors
+    assert vendors.get("McAfee SmartFilter", 0) >= 5
+    assert "Blue Coat" not in vendors
+
+
+def test_identification_sees_the_appliance(benchmark, session_scenario):
+    report = benchmark.pedantic(
+        FullStudy(session_scenario).run_identification, rounds=1, iterations=1
+    )
+    etisalat_installs = [
+        inst for inst in report.installations if inst.asn == 5384
+    ]
+    products = {inst.product for inst in etisalat_installs}
+    # The box advertises both surfaces: the ProxySG appliance and the
+    # MWG engine living on it.
+    assert "Blue Coat" in products
+    assert "McAfee SmartFilter" in products

@@ -1,0 +1,72 @@
+"""Extension bench — §2.2's legacy user-report channel vs. the §3 scan.
+
+Quantifies the paper's motivation for the new methodology: the legacy
+channel only sees networks where the project has contacts (MENA bias)
+and goes blind the moment vendors strip block-page branding; the scan
+pipeline is unaffected by either.
+"""
+
+from __future__ import annotations
+
+from repro import FullStudy, build_scenario
+from repro.core.legacy import run_legacy_identification
+
+MENA_REPORTERS = ("etisalat", "du", "ooredoo", "bayanat", "nournet", "yemennet")
+
+
+def test_legacy_channel_region_bias(benchmark, fresh_scenario):
+    scenario = fresh_scenario
+
+    legacy = benchmark.pedantic(
+        run_legacy_identification,
+        args=(scenario.world, list(MENA_REPORTERS)),
+        kwargs={"urls_per_reporter": 20},
+        rounds=1,
+        iterations=1,
+    )
+    scan = FullStudy(scenario).run_identification()
+
+    legacy_countries = set()
+    for product_countries in legacy.country_map().values():
+        legacy_countries |= product_countries
+    scan_countries = set()
+    for product_countries in scan.country_map().values():
+        scan_countries |= product_countries
+
+    print(f"\nlegacy channel countries: {sorted(legacy_countries)}")
+    print(f"scan pipeline countries:  {sorted(scan_countries)}")
+
+    # Legacy sees only reporter countries; the scan sees the globe.
+    assert legacy_countries <= {"ae", "qa", "sa", "ye"}
+    assert "us" in scan_countries and "ar" in scan_countries
+    assert len(scan_countries) > 2 * len(legacy_countries)
+
+    # Within its reach the legacy channel DOES attribute correctly.
+    assert "ae" in legacy.countries("McAfee SmartFilter")
+    assert "ye" in legacy.countries("Netsweeper")
+
+
+def test_branding_removal_blinds_legacy_not_scan(benchmark):
+    def run_both():
+        scenario = build_scenario()
+        # Vendor-wide cosmetic debranding of every Netsweeper block page.
+        for box in scenario.deployments.values():
+            if box.engine is not None and box.engine.vendor == "Netsweeper":
+                box.policy.block_page.show_branding = False
+        legacy = run_legacy_identification(
+            scenario.world, list(MENA_REPORTERS), urls_per_reporter=20
+        )
+        scan = FullStudy(scenario).run_identification()
+        return legacy, scan
+
+    legacy, scan = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(
+        f"\nunattributed legacy reports: {legacy.unattributed_reports}; "
+        f"legacy Netsweeper countries: {sorted(legacy.countries('Netsweeper'))}; "
+        f"scan Netsweeper countries: {sorted(scan.countries('Netsweeper'))}"
+    )
+    # Users still report blocks, but the analyst can no longer say whose.
+    assert legacy.unattributed_reports > 0
+    assert legacy.countries("Netsweeper") == set()
+    # The scan pipeline fingerprints the admin surface, not block pages.
+    assert scan.countries("Netsweeper") == {"ae", "qa", "us", "ye"}

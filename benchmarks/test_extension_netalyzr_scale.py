@@ -1,0 +1,91 @@
+"""Extension bench — §7: proxy-fingerprinting ground truth + scalability.
+
+Two of the paper's forward-looking claims, quantified:
+
+1. The confirmation methodology "can provide a useful ground truth for
+   more general identification of transparent proxies (e.g. Netalyzr)":
+   in-ISP reference fetches must agree with deployment ground truth.
+2. Applying §4 "more widely" without the §3 pre-filter is expensive;
+   the identification step cuts the in-country workload by an order of
+   magnitude.
+"""
+
+from __future__ import annotations
+
+from repro import FullStudy
+from repro.core.confirm import ConfirmationConfig
+from repro.core.scale import (
+    exhaustive_campaign,
+    reduction_factor,
+    targeted_campaign,
+)
+from repro.measure.netalyzr import survey_isps
+from repro.world.content import ContentClass
+
+PROXY_APPLIANCE_VENDORS = {"Blue Coat", "McAfee SmartFilter", "Websense"}
+
+
+def test_netalyzr_cross_validation(benchmark, session_scenario):
+    scenario = session_scenario
+    world = scenario.world
+    isp_names = sorted(world.isps)
+
+    reports = benchmark.pedantic(
+        survey_isps, args=(world, isp_names), rounds=1, iterations=1
+    )
+
+    agreements = 0
+    for isp_name, report in reports.items():
+        isp = world.isps[isp_name]
+        has_proxy = any(
+            getattr(device, "appliance", None) is not None
+            and device.appliance.vendor in PROXY_APPLIANCE_VENDORS
+            and device.enabled
+            for device in isp.devices
+        )
+        assert report.proxy_detected == has_proxy, isp_name
+        agreements += 1
+    print(f"\nnetalyzr vs ground truth: {agreements}/{len(isp_names)} ISPs agree")
+    assert agreements == len(isp_names)
+
+    # Attribution names the right appliance where one exists.
+    assert reports["etisalat"].attributed_products == ["Blue Coat"]
+    assert reports["tx-utility-1"].attributed_products == ["Websense"]
+    assert not reports["du"].proxy_detected  # software filter, no residue
+
+
+def test_identification_prefilter_cuts_campaign_cost(benchmark, session_scenario):
+    scenario = session_scenario
+    world = scenario.world
+    identification = benchmark.pedantic(
+        FullStudy(scenario).run_identification, rounds=1, iterations=1
+    )
+
+    template = ConfirmationConfig(
+        product_name="Netsweeper",
+        isp_name="du",
+        content_class=ContentClass.PROXY_ANONYMIZER,
+        category_label="Proxy anonymizer",
+        total_domains=12,
+        submit_count=6,
+        pre_validate=False,
+    )
+    asn_to_isp = {isp.asn: name for name, isp in world.isps.items()}
+    everywhere = exhaustive_campaign(sorted(world.isps), template)
+    targeted = targeted_campaign(
+        identification, "Netsweeper", asn_to_isp.get, template
+    )
+    factor = reduction_factor(everywhere, targeted)
+    print(
+        f"\nexhaustive: {everywhere.target_isps} ISPs, "
+        f"{everywhere.field_fetches} fetches, "
+        f"{everywhere.domains_registered} domains"
+    )
+    print(
+        f"targeted:   {targeted.target_isps} ISPs, "
+        f"{targeted.field_fetches} fetches, "
+        f"{targeted.domains_registered} domains "
+        f"(reduction {factor:.1f}x)"
+    )
+    assert targeted.target_isps < everywhere.target_isps / 3
+    assert factor > 3.0

@@ -1,0 +1,63 @@
+"""Extension bench — E18: the §7 global confirmation survey.
+
+Generalizes Table 3 from ten hand-picked case studies to every
+identified installation with a vantage point. The survey must confirm
+censorship use wherever a deployment blocks on-ladder content — and its
+non-confirmations must be exactly the deployments the methodology
+*should* miss: the two inert Blue Coat proxies (Table 3's negatives,
+explained by §4.5 stacking) and networks blocking only off-ladder
+categories (the §7 category-knowledge caveat).
+"""
+
+from __future__ import annotations
+
+from repro import FullStudy
+from repro.core.survey import GlobalSurvey
+
+
+def test_global_survey(benchmark, fresh_scenario):
+    scenario = fresh_scenario
+    identification = FullStudy(scenario).run_identification()
+    survey = GlobalSurvey(
+        scenario.world, scenario.products, scenario.hosting_asns[0]
+    )
+    targets = survey.plan(identification)
+
+    report = benchmark.pedantic(survey.run, args=(targets,), rounds=1, iterations=1)
+
+    print(f"\n{len(targets)} targets surveyed, {report.confirmed_count()} confirmed:")
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+    confirmed = set(report.confirmed_pairs())
+    not_confirmed = {
+        (e.target.product_name, e.target.isp_name)
+        for e in report.entries
+        if not e.confirmed
+    }
+
+    # Every Table 3 positive generalizes...
+    for pair in (
+        ("McAfee SmartFilter", "etisalat"),
+        ("McAfee SmartFilter", "bayanat"),
+        ("McAfee SmartFilter", "nournet"),
+        ("Netsweeper", "ooredoo"),
+        ("Netsweeper", "yemennet"),
+    ):
+        assert pair in confirmed, pair
+    # ...and so do both Table 3 negatives (§4.5 stacking).
+    assert ("Blue Coat", "etisalat") in not_confirmed
+    assert ("Blue Coat", "ooredoo") in not_confirmed
+
+    # Beyond the paper: the survey confirms networks ONI never tested.
+    assert ("McAfee SmartFilter", "pk-ptcl") in confirmed
+    assert ("Websense", "tx-utility-1") in confirmed
+    assert ("Blue Coat", "sy-isp") in confirmed
+
+    # §7 caveat: off-ladder policies (phishing/malware-only) are missed.
+    assert ("Blue Coat", "comcast") in not_confirmed
+    assert ("Blue Coat", "usaisc") in not_confirmed
+
+    # Aggregate shape: the vast majority of real censoring deployments
+    # confirm; only the stacked proxies and off-ladder policies do not.
+    assert report.confirmed_count() >= len(targets) - 6

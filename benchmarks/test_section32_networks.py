@@ -1,0 +1,48 @@
+"""E4 — §3.2's network-diversity narrative.
+
+The US installations must span the kinds of organizations the paper
+names: two Texas utilities on Websense, education networks on
+Netsweeper, large ISPs on Netsweeper and Blue Coat, and a military
+network (USAISC) on Blue Coat. Benchmarks the whois-backed aggregation.
+"""
+
+from __future__ import annotations
+
+from repro import FullStudy
+from repro.world.entities import OrgKind
+
+
+def test_us_network_diversity(benchmark, fresh_scenario):
+    study = FullStudy(fresh_scenario)
+    report = benchmark.pedantic(study.run_identification, rounds=1, iterations=1)
+
+    us_installs = report.installations_in("us")
+    assert us_installs, "no US installations identified"
+
+    print("\nUS installations by organization:")
+    for inst in sorted(us_installs, key=lambda i: (i.product, i.org_name)):
+        kind = inst.org_kind.value if inst.org_kind else "?"
+        print(f"  {inst.product:20s} AS{inst.asn:<6d} {inst.org_name} [{kind}]")
+
+    websense_kinds = report.org_kinds("Websense")
+    assert websense_kinds.get(OrgKind.UTILITY, 0) == 2, (
+        "paper: Websense in two Texas utilities"
+    )
+
+    netsweeper_us = [i for i in us_installs if i.product == "Netsweeper"]
+    edu = [i for i in netsweeper_us if i.org_kind is OrgKind.EDUCATION]
+    isp = [i for i in netsweeper_us if i.org_kind is OrgKind.ISP]
+    assert len(edu) == 3, "paper: Netsweeper in WV/OK/MO education networks"
+    assert len(isp) == 4, (
+        "paper: Netsweeper in Global Crossing, AT&T, Verizon, BellSouth"
+    )
+    isp_names = {i.org_name for i in isp}
+    assert {"Global Crossing", "AT&T Services"} <= isp_names
+
+    bluecoat_us = [i for i in us_installs if i.product == "Blue Coat"]
+    assert any(i.org_kind is OrgKind.MILITARY for i in bluecoat_us), (
+        "paper: Blue Coat on a USAISC address"
+    )
+    assert sum(1 for i in bluecoat_us if i.org_kind is OrgKind.ISP) == 2, (
+        "paper: Blue Coat in Comcast and Sprint"
+    )

@@ -1,0 +1,54 @@
+"""E1 — Table 1: the product inventory and where each was previously seen.
+
+Checks that the scenario's ground truth carries every product the paper
+considers, that each product's vendor model exposes the documented
+surfaces, and that the previously-observed country sets used by the
+scenario match Table 1. Benchmarks scenario construction (the world is
+the substrate every other experiment stands on).
+"""
+
+from __future__ import annotations
+
+from repro import build_scenario
+from repro.analysis import PAPER_TABLE1, render_table1
+from repro.products.netsweeper import Netsweeper
+from repro.products.websense import Websense
+
+
+def test_table1_inventory(benchmark, session_scenario):
+    scenario = benchmark.pedantic(build_scenario, rounds=1, iterations=1)
+
+    print("\n" + render_table1())
+
+    vendors = set(scenario.products)
+    assert vendors == {
+        "Blue Coat",
+        "McAfee SmartFilter",
+        "Netsweeper",
+        "Websense",
+    }
+
+    # Each product is deployed somewhere in the world.
+    for vendor in vendors:
+        deployed = [
+            box
+            for box in scenario.deployments.values()
+            if box.appliance.vendor == vendor or (
+                box.engine is not None and box.engine.vendor == vendor
+            )
+        ]
+        assert deployed, f"{vendor} has no installations in the scenario"
+
+    # Table 1 previously-observed countries all exist in the world.
+    for row in PAPER_TABLE1:
+        for code in row.previously_observed:
+            assert code in scenario.world.countries, (row.company, code)
+
+    # Product-specific surfaces from Table 1's descriptions.
+    assert isinstance(scenario.netsweeper, Netsweeper)
+    assert len(scenario.netsweeper.taxonomy) == 66
+    assert isinstance(scenario.websense, Websense)
+    # Blue Coat in the UAE is a proxy appliance with a SmartFilter engine.
+    stack = scenario.deployments["etisalat-stack"]
+    assert stack.appliance.vendor == "Blue Coat"
+    assert stack.engine is not None and stack.engine.vendor == "McAfee SmartFilter"

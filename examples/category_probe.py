@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""§4.4: enumerate a Netsweeper deployment's blocked categories.
+
+Netsweeper operates ``denypagetests.netsweeper.com/category/catno/<N>``
+— one innocuous page per category, which a deployment blocks exactly
+when the operator denies that category. Probing all 66 from inside the
+network enumerates the policy without vendor cooperation. The paper ran
+this in YemenNet (January 2013) and found five categories blocked.
+
+Also shows the caveat: an operator can disable the diagnostic, after
+which the probe sees nothing.
+
+Run:  python examples/category_probe.py
+"""
+
+from repro import build_scenario, run_category_probe
+
+
+def main() -> None:
+    scenario = build_scenario()
+    world = scenario.world
+
+    print("Probing YemenNet (AS 12486) via denypagetests ...")
+    probe = run_category_probe(world, "yemennet")
+    print(f"  {probe.tested} categories probed at {probe.probed_at}")
+    print(f"  {len(probe.blocked)} blocked:")
+    for category in sorted(probe.blocked, key=lambda c: c.number):
+        print(f"    catno {category.number:2d}  {category.name}")
+
+    print("\nSame probe against Du (AS 15802):")
+    du_probe = run_category_probe(world, "du")
+    for category in sorted(du_probe.blocked, key=lambda c: c.number):
+        print(f"    catno {category.number:2d}  {category.name}")
+
+    print("\nOperator disables the diagnostic on YemenNet ...")
+    box = scenario.deployments["yemennet-netsweeper"]
+    box.policy.honor_category_test_pages = False
+    disabled = run_category_probe(world, "yemennet")
+    print(
+        f"  probe now sees {len(disabled.blocked)} blocked categories "
+        "(the tool is only viable where it has not been disabled, §4.4)"
+    )
+
+
+if __name__ == "__main__":
+    main()

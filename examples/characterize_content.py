@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""§5: what kinds of content do confirmed deployments block?
+
+Runs the global list plus each country's local list through the
+measurement client in the four confirmed ISPs and prints the
+per-category block rates, the vendor attribution from block-page
+regexes, and the resulting Table 4 marks.
+
+Run:  python examples/characterize_content.py
+"""
+
+from repro import ContentCharacterization, build_scenario
+from repro.measure.testlists import Theme
+
+
+def main() -> None:
+    scenario = build_scenario()
+    world = scenario.world
+    characterization = ContentCharacterization(world)
+
+    for isp_name, product in (
+        ("etisalat", "McAfee SmartFilter"),
+        ("du", "Netsweeper"),
+        ("yemennet", "Netsweeper"),
+        ("ooredoo", "Netsweeper"),
+    ):
+        isp = world.isps[isp_name]
+        result = characterization.run(isp_name, product)
+        print(f"\n=== {isp} — {product} ===")
+        print(f"{len(result.tests)} URLs tested at {result.measured_at}")
+        for theme in Theme:
+            rows = [
+                s
+                for s in result.stats.values()
+                if s.category.theme is theme and s.blocked > 0
+            ]
+            if not rows:
+                continue
+            print(f"  [{theme.value}]")
+            for stats in sorted(rows, key=lambda s: -s.block_rate):
+                vendors = ", ".join(
+                    f"{vendor} x{count}"
+                    for vendor, count in sorted(stats.vendors.items())
+                )
+                print(
+                    f"    {stats.category.name:28s} "
+                    f"{stats.blocked}/{stats.tested} blocked ({vendors})"
+                )
+        columns = sorted(c.value for c in result.table4_columns())
+        print(f"  Table 4 marks: {columns or 'none'}")
+        print(
+            "  blocks rights-protected content:"
+            f" {result.blocks_rights_protected_content()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""§4 walkthrough: one confirmation case study in full detail.
+
+Replays the Saudi Arabia / Bayanat Al-Oula SmartFilter pornography case
+(Table 3, 9/2012): register ten fresh two-word .info domains hosting an
+adult image, verify all ten are reachable from inside the ISP, submit
+five to the vendor, wait for the review queue, retest, and read the
+differential. Also demonstrates the §4.6 ethics protocol (testers fetch
+a benign path; the image is removed afterwards).
+
+Run:  python examples/confirm_censorship.py
+"""
+
+from repro import ConfirmationConfig, ConfirmationStudy, build_scenario
+from repro.world.content import ContentClass
+
+
+def main() -> None:
+    scenario = build_scenario()
+    world = scenario.world
+
+    study = ConfirmationStudy(
+        world, scenario.smartfilter, scenario.hosting_asns[0]
+    )
+    config = ConfirmationConfig(
+        product_name="McAfee SmartFilter",
+        isp_name="bayanat",
+        content_class=ContentClass.ADULT_IMAGES,
+        category_label="Pornography",
+        requested_category="Pornography",
+        total_domains=10,
+        submit_count=5,
+    )
+
+    print(f"Field ISP : {world.isps['bayanat']}")
+    print(f"Vendor    : {scenario.smartfilter.vendor}")
+    print(f"Date      : {world.now}\n")
+
+    result = study.run(config)
+
+    print(f"Pre-check : {result.pre_check_accessible}/10 domains accessible")
+    print(f"Submitted : {config.submit_count} domains at {result.submitted_at}")
+    for submission in result.submissions:
+        print(
+            f"   {submission.url.host:28s} -> {submission.status.value}"
+            + (
+                f" as {submission.assigned_category}"
+                if submission.assigned_category
+                else f" ({submission.rejection_reason})"
+            )
+        )
+    print(f"Retested  : {result.retested_at} (waited {config.wait_days} days)\n")
+
+    print("Per-domain outcomes (submitted first):")
+    for outcome in result.outcomes:
+        tag = "SUBMITTED" if outcome.submitted else "control  "
+        state = "BLOCKED" if outcome.blocked else "accessible"
+        vendors = f" via {outcome.vendors_seen}" if outcome.vendors_seen else ""
+        print(f"   [{tag}] {outcome.domain:28s} {state}{vendors}")
+
+    print(
+        f"\nDifferential: {result.blocked_submitted}/"
+        f"{len(result.submitted_outcomes)} submitted blocked, "
+        f"{result.blocked_control}/{len(result.control_outcomes)} controls blocked"
+    )
+    print(f"Confirmed : {result.confirmed}")
+    for note in result.notes:
+        print(f"Note      : {note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""§6 / Table 5: how each evasion tactic degrades each pipeline stage.
+
+Four rounds against the Du (AS 15802) Netsweeper deployment:
+
+  baseline      — identification, validation, and confirmation all work
+  hide the box  — nothing to index; confirmation unaffected
+  mask headers  — keyword search and WhatWeb starve; confirmation
+                  still works off the field/lab differential
+  screen submissions — the vendor rejects recognizable researcher
+                  submissions; laundered identities restore the method
+
+Each round rebuilds the world from scratch so tactics do not compound.
+
+Run:  python examples/evasion_cat_and_mouse.py
+"""
+
+from repro import ConfirmationConfig, ConfirmationStudy, build_scenario
+from repro.core.evasion import (
+    hide_installation,
+    mask_installation,
+    screen_submissions,
+)
+from repro.core.pipeline import FullStudy
+from repro.products.submission import SubmitterIdentity
+from repro.world.content import ContentClass
+
+NAIVE_SUBMITTER = SubmitterIdentity(
+    email="research.tester@freemail.example",
+    source_ip="203.0.113.50",
+    via_proxy=False,  # the vendor can correlate this identity
+)
+
+
+def confirm_in_du(scenario, submitter=None) -> tuple:
+    kwargs = {}
+    if submitter is not None:
+        kwargs["submitter"] = submitter
+    study = ConfirmationStudy(
+        scenario.world, scenario.netsweeper, scenario.hosting_asns[0], **kwargs
+    )
+    result = study.run(
+        ConfirmationConfig(
+            product_name="Netsweeper",
+            isp_name="du",
+            content_class=ContentClass.PROXY_ANONYMIZER,
+            category_label="Proxy anonymizer",
+            total_domains=12,
+            submit_count=6,
+            pre_validate=False,
+        )
+    )
+    return result.blocked_submitted, len(result.submitted_outcomes), result.confirmed
+
+
+def identify_netsweeper_in_ae(scenario) -> int:
+    report = FullStudy(scenario).run_identification()
+    return len(
+        [i for i in report.by_product("Netsweeper") if i.country_code == "ae"]
+    )
+
+
+def round_banner(name: str) -> None:
+    print(f"\n=== {name} " + "=" * max(0, 60 - len(name)))
+
+
+def main() -> None:
+    round_banner("baseline")
+    scenario = build_scenario()
+    found = identify_netsweeper_in_ae(scenario)
+    blocked, total, confirmed = confirm_in_du(scenario)
+    print(f"identified in AE: {found} installation(s)")
+    print(f"confirmation: {blocked}/{total} submitted blocked -> {confirmed}")
+
+    round_banner("tactic 1: hide the box (§6.1)")
+    scenario = build_scenario()
+    hide_installation(scenario.deployments["du-netsweeper"])
+    found = identify_netsweeper_in_ae(scenario)
+    blocked, total, confirmed = confirm_in_du(scenario)
+    print(f"identified in AE: {found} installation(s)   <- scan sees nothing")
+    print(f"confirmation: {blocked}/{total} submitted blocked -> {confirmed}")
+
+    round_banner("tactic 2: strip headers / branding (§6.1)")
+    scenario = build_scenario()
+    mask_installation(scenario.deployments["du-netsweeper"])
+    found = identify_netsweeper_in_ae(scenario)
+    blocked, total, confirmed = confirm_in_du(scenario)
+    print(f"identified in AE: {found} installation(s)   <- signatures starve")
+    print(f"confirmation: {blocked}/{total} submitted blocked -> {confirmed}")
+    print("(blocking is detected via the field/lab differential, no branding needed)")
+
+    round_banner("tactic 3: screen submissions (§6.2)")
+    scenario = build_scenario()
+    screen_submissions(
+        scenario.deployments["du-netsweeper"],
+        distrusted_emails=[NAIVE_SUBMITTER.email],
+        distrusted_ips=[NAIVE_SUBMITTER.source_ip],
+    )
+    blocked, total, confirmed = confirm_in_du(scenario, NAIVE_SUBMITTER)
+    print(f"naive identity:     {blocked}/{total} blocked -> {confirmed}")
+    scenario = build_scenario()
+    screen_submissions(
+        scenario.deployments["du-netsweeper"],
+        distrusted_emails=[NAIVE_SUBMITTER.email],
+        distrusted_ips=[NAIVE_SUBMITTER.source_ip],
+    )
+    blocked, total, confirmed = confirm_in_du(scenario)  # laundered default
+    print(f"laundered identity: {blocked}/{total} blocked -> {confirmed}")
+    print("(proxies/Tor + throwaway webmail defeat submitter screening)")
+
+
+if __name__ == "__main__":
+    main()

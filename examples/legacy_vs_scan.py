@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""§2.2 vs §3: why the scan-based methodology was needed.
+
+Runs the ONI's legacy identification channel (user reports + manual
+block-page branding analysis) side by side with the paper's scan
+pipeline, then debrands the Netsweeper block pages and runs both again —
+showing the legacy channel's two failure modes (region bias, branding
+dependence) and the scan pipeline's immunity to both.
+
+Run:  python examples/legacy_vs_scan.py
+"""
+
+from repro import FullStudy, build_scenario
+from repro.core.legacy import run_legacy_identification
+
+MENA_REPORTERS = ["etisalat", "du", "ooredoo", "bayanat", "nournet", "yemennet"]
+
+
+def show(label: str, country_map: dict) -> None:
+    print(f"  {label}:")
+    for product in sorted(country_map):
+        countries = sorted(code.upper() for code in country_map[product])
+        if countries:
+            print(f"    {product:20s} {', '.join(countries)}")
+
+
+def main() -> None:
+    print("=== Round 1: branded block pages ===")
+    scenario = build_scenario()
+    legacy = run_legacy_identification(
+        scenario.world, MENA_REPORTERS, urls_per_reporter=20
+    )
+    scan = FullStudy(scenario).run_identification()
+    show("legacy channel (MENA contacts only)", legacy.country_map())
+    show("scan pipeline", scan.country_map())
+    print(
+        f"  -> the legacy channel attributes correctly but only inside its "
+        f"contact network;\n     the scan also finds the Americas, Europe "
+        f"and Asia installations.\n"
+    )
+
+    print("=== Round 2: vendors remove block-page branding (§2.2) ===")
+    scenario = build_scenario()
+    for box in scenario.deployments.values():
+        box.policy.block_page.show_branding = False
+    legacy = run_legacy_identification(
+        scenario.world, MENA_REPORTERS, urls_per_reporter=20
+    )
+    scan = FullStudy(scenario).run_identification()
+    show("legacy channel", legacy.country_map())
+    print(f"    unattributed block-page reports: {legacy.unattributed_reports}")
+    show("scan pipeline (unchanged)", scan.country_map())
+    print(
+        "  -> users still SEE blocking, but the analyst can no longer name "
+        "the product;\n     the scan fingerprints admin surfaces, which "
+        "debranding does not touch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Small aggregation helpers used by benchmarks and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def proportion_ci(successes: int, trials: int) -> Tuple[float, float]:
+    """Wilson 95% confidence interval for a proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    z = 1.959963984540054
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    # The Wilson interval contains the point estimate by construction;
+    # guard against floating-point drift at the p = 0 and p = 1 edges.
+    low = min(max(0.0, center - margin), p)
+    high = max(min(1.0, center + margin), p)
+    return (low, high)
+
+
+def tally(items: Iterable) -> Dict:
+    counts: Dict = {}
+    for item in items:
+        counts[item] = counts.get(item, 0) + 1
+    return counts
+
+
+def rate_table(counts: Dict, total: int) -> List[Tuple[str, int, float]]:
+    """(key, count, fraction) rows sorted by count descending."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    return sorted(
+        ((str(k), v, v / total) for k, v in counts.items()),
+        key=lambda row: -row[1],
+    )

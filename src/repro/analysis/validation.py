@@ -1,0 +1,142 @@
+"""Reproduction scorecard: programmatic paper-vs-measured validation.
+
+Turns a :class:`~repro.core.pipeline.StudyReport` into a list of
+pass/fail checks against the encoded published values — the same
+comparisons the benchmark harness asserts, packaged for the CLI and for
+downstream tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.paper_data import (
+    PAPER_FIGURE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_YEMEN_PROBE_CATEGORIES,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from repro.core.pipeline import StudyReport
+
+
+@dataclass(frozen=True)
+class ArtifactCheck:
+    """One paper-vs-measured comparison."""
+
+    artifact: str  # "figure1" | "table3" | "probe" | "table4"
+    name: str
+    matched: bool
+    detail: str = ""
+
+
+@dataclass
+class Scorecard:
+    checks: List[ArtifactCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for check in self.checks if check.matched)
+
+    @property
+    def total(self) -> int:
+        return len(self.checks)
+
+    @property
+    def all_matched(self) -> bool:
+        return self.passed == self.total
+
+    def failures(self) -> List[ArtifactCheck]:
+        return [check for check in self.checks if not check.matched]
+
+    def by_artifact(self, artifact: str) -> List[ArtifactCheck]:
+        return [check for check in self.checks if check.artifact == artifact]
+
+    def summary(self) -> str:
+        status = "EXACT MATCH" if self.all_matched else "DIFFERENCES"
+        lines = [f"reproduction scorecard: {self.passed}/{self.total} checks — {status}"]
+        for check in self.failures():
+            lines.append(f"  DIFFERS [{check.artifact}] {check.name}: {check.detail}")
+        return "\n".join(lines)
+
+
+def validate_report(report: "StudyReport") -> Scorecard:
+    """Compare every artifact of a completed campaign to the paper."""
+    scorecard = Scorecard()
+
+    measured_map = report.identification.country_map()
+    for product, expected in PAPER_FIGURE1.items():
+        measured = measured_map.get(product, set())
+        scorecard.checks.append(
+            ArtifactCheck(
+                "figure1",
+                product,
+                measured == set(expected),
+                f"measured {sorted(measured)} vs paper {sorted(expected)}",
+            )
+        )
+
+    for row in PAPER_TABLE3:
+        result = report.confirmation_for(row.product, row.isp_key, row.category)
+        if result is None:
+            scorecard.checks.append(
+                ArtifactCheck(
+                    "table3",
+                    f"{row.product}/{row.isp_key}/{row.category}",
+                    False,
+                    "case study missing",
+                )
+            )
+            continue
+        matched = (
+            result.blocked_submitted == row.blocked
+            and result.confirmed == row.confirmed
+        )
+        scorecard.checks.append(
+            ArtifactCheck(
+                "table3",
+                f"{row.product}/{row.isp_key}/{row.category}",
+                matched,
+                f"measured {result.blocked_submitted}/{row.submitted} "
+                f"({'yes' if result.confirmed else 'no'}) vs paper "
+                f"{row.blocked}/{row.submitted} "
+                f"({'yes' if row.confirmed else 'no'})",
+            )
+        )
+
+    if report.category_probe is not None:
+        measured_probe = set(report.category_probe.blocked_names)
+        expected_probe = set(PAPER_YEMEN_PROBE_CATEGORIES)
+        scorecard.checks.append(
+            ArtifactCheck(
+                "probe",
+                "yemennet denypagetests",
+                measured_probe == expected_probe,
+                f"measured {sorted(measured_probe)} vs paper "
+                f"{sorted(expected_probe)}",
+            )
+        )
+
+    for row in PAPER_TABLE4:
+        characterization = report.characterizations.get(row.isp_key)
+        if characterization is None:
+            scorecard.checks.append(
+                ArtifactCheck(
+                    "table4", row.isp_key, False, "characterization missing"
+                )
+            )
+            continue
+        measured_columns = characterization.table4_columns()
+        scorecard.checks.append(
+            ArtifactCheck(
+                "table4",
+                f"{row.product} @ {row.isp_key}",
+                measured_columns == set(row.columns),
+                f"measured {sorted(c.value for c in measured_columns)} vs "
+                f"paper {sorted(c.value for c in row.columns)}",
+            )
+        )
+    return scorecard

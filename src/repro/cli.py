@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+Subcommands mirror the methodology's stages::
+
+    python -m repro study              # the full campaign + report
+    python -m repro identify           # §3 only
+    python -m repro confirm --product "McAfee SmartFilter" --isp bayanat
+    python -m repro probe --isp yemennet
+    python -m repro netalyzr --isp etisalat --isp du
+
+All commands accept ``--seed``; the default seed reproduces the paper's
+published cells exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import write_markdown_report
+from repro.analysis.tables import (
+    render_category_probe,
+    render_figure1,
+    render_table3,
+)
+from repro.analysis.paper_data import PAPER_TABLE3
+from repro.core.confirm import ConfirmationStudy, run_category_probe
+from repro.core.pipeline import FullStudy, config_for_row
+from repro.measure.netalyzr import survey_isps
+from repro.world.scenario import DEFAULT_SEED, build_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMC'13 URL-filter censorship study (reproduction)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"scenario seed (default {DEFAULT_SEED}, paper-calibrated)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser("study", help="run the full campaign")
+    study.add_argument(
+        "--output", help="write the markdown report to this file"
+    )
+    study.add_argument(
+        "--json", dest="json_output",
+        help="also export the raw results as JSON to this file",
+    )
+
+    identify = commands.add_parser("identify", help="run §3 identification")
+    identify.add_argument(
+        "--coverage", type=float, default=1.0,
+        help="scanner coverage fraction (default 1.0)",
+    )
+
+    confirm = commands.add_parser("confirm", help="run one §4 case study")
+    confirm.add_argument("--product", required=True)
+    confirm.add_argument("--isp", required=True)
+    confirm.add_argument(
+        "--category",
+        help="Table 3 category label (default: the first matching row)",
+    )
+
+    probe = commands.add_parser(
+        "probe", help="run the Netsweeper category probe (§4.4)"
+    )
+    probe.add_argument("--isp", required=True)
+
+    netalyzr = commands.add_parser(
+        "netalyzr", help="transparent-proxy fingerprinting from ISPs"
+    )
+    netalyzr.add_argument(
+        "--isp", action="append", required=True,
+        help="repeatable: ISPs to survey",
+    )
+    return parser
+
+
+def _cmd_study(args) -> int:
+    from repro.analysis.export import to_json
+    from repro.analysis.validation import validate_report
+
+    scenario = build_scenario(seed=args.seed)
+    report = FullStudy(scenario).run()
+    document = write_markdown_report(report, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"report written to {args.output}")
+    else:
+        print(document)
+    if args.json_output:
+        with open(args.json_output, "w", encoding="utf-8") as handle:
+            handle.write(to_json(report))
+        print(f"raw results written to {args.json_output}")
+    print(validate_report(report).summary())
+    return 0
+
+
+def _cmd_identify(args) -> int:
+    scenario = build_scenario(seed=args.seed)
+    report = FullStudy(
+        scenario, shodan_coverage=args.coverage
+    ).run_identification()
+    print(render_figure1(report))
+    print(
+        f"\n{len(report.installations)} installations validated from "
+        f"{len(report.candidates)} candidates "
+        f"({report.queries_issued} queries)"
+    )
+    return 0
+
+
+def _cmd_confirm(args) -> int:
+    rows = [
+        row
+        for row in PAPER_TABLE3
+        if row.product == args.product and row.isp_key == args.isp
+        and (args.category is None or row.category == args.category)
+    ]
+    if not rows:
+        known = sorted({(r.product, r.isp_key) for r in PAPER_TABLE3})
+        print(
+            f"no such case study; known (product, isp) pairs: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = build_scenario(seed=args.seed)
+    study = ConfirmationStudy(
+        scenario.world,
+        scenario.products[args.product],
+        scenario.hosting_asns[0],
+    )
+    result = study.run(config_for_row(rows[0]))
+    print(render_table3([result], paper_rows=rows[:1]))
+    print(f"\nverdict: {'CONFIRMED' if result.confirmed else 'not confirmed'}")
+    for note in result.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    scenario = build_scenario(seed=args.seed)
+    if args.isp not in scenario.world.isps:
+        print(f"unknown ISP {args.isp!r}", file=sys.stderr)
+        return 2
+    probe = run_category_probe(scenario.world, args.isp)
+    print(render_category_probe(probe))
+    return 0
+
+
+def _cmd_netalyzr(args) -> int:
+    scenario = build_scenario(seed=args.seed)
+    unknown = [name for name in args.isp if name not in scenario.world.isps]
+    if unknown:
+        print(f"unknown ISPs: {unknown}", file=sys.stderr)
+        return 2
+    for name, report in survey_isps(scenario.world, args.isp).items():
+        attribution = (
+            ", ".join(report.attributed_products)
+            if report.attributed_products
+            else "unattributed"
+        )
+        state = f"PROXY ({attribution})" if report.proxy_detected else "clean"
+        print(f"{name:16s} {state}")
+        for finding in report.findings:
+            print(f"    [{finding.kind}] {finding.detail}")
+    return 0
+
+
+_COMMANDS = {
+    "study": _cmd_study,
+    "identify": _cmd_identify,
+    "confirm": _cmd_confirm,
+    "probe": _cmd_probe,
+    "netalyzr": _cmd_netalyzr,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""§5: characterizing what confirmed URL filters actually block.
+
+Runs the global and country-local test lists through the measurement
+client "within 30 days of the confirmations", attributes blocked URLs to
+vendors via the block-page regex corpus, and aggregates by list category
+into the Table 4 matrix (six columns of rights-protected content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.measure.blockpage_detect import BlockPageDetector
+from repro.measure.client import MeasurementClient, UrlTest
+from repro.measure.testlists import (
+    ListCategory,
+    Table4Column,
+    TestList,
+    build_global_list,
+    build_local_list,
+)
+from repro.world.clock import SimTime
+from repro.world.world import World
+
+
+@dataclass
+class CategoryBlockStats:
+    """Per-list-category tallies for one characterization run."""
+
+    category: ListCategory
+    tested: int = 0
+    blocked: int = 0
+    vendors: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def block_rate(self) -> float:
+        return self.blocked / self.tested if self.tested else 0.0
+
+
+@dataclass
+class CharacterizationResult:
+    """Table 4 inputs for one (product, ISP) pair."""
+
+    isp_name: str
+    asn: int
+    country_code: str
+    product_name: str
+    measured_at: SimTime
+    stats: Dict[str, CategoryBlockStats] = field(default_factory=dict)
+    tests: List[UrlTest] = field(default_factory=list)
+
+    def blocked_categories(self) -> List[ListCategory]:
+        """List categories with at least one blocked URL."""
+        return [s.category for s in self.stats.values() if s.blocked > 0]
+
+    def table4_columns(self) -> Set[Table4Column]:
+        """The Table 4 cells this row marks."""
+        columns: Set[Table4Column] = set()
+        for stats in self.stats.values():
+            if stats.blocked > 0 and stats.category.table4_column is not None:
+                columns.add(stats.category.table4_column)
+        return columns
+
+    def blocks_rights_protected_content(self) -> bool:
+        """The paper's headline finding for this deployment."""
+        return bool(self.table4_columns())
+
+    def vendor_attribution(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for stats in self.stats.values():
+            for vendor, count in stats.vendors.items():
+                totals[vendor] = totals.get(vendor, 0) + count
+        return totals
+
+
+class ContentCharacterization:
+    """Runs the §5 test-list measurement for one ISP."""
+
+    def __init__(
+        self,
+        world: World,
+        *,
+        detector: Optional[BlockPageDetector] = None,
+        per_category_global: int = 3,
+        per_category_local: int = 2,
+    ) -> None:
+        self._world = world
+        self._detector = detector or BlockPageDetector()
+        self._per_global = per_category_global
+        self._per_local = per_category_local
+
+    def run(
+        self,
+        isp_name: str,
+        product_name: str,
+        *,
+        global_list: Optional[TestList] = None,
+        local_list: Optional[TestList] = None,
+    ) -> CharacterizationResult:
+        """Test the global + local lists from inside ``isp_name``."""
+        world = self._world
+        isp = world.isps[isp_name]
+        if global_list is None:
+            global_list = build_global_list(
+                world, per_category=self._per_global
+            )
+        if local_list is None:
+            local_list = build_local_list(
+                world,
+                isp.country.code,
+                per_category=self._per_local,
+            )
+        client = MeasurementClient(
+            world.vantage(isp_name), world.lab_vantage(), self._detector
+        )
+        result = CharacterizationResult(
+            isp_name=isp_name,
+            asn=isp.asn,
+            country_code=isp.country.code,
+            product_name=product_name,
+            measured_at=world.now,
+        )
+        for test_list in (global_list, local_list):
+            for entry in test_list.entries:
+                test = client.test_url(entry.url)
+                result.tests.append(test)
+                stats = result.stats.setdefault(
+                    entry.category.name, CategoryBlockStats(entry.category)
+                )
+                stats.tested += 1
+                if test.blocked:
+                    stats.blocked += 1
+                    vendor = test.vendor or "unattributed"
+                    stats.vendors[vendor] = stats.vendors.get(vendor, 0) + 1
+        return result

@@ -1,0 +1,307 @@
+"""The §4 confirmation methodology — the paper's core contribution.
+
+"The basic idea is to test sites (under our control) that are not
+blocked within the ISP, and then submit a subset of these sites to the
+appropriate URL filter vendor. After 3-5 days, we retest the sites and
+observe whether or not the submitted sites are blocked. If they are
+blocked, it is highly likely that the URL filter under consideration is
+being used for censorship."
+
+The split between submitted and held-out control domains carries the
+causal claim: only the submitted half should flip to blocked.
+
+Product-specific variations handled here:
+
+- **Netsweeper** (§4.4): no pre-validation — accessing a site queues it
+  for categorization, so accessibility cannot be verified first.
+- **Inconsistent blocking** (§4.4, Challenge 2): multiple retest rounds,
+  a site counting as blocked if any round blocks it.
+- **Category probe** (§4.4): enumerate blocked Netsweeper categories via
+  the vendor's denypagetests host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.measure.blockpage_detect import BlockPageDetector
+from repro.measure.client import MeasurementClient
+from repro.measure.compare import Verdict
+from repro.measure.domains import TestDomain, TestDomainFactory
+from repro.net.url import Url
+from repro.products.base import UrlFilterProduct
+from repro.products.categories import NETSWEEPER_TAXONOMY, Taxonomy, VendorCategory
+from repro.products.netsweeper import CATEGORY_TEST_HOST
+from repro.products.submission import Submission, SubmitterIdentity
+from repro.world.clock import SimTime
+from repro.world.content import ContentClass
+from repro.world.world import World
+
+#: The researchers' laundered identity (§6.2: proxies/Tor + webmail).
+DEFAULT_SUBMITTER = SubmitterIdentity(
+    email="research.tester@freemail.example",
+    source_ip="203.0.113.50",
+    via_proxy=True,
+)
+
+
+@dataclass
+class ConfirmationConfig:
+    """One Table 3 case study's parameters."""
+
+    product_name: str
+    isp_name: str
+    content_class: ContentClass
+    category_label: str  # Table 3 "Category" column text
+    requested_category: Optional[str] = None  # vendor category on the form
+    total_domains: int = 10
+    submit_count: int = 5
+    wait_days: float = 5.0  # §4.2: "after 3-5 days, we retest"
+    pre_validate: bool = True
+    retest_rounds: int = 1
+    round_gap_days: float = 0.25
+    cleanup_sensitive: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.submit_count <= self.total_domains:
+            raise ValueError("submit_count must be in (0, total_domains]")
+        if self.retest_rounds < 1:
+            raise ValueError("need at least one retest round")
+
+
+@dataclass
+class DomainOutcome:
+    """Per-domain record across retest rounds."""
+
+    domain: str
+    submitted: bool
+    blocked_rounds: int = 0
+    total_rounds: int = 0
+    vendors_seen: List[str] = field(default_factory=list)
+
+    @property
+    def blocked(self) -> bool:
+        """Blocked in any round (§4.4: inconsistent blocking)."""
+        return self.blocked_rounds > 0
+
+
+@dataclass
+class ConfirmationResult:
+    """One completed case study (one Table 3 row)."""
+
+    config: ConfirmationConfig
+    submitted_at: SimTime
+    retested_at: SimTime
+    pre_check_accessible: Optional[int]
+    outcomes: List[DomainOutcome]
+    submissions: List[Submission]
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def submitted_outcomes(self) -> List[DomainOutcome]:
+        return [o for o in self.outcomes if o.submitted]
+
+    @property
+    def control_outcomes(self) -> List[DomainOutcome]:
+        return [o for o in self.outcomes if not o.submitted]
+
+    @property
+    def blocked_submitted(self) -> int:
+        return sum(1 for o in self.submitted_outcomes if o.blocked)
+
+    @property
+    def blocked_control(self) -> int:
+        return sum(1 for o in self.control_outcomes if o.blocked)
+
+    @property
+    def confirmed(self) -> bool:
+        """The §4.2 verdict: did our submissions flip to blocked?
+
+        Nearly all submitted sites must block (Table 3 accepts 5/6)
+        while the held-out controls stay accessible.
+        """
+        submitted = len(self.submitted_outcomes)
+        control = len(self.control_outcomes)
+        if submitted == 0:
+            return False
+        need = max(1, submitted - 1)
+        control_budget = control // 3
+        return (
+            self.blocked_submitted >= need
+            and self.blocked_control <= control_budget
+        )
+
+    @property
+    def detected_vendors(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for vendor in outcome.vendors_seen:
+                counts[vendor] = counts.get(vendor, 0) + 1
+        return counts
+
+    def summary_row(self) -> str:
+        """Render as a Table 3 style row."""
+        cfg = self.config
+        mark = "yes" if self.confirmed else "no"
+        return (
+            f"{cfg.product_name} | {cfg.isp_name} | {self.submitted_at} | "
+            f"{cfg.submit_count}/{cfg.total_domains} | {cfg.category_label} | "
+            f"{self.blocked_submitted}/{len(self.submitted_outcomes)} | {mark}"
+        )
+
+
+class ConfirmationStudy:
+    """Runs §4.2 case studies against one (product, ISP) pair."""
+
+    def __init__(
+        self,
+        world: World,
+        product: UrlFilterProduct,
+        hosting_asn: int,
+        *,
+        submitter: SubmitterIdentity = DEFAULT_SUBMITTER,
+        detector: Optional[BlockPageDetector] = None,
+    ) -> None:
+        self._world = world
+        self._product = product
+        self._hosting_asn = hosting_asn
+        self._submitter = submitter
+        self._detector = detector or BlockPageDetector()
+
+    def _client(self, isp_name: str) -> MeasurementClient:
+        return MeasurementClient(
+            self._world.vantage(isp_name),
+            self._world.lab_vantage(),
+            self._detector,
+        )
+
+    def run(self, config: ConfirmationConfig) -> ConfirmationResult:
+        """Execute one case study end to end."""
+        if config.product_name != self._product.vendor:
+            raise ValueError(
+                f"study bound to {self._product.vendor}, config names "
+                f"{config.product_name}"
+            )
+        world = self._world
+        notes: List[str] = []
+        factory = TestDomainFactory(
+            world,
+            self._hosting_asn,
+            rng_label=(
+                f"confirm/{config.product_name}/{config.isp_name}/"
+                f"{world.now.minutes}"
+            ),
+        )
+        domains = factory.create_batch(config.total_domains, config.content_class)
+        client = self._client(config.isp_name)
+
+        pre_accessible: Optional[int] = None
+        if config.pre_validate:
+            run = client.run_list([d.test_url for d in domains])
+            pre_accessible = len(run.accessible_tests())
+            if pre_accessible < len(domains):
+                notes.append(
+                    f"pre-check: only {pre_accessible}/{len(domains)} "
+                    "accessible before submission"
+                )
+        else:
+            notes.append(
+                "no pre-validation: product queues accessed sites for "
+                "categorization (§4.4)"
+            )
+
+        submitted_domains = domains[: config.submit_count]
+        submissions = [
+            self._product.portal.submit(
+                domain.url,
+                self._submitter,
+                world.now,
+                requested_category=config.requested_category,
+            )
+            for domain in submitted_domains
+        ]
+        submitted_at = world.now
+
+        world.advance_days(config.wait_days)
+
+        outcomes = [
+            DomainOutcome(d.domain, submitted=(d in submitted_domains))
+            for d in domains
+        ]
+        for round_index in range(config.retest_rounds):
+            run = client.run_list([d.test_url for d in domains])
+            for outcome, test in zip(outcomes, run.tests):
+                outcome.total_rounds += 1
+                if test.blocked:
+                    outcome.blocked_rounds += 1
+                    if test.vendor and test.vendor not in outcome.vendors_seen:
+                        outcome.vendors_seen.append(test.vendor)
+            if round_index + 1 < config.retest_rounds:
+                world.advance_days(config.round_gap_days)
+        retested_at = world.now
+
+        if config.cleanup_sensitive and config.content_class in (
+            ContentClass.ADULT_IMAGES,
+            ContentClass.PORNOGRAPHY,
+        ):
+            for domain in domains:
+                factory.remove_sensitive_content(domain)
+            notes.append("sensitive content removed after testing (§4.6)")
+
+        return ConfirmationResult(
+            config=config,
+            submitted_at=submitted_at,
+            retested_at=retested_at,
+            pre_check_accessible=pre_accessible,
+            outcomes=outcomes,
+            submissions=submissions,
+            notes=notes,
+        )
+
+
+@dataclass
+class CategoryProbeResult:
+    """§4.4: which vendor categories a Netsweeper deployment denies."""
+
+    isp_name: str
+    probed_at: SimTime
+    blocked: List[VendorCategory]
+    tested: int
+
+    @property
+    def blocked_names(self) -> List[str]:
+        return sorted(category.name for category in self.blocked)
+
+
+def run_category_probe(
+    world: World,
+    isp_name: str,
+    taxonomy: Taxonomy = NETSWEEPER_TAXONOMY,
+    *,
+    detector: Optional[BlockPageDetector] = None,
+) -> CategoryProbeResult:
+    """Fetch each denypagetests category URL from the field vantage.
+
+    A category counts as blocked when its test page yields a block-page
+    verdict in the field while the lab sees the vendor's plain test page.
+    """
+    client = MeasurementClient(
+        world.vantage(isp_name),
+        world.lab_vantage(),
+        detector or BlockPageDetector(),
+    )
+    blocked: List[VendorCategory] = []
+    for category in taxonomy.categories:
+        url = Url.parse(
+            f"http://{CATEGORY_TEST_HOST}/category/catno/{category.number}"
+        )
+        test = client.test_url(url)
+        if test.comparison.verdict is Verdict.BLOCKED_BLOCKPAGE:
+            blocked.append(category)
+    return CategoryProbeResult(
+        isp_name=isp_name,
+        probed_at=world.now,
+        blocked=blocked,
+        tested=len(taxonomy.categories),
+    )

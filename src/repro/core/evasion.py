@@ -1,0 +1,132 @@
+"""§6 / Table 5: vendor evasion tactics and how the methods degrade.
+
+Three tactics, matching Table 5's rows:
+
+1. **Hide the box** — stop exposing it to the global Internet. Kills the
+   identification step (nothing to index); validation has nothing to
+   probe; confirmation is untouched.
+2. **Mask headers/branding** — strip product-identifying headers and
+   brand strings from the box's externally visible services and block
+   pages. The box may still be indexed (it answers), but keyword search
+   finds nothing and WhatWeb signatures fail; confirmation is untouched
+   (the field/lab differential needs no signatures).
+3. **Screen submissions** — reject submissions whose submitter identity
+   or hosting provider looks like a researcher. Countered by laundered
+   identities (§6.2: proxies/Tor + webmail) and big-provider hosting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.middlebox.filter_box import FilterMiddlebox
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.products.base import SIGNATURE_HEADER_NAMES
+from repro.world.entities import Host, ServiceApp
+
+#: Strings scrubbed from bodies/titles when a vendor masks a product.
+BRAND_TOKENS: Dict[str, Sequence[str]] = {
+    "Blue Coat": ("blue coat", "bluecoat", "proxysg", "cfauth", "bcsi"),
+    "McAfee SmartFilter": ("mcafee web gateway", "mcafee", "mwg", "smartfilter"),
+    "Netsweeper": ("netsweeper",),
+    "Websense": ("websense",),
+}
+
+_NEUTRAL = "gateway"
+
+
+def _scrub_text(text: str, tokens: Sequence[str]) -> str:
+    import re
+
+    for token in tokens:
+        text = re.sub(re.escape(token), _NEUTRAL, text, flags=re.IGNORECASE)
+    return text
+
+
+def scrub_response(response: HttpResponse, tokens: Sequence[str]) -> HttpResponse:
+    """Strip signature headers and brand strings from one response."""
+    headers = Headers()
+    for name, value in response.headers.items():
+        if name in SIGNATURE_HEADER_NAMES or name.lower() == "www-authenticate":
+            continue
+        headers.add(name, _scrub_text(value, tokens))
+    return HttpResponse(response.status, headers, _scrub_text(response.body, tokens))
+
+
+def _masked_app(app: ServiceApp, tokens: Sequence[str]) -> ServiceApp:
+    def masked(request: HttpRequest) -> HttpResponse:
+        return scrub_response(app(request), tokens)
+
+    return masked
+
+
+@dataclass
+class EvasionOutcome:
+    """How far each pipeline stage got against one tactic."""
+
+    tactic: str
+    located: bool  # keyword search surfaced the box
+    validated: bool  # WhatWeb confirmed the product
+    confirmed: bool  # the §4 methodology still confirmed censorship
+    note: str = ""
+
+
+def hide_installation(box: FilterMiddlebox) -> None:
+    """Tactic 1: the box disappears from the global Internet."""
+    box.hide()
+
+
+def mask_installation(box: FilterMiddlebox) -> None:
+    """Tactic 2: headers stripped, branding scrubbed, console redirect cut.
+
+    Applies to the box's externally visible services and to its block
+    pages (via the deployment's block-page config).
+    """
+    config = box.policy.block_page
+    config.show_branding = False
+    config.strip_signature_headers = True
+    tokens = tuple(BRAND_TOKENS.get(box.appliance.vendor, ()))
+    if box.engine is not None and box.engine is not box.appliance:
+        tokens = tokens + tuple(BRAND_TOKENS.get(box.engine.vendor, ()))
+    host = box.world_host
+    if host is None:
+        return
+    for port, app in list(host.services.items()):
+        host.services[port] = _masked_app(
+            _without_console_redirect(app), tokens
+        )
+
+
+def _without_console_redirect(app: ServiceApp) -> ServiceApp:
+    """Drop bare '/' -> console redirects (they leak the console path)."""
+
+    def wrapped(request: HttpRequest) -> HttpResponse:
+        response = app(request)
+        location = response.location or ""
+        if (
+            request.url.path == "/"
+            and response.is_redirect
+            and location.startswith("/")
+        ):
+            return HttpResponse(404, Headers(), "")
+        return response
+
+    return wrapped
+
+
+def screen_submissions(
+    box: FilterMiddlebox,
+    *,
+    distrusted_emails: Optional[List[str]] = None,
+    distrusted_ips: Optional[List[str]] = None,
+    distrusted_hosting: Optional[List[str]] = None,
+    protected_hosting: Optional[List[str]] = None,
+) -> None:
+    """Tactic 3: the vendor tries to recognize researcher submissions."""
+    assert box.engine is not None
+    policy = box.engine.portal.policy
+    policy.distrusted_emails.extend(distrusted_emails or [])
+    policy.distrusted_ips.extend(distrusted_ips or [])
+    policy.distrusted_hosting.extend(distrusted_hosting or [])
+    policy.protected_hosting.extend(protected_hosting or [])

@@ -1,0 +1,182 @@
+"""The §3 identification pipeline.
+
+Locate candidate installations with keyword × ccTLD Shodan queries
+(Table 2 keywords), validate each candidate with WhatWeb signatures, and
+map validated IPs to country (MaxMind) and ASN (Team Cymru). The output
+re-derives Figure 1 (countries per product) and the §3.2 network
+narrative (which kinds of organizations run filters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.geo.cymru import WhoisService
+from repro.geo.maxmind import GeoDatabase
+from repro.net.ip import Ipv4Address
+from repro.net.url import COUNTRY_CODE_TLDS
+from repro.scan.shodan import ShodanIndex
+from repro.scan.signatures import PRODUCT_NAMES, SHODAN_KEYWORDS, Evidence
+from repro.scan.whatweb import WhatWebEngine
+from repro.world.entities import OrgKind
+
+
+@dataclass
+class Candidate:
+    """An IP surfaced by keyword search, before validation."""
+
+    ip: Ipv4Address
+    product: str
+    matched_queries: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Installation:
+    """A validated URL-filter installation."""
+
+    ip: Ipv4Address
+    product: str
+    country_code: str
+    asn: Optional[int]
+    as_name: str
+    org_name: str
+    org_kind: Optional[OrgKind]
+    evidence: List[Evidence] = field(default_factory=list)
+
+
+@dataclass
+class IdentificationReport:
+    """Everything the identification pipeline produced."""
+
+    candidates: List[Candidate] = field(default_factory=list)
+    installations: List[Installation] = field(default_factory=list)
+    rejected: List[Candidate] = field(default_factory=list)
+    queries_issued: int = 0
+
+    def countries(self, product: str) -> Set[str]:
+        """Figure 1: countries where ``product`` installations were found."""
+        return {
+            inst.country_code
+            for inst in self.installations
+            if inst.product == product and inst.country_code
+        }
+
+    def country_map(self) -> Dict[str, Set[str]]:
+        return {product: self.countries(product) for product in PRODUCT_NAMES}
+
+    def by_product(self, product: str) -> List[Installation]:
+        return [i for i in self.installations if i.product == product]
+
+    def installations_in(self, country_code: str) -> List[Installation]:
+        return [
+            i for i in self.installations if i.country_code == country_code
+        ]
+
+    def org_kinds(self, product: str) -> Dict[OrgKind, int]:
+        """§3.2: what kinds of networks host this product."""
+        counts: Dict[OrgKind, int] = {}
+        for installation in self.by_product(product):
+            if installation.org_kind is not None:
+                counts[installation.org_kind] = (
+                    counts.get(installation.org_kind, 0) + 1
+                )
+        return counts
+
+    @property
+    def precision(self) -> float:
+        """Fraction of candidates surviving validation."""
+        total = len(self.candidates)
+        return len(self.installations) / total if total else 0.0
+
+
+class IdentificationPipeline:
+    """§3.1: locate → validate → geolocate."""
+
+    def __init__(
+        self,
+        shodan: ShodanIndex,
+        whatweb: WhatWebEngine,
+        geo: GeoDatabase,
+        whois: WhoisService,
+        *,
+        cctlds: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._shodan = shodan
+        self._whatweb = whatweb
+        self._geo = geo
+        self._whois = whois
+        self._cctlds = sorted(cctlds if cctlds is not None else COUNTRY_CODE_TLDS)
+
+    @classmethod
+    def from_census(
+        cls,
+        census,
+        whatweb: WhatWebEngine,
+        geo: GeoDatabase,
+        whois: WhoisService,
+    ) -> "IdentificationPipeline":
+        """§3.1 'ongoing work': drive the pipeline from Internet-Census
+        data instead of Shodan — full coverage, no per-query result cap,
+        so the keyword x ccTLD expansion becomes unnecessary (a single
+        uncapped query per keyword suffices)."""
+        index = ShodanIndex(
+            census.records, result_cap=1 << 30, geolocate=geo.country_code
+        )
+        return cls(index, whatweb, geo, whois, cctlds=[])
+
+    def locate(self, products: Sequence[str] = PRODUCT_NAMES) -> List[Candidate]:
+        """Keyword × ccTLD search: deliberately not conservative."""
+        by_key: Dict[Tuple[int, str], Candidate] = {}
+        for product in products:
+            for keyword in SHODAN_KEYWORDS[product]:
+                for record in self._shodan.search_expanded(keyword, self._cctlds):
+                    key = (record.ip.value, product)
+                    candidate = by_key.get(key)
+                    if candidate is None:
+                        candidate = Candidate(record.ip, product)
+                        by_key[key] = candidate
+                    if keyword not in candidate.matched_queries:
+                        candidate.matched_queries.append(keyword)
+        return list(by_key.values())
+
+    def validate(self, candidates: Sequence[Candidate]) -> IdentificationReport:
+        """WhatWeb validation plus geo/whois mapping."""
+        report = IdentificationReport(candidates=list(candidates))
+        validated_ips: Set[Tuple[int, str]] = set()
+        for candidate in candidates:
+            whatweb_report = self._whatweb.identify(candidate.ip)
+            match = next(
+                (
+                    m
+                    for m in whatweb_report.matches
+                    if m.product == candidate.product
+                ),
+                None,
+            )
+            if match is None:
+                report.rejected.append(candidate)
+                continue
+            key = (candidate.ip.value, candidate.product)
+            if key in validated_ips:
+                continue
+            validated_ips.add(key)
+            whois_record = self._whois.lookup(candidate.ip)
+            report.installations.append(
+                Installation(
+                    ip=candidate.ip,
+                    product=candidate.product,
+                    country_code=self._geo.country_code(candidate.ip) or "",
+                    asn=whois_record.asn if whois_record else None,
+                    as_name=whois_record.as_name if whois_record else "",
+                    org_name=whois_record.org_name if whois_record else "",
+                    org_kind=whois_record.org_kind if whois_record else None,
+                    evidence=match.evidence,
+                )
+            )
+        report.queries_issued = self._shodan.log.query_count
+        return report
+
+    def run(self, products: Sequence[str] = PRODUCT_NAMES) -> IdentificationReport:
+        """The full §3.1 pipeline."""
+        return self.validate(self.locate(products))

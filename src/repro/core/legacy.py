@@ -1,0 +1,181 @@
+"""The ONI's legacy identification channel (§2.2).
+
+Before the scan-based method, "our methods for identifying these
+products consisted of manual analysis of block pages for company
+logos/branding and product names in HTTP headers", fed by user reports
+that "tend to be biased towards certain regions of interest (e.g., the
+MENA region)". This module models that channel so the paper's motivation
+for §3 is measurable:
+
+- **Region bias** — reports only arrive from ISPs where the project has
+  contacts; installations elsewhere are invisible.
+- **Branding dependence** — the analyst matches vendor names/logos in
+  the block page; once a vendor removes branding (§2.2), the report is
+  unattributable even though blocking is obvious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.measure.client import MeasurementClient
+from repro.net.fetch import FetchResult
+from repro.net.url import Url
+from repro.world.content import ContentClass
+from repro.world.clock import SimTime
+from repro.world.world import World
+
+#: Brand strings a human analyst recognizes on a block page. Deliberately
+#: branding-only: no structural knowledge (ports, deny paths) — that is
+#: exactly what the §3 signatures add.
+BRAND_MARKS: Sequence[Tuple[str, str]] = (
+    ("blue coat", "Blue Coat"),
+    ("proxysg", "Blue Coat"),
+    ("mcafee", "McAfee SmartFilter"),
+    ("smartfilter", "McAfee SmartFilter"),
+    ("netsweeper", "Netsweeper"),
+    ("websense", "Websense"),
+)
+
+
+@dataclass
+class UserReport:
+    """One in-country user's report of a blocked page."""
+
+    reporter_isp: str
+    country_code: str
+    url: Url
+    page_text: str
+    reported_at: SimTime
+
+
+@dataclass
+class LegacyFinding:
+    """The analyst's conclusion for one (product, country)."""
+
+    product: str
+    country_code: str
+    supporting_reports: int
+
+
+@dataclass
+class LegacyReport:
+    """Everything the legacy channel produced."""
+
+    reports: List[UserReport] = field(default_factory=list)
+    findings: List[LegacyFinding] = field(default_factory=list)
+    unattributed_reports: int = 0
+
+    def countries(self, product: str) -> Set[str]:
+        return {
+            f.country_code for f in self.findings if f.product == product
+        }
+
+    def country_map(self) -> Dict[str, Set[str]]:
+        products = {f.product for f in self.findings}
+        return {product: self.countries(product) for product in products}
+
+
+def analyze_block_page(page_text: str) -> Optional[str]:
+    """Manual branding analysis: which vendor does this page name?"""
+    lowered = page_text.lower()
+    for needle, product in BRAND_MARKS:
+        if needle in lowered:
+            return product
+    return None
+
+
+class UserReportChannel:
+    """Collects blocked-page reports from users in chosen ISPs.
+
+    ``reporter_isps`` encodes the contact-network bias: only these
+    networks produce reports, regardless of where filters actually run.
+    """
+
+    #: Content classes in-country users commonly stumble into blocks on.
+    PROBE_CLASSES = (
+        ContentClass.PROXY_ANONYMIZER,
+        ContentClass.PORNOGRAPHY,
+        ContentClass.LGBT,
+        ContentClass.POLITICAL_OPPOSITION,
+        ContentClass.HUMAN_RIGHTS,
+        ContentClass.INDEPENDENT_MEDIA,
+    )
+
+    def __init__(
+        self,
+        world: World,
+        reporter_isps: Sequence[str],
+        *,
+        urls_per_reporter: int = 25,
+    ) -> None:
+        self._world = world
+        self._reporter_isps = list(reporter_isps)
+        self._urls_per_reporter = urls_per_reporter
+
+    def _candidate_urls(self) -> List[Url]:
+        world = self._world
+        urls = [
+            Url.for_host(domain)
+            for domain in sorted(world.websites)
+            if world.websites[domain].content_class in self.PROBE_CLASSES
+        ]
+        return urls[: self._urls_per_reporter * 4]
+
+    def collect(self) -> List[UserReport]:
+        """Each reporter browses sensitive URLs and reports blocks."""
+        world = self._world
+        reports: List[UserReport] = []
+        candidates = self._candidate_urls()
+        for isp_name in self._reporter_isps:
+            isp = world.isps[isp_name]
+            client = MeasurementClient(
+                world.vantage(isp_name), world.lab_vantage()
+            )
+            for url in candidates[: self._urls_per_reporter]:
+                test = client.test_url(url)
+                if not test.blocked:
+                    continue
+                reports.append(
+                    UserReport(
+                        reporter_isp=isp_name,
+                        country_code=isp.country.code,
+                        url=url,
+                        page_text=_page_text(test.field_result),
+                        reported_at=world.now,
+                    )
+                )
+        return reports
+
+
+def _page_text(result: FetchResult) -> str:
+    """What the user pastes into a report: the final page + its chain."""
+    pieces = []
+    for hop in result.hops:
+        location = hop.response.location
+        if location:
+            pieces.append(location)
+        pieces.append(hop.response.body)
+    return "\n".join(pieces)
+
+
+def run_legacy_identification(
+    world: World, reporter_isps: Sequence[str], **kwargs
+) -> LegacyReport:
+    """The full §2.2-era pipeline: collect reports, analyze branding."""
+    channel = UserReportChannel(world, reporter_isps, **kwargs)
+    legacy = LegacyReport(reports=channel.collect())
+    tally: Dict[Tuple[str, str], int] = {}
+    for report in legacy.reports:
+        product = analyze_block_page(report.page_text)
+        if product is None:
+            legacy.unattributed_reports += 1
+            continue
+        key = (product, report.country_code)
+        tally[key] = tally.get(key, 0) + 1
+    legacy.findings = [
+        LegacyFinding(product, country, count)
+        for (product, country), count in sorted(tally.items())
+    ]
+    return legacy

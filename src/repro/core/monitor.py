@@ -1,0 +1,130 @@
+"""Longitudinal monitoring of product-use confirmations.
+
+The paper is explicit that one-shot findings are not enough: §4.3
+re-confirms SmartFilter in Etisalat in 9/2012 *and* 4/2013, and the
+policy arc it cares about is temporal — Websense cutting off Yemen in
+2009 (§2.2), Blue Coat withdrawing Syrian update support (§2.2). This
+module turns the §4 methodology into a repeatable monitor: run the same
+confirmation at intervals and detect transitions — a product appearing,
+persisting, or going stale after a vendor withdraws update support.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.confirm import ConfirmationConfig, ConfirmationResult, ConfirmationStudy
+from repro.products.base import UrlFilterProduct
+from repro.world.clock import SimTime
+from repro.world.world import World
+
+
+class UsageState(enum.Enum):
+    """What one monitoring round concluded."""
+
+    CONFIRMED = "confirmed"  # submissions flipped to blocked
+    NOT_CONFIRMED = "not_confirmed"  # nothing flipped
+
+
+class TransitionKind(enum.Enum):
+    APPEARED = "appeared"  # not confirmed -> confirmed
+    WITHDRAWN = "withdrawn"  # confirmed -> not confirmed
+
+
+@dataclass
+class MonitoringRound:
+    started_at: SimTime
+    result: ConfirmationResult
+
+    @property
+    def state(self) -> UsageState:
+        return (
+            UsageState.CONFIRMED
+            if self.result.confirmed
+            else UsageState.NOT_CONFIRMED
+        )
+
+
+@dataclass
+class Transition:
+    kind: TransitionKind
+    between: SimTime
+    and_: SimTime
+
+
+@dataclass
+class MonitoringSeries:
+    """The timeline one monitor produced."""
+
+    product_name: str
+    isp_name: str
+    rounds: List[MonitoringRound] = field(default_factory=list)
+
+    def states(self) -> List[UsageState]:
+        return [round_.state for round_ in self.rounds]
+
+    def transitions(self) -> List[Transition]:
+        found: List[Transition] = []
+        for earlier, later in zip(self.rounds, self.rounds[1:]):
+            if earlier.state is later.state:
+                continue
+            kind = (
+                TransitionKind.APPEARED
+                if later.state is UsageState.CONFIRMED
+                else TransitionKind.WITHDRAWN
+            )
+            found.append(Transition(kind, earlier.started_at, later.started_at))
+        return found
+
+    def ever_confirmed(self) -> bool:
+        return any(r.state is UsageState.CONFIRMED for r in self.rounds)
+
+    def currently_confirmed(self) -> Optional[bool]:
+        if not self.rounds:
+            return None
+        return self.rounds[-1].state is UsageState.CONFIRMED
+
+
+class LongitudinalMonitor:
+    """Re-runs one confirmation configuration at fixed intervals.
+
+    Each round registers fresh domains (the §4.4 caveat: previously
+    accessed sites may already be queued/categorized), so rounds are
+    independent measurements of the *current* deployment state.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        product: UrlFilterProduct,
+        hosting_asn: int,
+        config: ConfirmationConfig,
+    ) -> None:
+        self._study = ConfirmationStudy(world, product, hosting_asn)
+        self._world = world
+        self._config = config
+        self.series = MonitoringSeries(
+            product_name=config.product_name, isp_name=config.isp_name
+        )
+
+    def run_round(self) -> MonitoringRound:
+        """One monitoring round at the current simulated time."""
+        started = self._world.now
+        result = self._study.run(self._config)
+        round_ = MonitoringRound(started_at=started, result=result)
+        self.series.rounds.append(round_)
+        return round_
+
+    def run(self, rounds: int, interval_days: float) -> MonitoringSeries:
+        """``rounds`` measurements spaced ``interval_days`` apart."""
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        if interval_days < 0:
+            raise ValueError("interval must be non-negative")
+        for index in range(rounds):
+            self.run_round()
+            if index + 1 < rounds:
+                self._world.advance_days(interval_days)
+        return self.series

@@ -1,0 +1,198 @@
+"""End-to-end study orchestration.
+
+Replays the paper's whole campaign against the scenario world in
+chronological order: the §3 identification scan, the ten Table 3 case
+studies (September 2012 through August 2013), the January 2013 YemenNet
+category probe, and the §5 characterizations run within 30 days of each
+confirmation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.paper_data import PAPER_TABLE3, Table3Row
+from repro.core.characterize import CharacterizationResult, ContentCharacterization
+from repro.core.confirm import (
+    CategoryProbeResult,
+    ConfirmationConfig,
+    ConfirmationResult,
+    ConfirmationStudy,
+    run_category_probe,
+)
+from repro.core.identify import IdentificationPipeline, IdentificationReport
+from repro.geo.cymru import WhoisService
+from repro.geo.maxmind import GeoDatabase
+from repro.scan.banner import scan_world
+from repro.scan.shodan import ShodanIndex
+from repro.scan.whatweb import WhatWebEngine, world_probe
+from repro.world.clock import SimTime
+from repro.world.content import ContentClass
+from repro.world.scenario import Scenario
+
+_CATEGORY_CONTENT: Dict[str, ContentClass] = {
+    "Proxy Avoidance": ContentClass.PROXY_ANONYMIZER,
+    "Proxy anonymizer": ContentClass.PROXY_ANONYMIZER,
+    "Anonymizers": ContentClass.PROXY_ANONYMIZER,
+    "Pornography": ContentClass.ADULT_IMAGES,
+}
+
+#: Vendor form category requested per Table 3 "Category" label.
+_REQUESTED_CATEGORY: Dict[Tuple[str, str], Optional[str]] = {
+    ("Blue Coat", "Proxy Avoidance"): "Proxy Avoidance",
+    ("McAfee SmartFilter", "Anonymizers"): "Anonymizers",
+    ("McAfee SmartFilter", "Pornography"): "Pornography",
+    # Netsweeper's test-a-site form takes no category (§4.4).
+    ("Netsweeper", "Proxy anonymizer"): None,
+}
+
+
+def config_for_row(row: Table3Row) -> ConfirmationConfig:
+    """Derive the §4 experiment parameters for one published case."""
+    is_netsweeper = row.product == "Netsweeper"
+    is_yemen = row.isp_key == "yemennet"
+    return ConfirmationConfig(
+        product_name=row.product,
+        isp_name=row.isp_key,
+        content_class=_CATEGORY_CONTENT[row.category],
+        category_label=row.category,
+        requested_category=_REQUESTED_CATEGORY[(row.product, row.category)],
+        total_domains=row.total,
+        submit_count=row.submitted,
+        pre_validate=not is_netsweeper,  # §4.4: Netsweeper queues accesses
+        retest_rounds=3 if is_yemen else 1,  # §4.4: inconsistent blocking
+    )
+
+
+@dataclass
+class StudyReport:
+    """Everything the full campaign produced."""
+
+    identification: IdentificationReport
+    confirmations: List[ConfirmationResult] = field(default_factory=list)
+    category_probe: Optional[CategoryProbeResult] = None
+    characterizations: Dict[str, CharacterizationResult] = field(
+        default_factory=dict
+    )
+
+    def confirmation_for(
+        self, product: str, isp_key: str, category: str
+    ) -> Optional[ConfirmationResult]:
+        for result in self.confirmations:
+            cfg = result.config
+            if (
+                cfg.product_name == product
+                and cfg.isp_name == isp_key
+                and cfg.category_label == category
+            ):
+                return result
+        return None
+
+    def confirmed_pairs(self) -> List[Tuple[str, str]]:
+        """(product, isp) pairs where censorship use was confirmed."""
+        return sorted(
+            {
+                (r.config.product_name, r.config.isp_name)
+                for r in self.confirmations
+                if r.confirmed
+            }
+        )
+
+
+class FullStudy:
+    """Drives the complete reproduction against one scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        shodan_coverage: float = 1.0,
+        geo_error_rate: float = 0.0,
+    ) -> None:
+        self._scenario = scenario
+        self._shodan_coverage = shodan_coverage
+        self._geo_error_rate = geo_error_rate
+
+    # ------------------------------------------------------------- stages
+    def run_identification(self) -> IdentificationReport:
+        """§3: scan → index → keyword x ccTLD → WhatWeb → geo/whois."""
+        world = self._scenario.world
+        records = scan_world(world, coverage=self._shodan_coverage)
+        geo_rng = None
+        if self._geo_error_rate:
+            from repro.world.rng import derive_rng
+
+            geo_rng = derive_rng(world.seed, "geo-errors")
+        geo = GeoDatabase.build_from_world(
+            world, error_rate=self._geo_error_rate, rng=geo_rng
+        )
+        shodan = ShodanIndex(records, geolocate=geo.country_code)
+        whatweb = WhatWebEngine(world_probe(world))
+        whois = WhoisService.build_from_world(world)
+        pipeline = IdentificationPipeline(shodan, whatweb, geo, whois)
+        return pipeline.run()
+
+    def run_confirmations(self) -> Tuple[List[ConfirmationResult], CategoryProbeResult]:
+        """§4: replay the Table 3 case studies chronologically."""
+        scenario = self._scenario
+        world = scenario.world
+        schedule: List[Tuple[SimTime, Optional[Table3Row]]] = [
+            (SimTime.from_date(row.date[0], row.date[1], 10), row)
+            for row in PAPER_TABLE3
+        ]
+        # The YemenNet category probe ran in January 2013 (§4.4).
+        probe_time = SimTime.from_date(2013, 1, 15)
+        schedule.append((probe_time, None))
+        schedule.sort(key=lambda item: (item[0], _row_order(item[1])))
+
+        results: List[ConfirmationResult] = []
+        probe: Optional[CategoryProbeResult] = None
+        for when, row in schedule:
+            if world.now < when:
+                world.clock.advance_to(when)
+            if row is None:
+                probe = run_category_probe(world, "yemennet")
+                continue
+            study = ConfirmationStudy(
+                world,
+                scenario.products[row.product],
+                scenario.hosting_asns[0],
+            )
+            results.append(study.run(config_for_row(row)))
+        assert probe is not None
+        return results, probe
+
+    def run_characterizations(self) -> Dict[str, CharacterizationResult]:
+        """§5: test lists in each confirmed ISP (within 30 days)."""
+        scenario = self._scenario
+        world = scenario.world
+        characterization = ContentCharacterization(world)
+        pairs = (
+            ("etisalat", "McAfee SmartFilter"),
+            ("du", "Netsweeper"),
+            ("yemennet", "Netsweeper"),
+            ("ooredoo", "Netsweeper"),
+        )
+        return {
+            isp: characterization.run(isp, product)
+            for isp, product in pairs
+        }
+
+    def run(self) -> StudyReport:
+        """The full campaign in paper order."""
+        identification = self.run_identification()
+        confirmations, probe = self.run_confirmations()
+        characterizations = self.run_characterizations()
+        return StudyReport(
+            identification=identification,
+            confirmations=confirmations,
+            category_probe=probe,
+            characterizations=characterizations,
+        )
+
+
+def _row_order(row: Optional[Table3Row]) -> int:
+    if row is None:
+        return -1
+    return PAPER_TABLE3.index(row)

@@ -1,0 +1,123 @@
+"""Scalability cost model (§6.1, §7).
+
+The paper notes that if vendors evade scanning, "we could apply the
+techniques of Section 4 more widely, but scalability issues would make
+this time consuming". This module quantifies that trade-off: the
+resource cost of confirmation campaigns, and the reduction the §3
+identification pre-filter buys by telling the project *where* to spend
+in-country effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.confirm import ConfirmationConfig
+from repro.core.identify import IdentificationReport
+
+
+@dataclass(frozen=True)
+class CampaignCost:
+    """Resources one confirmation campaign consumes."""
+
+    target_isps: int
+    domains_registered: int
+    vendor_submissions: int
+    field_fetches: int
+    wall_clock_days: float
+
+    def __add__(self, other: "CampaignCost") -> "CampaignCost":
+        return CampaignCost(
+            self.target_isps + other.target_isps,
+            self.domains_registered + other.domains_registered,
+            self.vendor_submissions + other.vendor_submissions,
+            self.field_fetches + other.field_fetches,
+            # Campaigns in different ISPs can run concurrently; wall
+            # clock is the max, not the sum.
+            max(self.wall_clock_days, other.wall_clock_days),
+        )
+
+
+def case_study_cost(config: ConfirmationConfig) -> CampaignCost:
+    """Cost of one §4 case study under the given parameters."""
+    pre_fetches = config.total_domains if config.pre_validate else 0
+    retest_fetches = config.total_domains * config.retest_rounds
+    wall_days = config.wait_days + (
+        (config.retest_rounds - 1) * config.round_gap_days
+    )
+    return CampaignCost(
+        target_isps=1,
+        domains_registered=config.total_domains,
+        vendor_submissions=config.submit_count,
+        # Every field fetch has a paired lab fetch (§4.1).
+        field_fetches=2 * (pre_fetches + retest_fetches),
+        wall_clock_days=wall_days,
+    )
+
+
+def campaign_cost(
+    configs: Sequence[ConfirmationConfig],
+) -> CampaignCost:
+    """Total cost of a multi-ISP campaign (ISPs run concurrently)."""
+    if not configs:
+        return CampaignCost(0, 0, 0, 0, 0.0)
+    total = case_study_cost(configs[0])
+    for config in configs[1:]:
+        total = total + case_study_cost(config)
+    return total
+
+
+def exhaustive_campaign(
+    isp_names: Sequence[str], template: ConfirmationConfig
+) -> CampaignCost:
+    """Cost of confirming *everywhere* (no identification pre-filter)."""
+    configs = [
+        ConfirmationConfig(
+            product_name=template.product_name,
+            isp_name=name,
+            content_class=template.content_class,
+            category_label=template.category_label,
+            requested_category=template.requested_category,
+            total_domains=template.total_domains,
+            submit_count=template.submit_count,
+            wait_days=template.wait_days,
+            pre_validate=template.pre_validate,
+            retest_rounds=template.retest_rounds,
+        )
+        for name in isp_names
+    ]
+    return campaign_cost(configs)
+
+
+def targeted_campaign(
+    identification: IdentificationReport,
+    product: str,
+    isp_of_asn,
+    template: ConfirmationConfig,
+) -> CampaignCost:
+    """Cost of confirming only where §3 found the product.
+
+    ``isp_of_asn`` maps an AS number to an ISP name (None = no vantage
+    there); installations without a mappable vantage are skipped, which
+    mirrors the real constraint that §4 "requires vantage points in the
+    network being considered".
+    """
+    targets = []
+    seen = set()
+    for installation in identification.by_product(product):
+        isp_name = isp_of_asn(installation.asn)
+        if isp_name is None or isp_name in seen:
+            continue
+        seen.add(isp_name)
+        targets.append(isp_name)
+    return exhaustive_campaign(targets, template)
+
+
+def reduction_factor(
+    exhaustive: CampaignCost, targeted: CampaignCost
+) -> float:
+    """How much in-country work the identification pre-filter saves."""
+    if targeted.field_fetches == 0:
+        return float("inf")
+    return exhaustive.field_fetches / targeted.field_fetches

@@ -1,0 +1,6 @@
+"""Geolocation and whois substrates (MaxMind / Team Cymru analogues)."""
+
+from repro.geo.cymru import WhoisRecord, WhoisService
+from repro.geo.maxmind import GeoDatabase, GeoRecord
+
+__all__ = ["GeoDatabase", "GeoRecord", "WhoisRecord", "WhoisService"]

@@ -1,0 +1,72 @@
+"""Team Cymru-style IP-to-ASN mapping.
+
+§3.1: "whois data from TeamCymru to map the IP addresses ... to
+autonomous system (AS) number". Lookups return the origin ASN, the AS
+name as whois publishes it, and the registered organization — the §3.2
+analysis of *which kinds* of networks host filters (utilities, schools,
+large ISPs, a military network) reads the org metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.ip import Ipv4Address, Ipv4Prefix, PrefixTable
+from repro.world.entities import OrgKind
+from repro.world.world import World
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """One IP-to-ASN answer."""
+
+    asn: int
+    as_name: str
+    org_name: str
+    org_kind: OrgKind
+    country_code: str
+    prefix: Ipv4Prefix
+
+
+class WhoisService:
+    """Longest-prefix-match IP→ASN service."""
+
+    def __init__(self) -> None:
+        self._table = PrefixTable()
+        self._records: List[WhoisRecord] = []
+
+    def add(self, record: WhoisRecord) -> None:
+        self._records.append(record)
+        self._table.add(record.prefix, record)
+
+    def lookup(self, address: Ipv4Address) -> Optional[WhoisRecord]:
+        record = self._table.lookup(address)
+        return record if isinstance(record, WhoisRecord) else None
+
+    def asn(self, address: Ipv4Address) -> Optional[int]:
+        record = self.lookup(address)
+        return record.asn if record else None
+
+    @property
+    def records(self) -> List[WhoisRecord]:
+        return list(self._records)
+
+    @classmethod
+    def build_from_world(cls, world: World) -> "WhoisService":
+        """Derive the whois view from AS registrations."""
+        service = cls()
+        for asn in sorted(world.autonomous_systems):
+            autonomous_system = world.autonomous_systems[asn]
+            for prefix in autonomous_system.prefixes:
+                service.add(
+                    WhoisRecord(
+                        asn=autonomous_system.asn,
+                        as_name=autonomous_system.name,
+                        org_name=autonomous_system.org.name,
+                        org_kind=autonomous_system.org.kind,
+                        country_code=autonomous_system.country.code,
+                        prefix=prefix,
+                    )
+                )
+        return service

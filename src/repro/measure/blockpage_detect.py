@@ -1,0 +1,130 @@
+"""Block-page detection via regular expressions.
+
+§5: "Manual analysis identified regular expressions corresponding to the
+vendors' block pages and automated analysis identified all URLs which
+matched a given block page regular expression." The corpus below covers
+both branded and structural signals, so detection degrades gracefully as
+vendors strip branding (§2.2) — the structural patterns (deny-page
+paths, the 15871 port, cfauth redirects) survive cosmetic changes, and
+full header stripping defeats attribution without hiding the *fact* of
+blocking (an unexplained 403/redirect still differs from the lab view).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Pattern, Sequence
+
+from repro.net.fetch import FetchResult
+
+BLUE_COAT = "Blue Coat"
+SMARTFILTER = "McAfee SmartFilter"
+NETSWEEPER = "Netsweeper"
+WEBSENSE = "Websense"
+
+
+@dataclass(frozen=True)
+class BlockPagePattern:
+    """One regex attributed to one vendor's block flow."""
+
+    vendor: str
+    pattern: Pattern
+    scope: str  # "headers" | "body" | "any"
+    branded: bool  # True when the pattern relies on vendor branding
+
+
+def _compile(vendor: str, regex: str, scope: str, branded: bool) -> BlockPagePattern:
+    return BlockPagePattern(vendor, re.compile(regex, re.IGNORECASE), scope, branded)
+
+
+#: Patterns target block-page *content* and deny-redirect structure.
+#: Generic proxy residue (Via / Via-Proxy headers) is deliberately NOT
+#: block evidence: proxy appliances stamp those on every forwarded
+#: response, censored or not (that residue is what the Netalyzr-style
+#: fingerprinting in :mod:`repro.measure.netalyzr` reads instead).
+DEFAULT_PATTERNS: Sequence[BlockPagePattern] = (
+    # Blue Coat
+    _compile(BLUE_COAT, r"www\.cfauth\.com", "any", False),
+    _compile(BLUE_COAT, r"cfru=", "any", False),
+    _compile(BLUE_COAT, r"blue ?coat", "body", True),
+    _compile(BLUE_COAT, r"proxysg", "body", True),
+    _compile(BLUE_COAT, r"content categorization", "body", False),
+    # McAfee SmartFilter / Web Gateway
+    _compile(SMARTFILTER, r"mcafee web gateway", "body", True),
+    _compile(SMARTFILTER, r"<h1>\s*URL Blocked\s*</h1>", "body", False),
+    # Netsweeper
+    _compile(NETSWEEPER, r"webadmin/deny", "any", False),
+    _compile(NETSWEEPER, r"netsweeper", "body", True),
+    _compile(NETSWEEPER, r"Web Page Blocked", "body", False),
+    # Websense
+    _compile(WEBSENSE, r"blockpage\.cgi", "any", False),
+    _compile(WEBSENSE, r"ws-session", "any", False),
+    _compile(WEBSENSE, r"websense", "body", True),
+)
+
+
+@dataclass
+class Detection:
+    """A positive block-page identification."""
+
+    vendor: str
+    matched: List[str] = field(default_factory=list)
+
+
+class BlockPageDetector:
+    """Matches a fetch result against the block-page regex corpus."""
+
+    def __init__(
+        self, patterns: Sequence[BlockPagePattern] = DEFAULT_PATTERNS
+    ) -> None:
+        self._patterns = list(patterns)
+
+    def without_branded_patterns(self) -> "BlockPageDetector":
+        """A detector limited to structural signals (evasion studies)."""
+        return BlockPageDetector(
+            [p for p in self._patterns if not p.branded]
+        )
+
+    def detect(self, result: FetchResult) -> Optional[Detection]:
+        """Attribute a fetch to a vendor's block flow, if any pattern hits.
+
+        Every hop is inspected — deny flows are redirect chains, and the
+        telltale strings often live in the *first* hop's Location header
+        rather than the final page.
+        """
+        votes: Dict[str, List[str]] = {}
+        for hop in result.hops:
+            response = hop.response
+            headers_text = f"{response.status_line()}\n{response.headers.as_text()}"
+            body_text = response.body
+            for pattern in self._patterns:
+                if pattern.scope == "headers":
+                    haystacks = [headers_text]
+                elif pattern.scope == "body":
+                    haystacks = [body_text]
+                else:
+                    haystacks = [headers_text, body_text]
+                if any(pattern.pattern.search(h) for h in haystacks):
+                    votes.setdefault(pattern.vendor, []).append(
+                        pattern.pattern.pattern
+                    )
+            # Request URLs matter too: after following a deny redirect the
+            # final request path contains webadmin/deny or blockpage.cgi.
+            # Only *structural* (non-branded) patterns apply here — a
+            # vendor's own hostname (denypagetests.netsweeper.com) must
+            # not read as a block page.
+            request_url = str(hop.request.url)
+            for pattern in self._patterns:
+                if (
+                    pattern.scope == "any"
+                    and not pattern.branded
+                    and pattern.pattern.search(request_url)
+                ):
+                    votes.setdefault(pattern.vendor, []).append(
+                        pattern.pattern.pattern
+                    )
+        if not votes:
+            return None
+        best_vendor = max(votes, key=lambda v: len(set(votes[v])))
+        return Detection(best_vendor, sorted(set(votes[best_vendor])))

@@ -1,0 +1,119 @@
+"""The measurement client (§4.1).
+
+"Tests of Web page accessibility are performed using a measurement
+client that accesses a specified list of URLs in the 'field' ... This
+client software also triggers the same set of URLs to be accessed from a
+server in our lab at the University of Toronto ... The results of the
+Web page accesses in the field and lab are compared."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.measure.blockpage_detect import BlockPageDetector
+from repro.measure.compare import Comparison, Verdict, compare
+from repro.net.fetch import FetchResult
+from repro.net.url import Url
+from repro.world.clock import SimTime
+from repro.world.world import Vantage
+
+
+@dataclass
+class UrlTest:
+    """One URL measured from field and lab simultaneously."""
+
+    url: Url
+    field_result: FetchResult
+    lab_result: FetchResult
+    comparison: Comparison
+    measured_at: SimTime
+
+    @property
+    def blocked(self) -> bool:
+        return self.comparison.blocked
+
+    @property
+    def accessible(self) -> bool:
+        return self.comparison.verdict is Verdict.ACCESSIBLE
+
+    @property
+    def vendor(self) -> Optional[str]:
+        return self.comparison.vendor
+
+
+@dataclass
+class MeasurementRun:
+    """The results of testing one URL list from one vantage."""
+
+    vantage_label: str
+    tests: List[UrlTest] = field(default_factory=list)
+
+    def blocked_tests(self) -> List[UrlTest]:
+        return [t for t in self.tests if t.blocked]
+
+    def accessible_tests(self) -> List[UrlTest]:
+        return [t for t in self.tests if t.accessible]
+
+    def blocked_count(self) -> int:
+        return len(self.blocked_tests())
+
+    def vendors_seen(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for test in self.blocked_tests():
+            vendor = test.vendor
+            if vendor:
+                counts[vendor] = counts.get(vendor, 0) + 1
+        return counts
+
+    def result_for(self, url: Url) -> Optional[UrlTest]:
+        for test in self.tests:
+            if test.url == url:
+                return test
+        return None
+
+    def __len__(self) -> int:
+        return len(self.tests)
+
+
+class MeasurementClient:
+    """Dual field/lab fetcher producing per-URL verdicts."""
+
+    def __init__(
+        self,
+        field_vantage: Vantage,
+        lab_vantage: Vantage,
+        detector: Optional[BlockPageDetector] = None,
+    ) -> None:
+        if field_vantage.is_lab:
+            raise ValueError("field vantage must sit inside a measured ISP")
+        if not lab_vantage.is_lab:
+            raise ValueError("lab vantage must be the unfiltered lab network")
+        self._field = field_vantage
+        self._lab = lab_vantage
+        self._detector = detector or BlockPageDetector()
+
+    @property
+    def field_vantage(self) -> Vantage:
+        return self._field
+
+    def test_url(self, url: Url) -> UrlTest:
+        """Fetch one URL from both vantages and compare."""
+        field_result = self._field.fetch(url)
+        lab_result = self._lab.fetch(url)
+        comparison = compare(field_result, lab_result, self._detector)
+        return UrlTest(
+            url,
+            field_result,
+            lab_result,
+            comparison,
+            self._field.world.now,
+        )
+
+    def run_list(self, urls: Iterable[Url]) -> MeasurementRun:
+        """Test a URL list; §4.1 keeps these short for manual analysis."""
+        run = MeasurementRun(self._field.location)
+        for url in urls:
+            run.tests.append(self.test_url(url))
+        return run

@@ -1,0 +1,49 @@
+"""Glype proxy script content.
+
+§4.3: the test domains "contained the Glype proxy script as their index
+page". Glype was the era's ubiquitous PHP web-proxy script; hosting it
+is what makes a vendor analyst categorize the site as a proxy/anonymizer.
+"""
+
+from __future__ import annotations
+
+from repro.net.http import Headers, HttpResponse, html_page
+
+GLYPE_MARKER = "Powered by Glype"
+
+
+def glype_index_page(domain: str) -> HttpResponse:
+    """The Glype index page a fresh proxy site serves."""
+    body = (
+        "<h1>Web Proxy</h1>"
+        "<p>Surf the web anonymously. Enter a URL to begin browsing "
+        "through this proxy.</p>"
+        '<form action="/browse.php" method="post">'
+        '<input type="text" name="u" size="40" />'
+        '<input type="submit" value="Go" />'
+        "</form>"
+        '<p><label><input type="checkbox" name="allowCookies" checked>'
+        "Allow Cookies</label> "
+        '<label><input type="checkbox" name="encodeURL" checked>'
+        "Encode URL</label> "
+        '<label><input type="checkbox" name="stripJS">'
+        "Remove Scripts</label></p>"
+        f"<p><small>{GLYPE_MARKER} &reg; v1.4.9</small></p>"
+    )
+    headers = Headers()
+    headers.set("Server", "Apache/2.2.22 (Ubuntu)")
+    headers.set("X-Powered-By", "PHP/5.3.10")
+    headers.set("Content-Type", "text/html; charset=utf-8")
+    return HttpResponse(200, headers, html_page(f"{domain} - Web Proxy", body))
+
+
+def glype_browse_page(domain: str) -> HttpResponse:
+    """The /browse.php endpoint (content irrelevant to the study)."""
+    headers = Headers()
+    headers.set("Server", "Apache/2.2.22 (Ubuntu)")
+    headers.set("Content-Type", "text/html; charset=utf-8")
+    return HttpResponse(
+        200,
+        headers,
+        html_page(f"{domain} - Browsing", "<p>Proxied content frame.</p>"),
+    )

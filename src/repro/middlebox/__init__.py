@@ -1,0 +1,19 @@
+"""Deployment layer: filter middleboxes, policies, stacked installs."""
+
+from repro.middlebox.deploy import (
+    deploy,
+    deploy_stacked,
+    register_vendor_infrastructure,
+)
+from repro.middlebox.filter_box import FilterMiddlebox
+from repro.middlebox.policy import BlockMode, CUSTOM_CATEGORY, FilterPolicy
+
+__all__ = [
+    "BlockMode",
+    "CUSTOM_CATEGORY",
+    "FilterMiddlebox",
+    "FilterPolicy",
+    "deploy",
+    "deploy_stacked",
+    "register_vendor_infrastructure",
+]

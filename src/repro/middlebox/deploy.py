@@ -1,0 +1,103 @@
+"""Deployment helpers: install filter boxes into ISPs.
+
+These wire together a product, a policy, an ISP, and the world: allocate
+a box address from the ISP's AS, register the admin surface as a world
+host when the installation is (mis)configured to be externally visible,
+and append the box to the ISP's on-path device stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.middlebox.filter_box import FilterMiddlebox
+from repro.middlebox.policy import FilterPolicy
+from repro.products.base import UrlFilterProduct
+from repro.products.licensing import LicenseModel
+from repro.world.entities import ISP
+from repro.world.world import World
+
+
+def deploy(
+    world: World,
+    isp: ISP,
+    product: UrlFilterProduct,
+    blocked_categories: Iterable[str],
+    *,
+    name: Optional[str] = None,
+    engine: Optional[UrlFilterProduct] = None,
+    policy: Optional[FilterPolicy] = None,
+    license_model: Optional[LicenseModel] = None,
+    externally_visible: bool = True,
+    box_hostname: str = "",
+) -> FilterMiddlebox:
+    """Install ``product`` in ``isp`` blocking the named categories.
+
+    ``engine`` (when given) supplies the categorization database while
+    ``product`` remains the appliance — the §4.5 stacked configuration.
+    ``externally_visible`` leaves the admin surface reachable from the
+    open Internet, the misconfiguration §3 exploits; production-grade
+    operators pass False.
+    """
+    decision_product = engine or product
+    if policy is None:
+        policy = FilterPolicy.blocking(
+            decision_product.taxonomy, blocked_categories
+        )
+    else:
+        policy = policy.with_categories(
+            decision_product.taxonomy, blocked_categories
+        )
+    box_ip = world.allocate_ip(isp.asn)
+    box = FilterMiddlebox(
+        name=name or f"{product.vendor} @ {isp.name}",
+        appliance=product,
+        engine=decision_product,
+        subscription=decision_product.subscription(),
+        policy=policy,
+        box_ip=box_ip,
+        box_hostname=box_hostname,
+        license=license_model,
+        externally_visible=externally_visible,
+    )
+    # The box's host is always registered so deny-page redirects resolve
+    # for in-network clients; only externally visible installations are
+    # reachable (and hence scannable) from the open Internet.
+    box_host = box.make_host()
+    box_host.internal_only = not externally_visible
+    box.world_host = box_host
+    world.add_host(box_host)
+    isp.add_device(box)
+    return box
+
+
+def deploy_stacked(
+    world: World,
+    isp: ISP,
+    appliance: UrlFilterProduct,
+    engine: UrlFilterProduct,
+    blocked_categories: Iterable[str],
+    **kwargs,
+) -> FilterMiddlebox:
+    """§4.5: a proxy appliance (e.g. Blue Coat ProxySG) whose filtering
+    decisions come from a different vendor's engine (e.g. SmartFilter).
+    """
+    return deploy(
+        world, isp, appliance, blocked_categories, engine=engine, **kwargs
+    )
+
+
+def register_vendor_infrastructure(
+    world: World, product: UrlFilterProduct, hosting_asn: int
+) -> None:
+    """Register the vendor's public web properties (cfauth, denypagetests)."""
+    from repro.world.entities import Host
+
+    for domain, app in product.infrastructure_apps().items():
+        if domain in world.zone:
+            continue
+        ip = world.allocate_ip(hosting_asn)
+        host = Host(ip=ip, hostname=domain, tags=["vendor-infra"])
+        host.add_service(80, app)
+        host.add_service(443, app)
+        world.add_host(host)

@@ -1,0 +1,193 @@
+"""A deployed URL-filtering middlebox.
+
+The box sits on an ISP's forwarding path (``ISP.devices``) and
+implements the world's :class:`~repro.world.entities.OnPathDevice`
+protocol. It separates two roles that §4.5 shows can diverge:
+
+- the **appliance** product: what the box physically is, hence what its
+  externally visible admin surface and banners look like (what Shodan
+  indexes and WhatWeb fingerprints), and
+- the **engine** product: whose categorization database actually decides
+  blocking (Etisalat runs SmartFilter *atop* a Blue Coat ProxySG, so
+  submissions to Blue Coat's database change nothing — Table 3's 0/3).
+
+By default the two are the same product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.ip import Ipv4Address
+from repro.products.base import (
+    DeploymentContext,
+    UrlFilterProduct,
+    strip_signature_headers,
+)
+from repro.products.database import DatabaseSubscription
+from repro.products.licensing import LicenseModel
+from repro.middlebox.policy import BlockMode, CUSTOM_CATEGORY, FilterPolicy
+from repro.world.clock import SimTime
+from repro.world.entities import Host, InterceptAction, InterceptKind
+
+
+@dataclass
+class FilterMiddlebox:
+    """One installation of a URL-filtering product inside an ISP."""
+
+    name: str
+    appliance: UrlFilterProduct
+    subscription: DatabaseSubscription
+    policy: FilterPolicy
+    box_ip: Ipv4Address
+    box_hostname: str = ""
+    engine: Optional[UrlFilterProduct] = None
+    license: Optional[LicenseModel] = None
+    externally_visible: bool = False
+    enabled: bool = True
+    world_host: Optional[Host] = field(default=None, repr=False)
+    intercept_count: int = field(default=0, repr=False)
+    block_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = self.appliance
+        if self.subscription.master is not self.engine.database:
+            raise ValueError(
+                f"{self.name}: subscription must read the engine's database "
+                f"({self.engine.vendor})"
+            )
+
+    # ------------------------------------------------------------ context
+    def deployment_context(self) -> DeploymentContext:
+        host = self.box_hostname or str(self.box_ip)
+        return DeploymentContext(box_host=host, config=self.policy.block_page)
+
+    def _is_self_traffic(self, request: HttpRequest) -> bool:
+        target = request.url.host
+        return target == self.box_hostname or target == str(self.box_ip)
+
+    # ---------------------------------------------------------- intercept
+    def intercept(self, request: HttpRequest, now: SimTime) -> InterceptAction:
+        """Decide the fate of one outbound client request."""
+        if not self.enabled:
+            return InterceptAction.passthrough()
+        if self._is_self_traffic(request):
+            # Deny pages and the admin console must stay reachable.
+            return InterceptAction.passthrough()
+        if self.license is not None and not self.license.filtering_active(
+            now, request.url.host
+        ):
+            # Fail-open license overflow (§4.4, Challenge 2).
+            return InterceptAction.passthrough()
+        self.intercept_count += 1
+        engine = self.engine
+        assert engine is not None
+        url = request.url
+        if self.policy.custom_blocks_host(url.host):
+            self.block_count += 1
+            return self._block(request, CUSTOM_CATEGORY)
+        if not self.policy.honor_category_test_pages and self._is_probe(url):
+            return InterceptAction.passthrough()
+        category = engine.decide(url, self.subscription, now)
+        if category is not None and self.policy.blocks(category):
+            self.block_count += 1
+            return self._block(request, category)
+        engine.on_passthrough(url, now)
+        return InterceptAction.passthrough()
+
+    def _is_probe(self, url) -> bool:
+        from repro.products.netsweeper import CATEGORY_TEST_HOST, Netsweeper
+
+        return isinstance(self.engine, Netsweeper) and url.host == CATEGORY_TEST_HOST
+
+    def _block(self, request: HttpRequest, category) -> InterceptAction:
+        mode = self.policy.block_mode
+        if mode is BlockMode.RESET:
+            return InterceptAction(InterceptKind.RESET)
+        if mode is BlockMode.DROP:
+            return InterceptAction(InterceptKind.DROP)
+        assert self.engine is not None
+        response = self.engine.block_response(
+            request, category, self.deployment_context()
+        )
+        if self.policy.block_page.strip_signature_headers:
+            response = strip_signature_headers(response)
+        return InterceptAction(InterceptKind.RESPOND, response)
+
+    # ----------------------------------------------------------- annotate
+    #: Via-style headers a proxy appliance stamps onto forwarded
+    #: responses; keyed by appliance vendor. This is the on-wire residue
+    #: Netalyzr-style fingerprinting (§1, §7) picks up.
+    _PROXY_ANNOTATIONS = {
+        "Blue Coat": ("Via", "1.1 proxysg (Blue Coat ProxySG)"),
+        "McAfee SmartFilter": ("Via-Proxy", "McAfee Web Gateway 7.1.0.2"),
+        "Websense": ("Via", "1.1 wcg (Websense Content Gateway)"),
+    }
+
+    def annotate_response(
+        self, request: HttpRequest, response: HttpResponse
+    ) -> HttpResponse:
+        """Stamp forwarded responses the way a proxy appliance would.
+
+        Masked deployments (§6.1) stamp a generic token instead — a
+        proxy is still detectable, but not attributable.
+        """
+        if not self.enabled or self._is_self_traffic(request):
+            return response
+        annotation = self._PROXY_ANNOTATIONS.get(self.appliance.vendor)
+        if annotation is None:
+            return response
+        headers = response.headers.copy()
+        if self.policy.block_page.strip_signature_headers:
+            headers.add("Via", "1.1 gateway")
+        else:
+            headers.add(*annotation)
+        return HttpResponse(response.status, headers, response.body)
+
+    # ------------------------------------------------------------ surface
+    def make_host(self) -> Host:
+        """The box's externally reachable Host (admin console, deny pages).
+
+        Built from the *appliance* product — the surface a scanner sees
+        is the appliance's, even when a different engine decides policy.
+        """
+        host = Host(
+            ip=self.box_ip,
+            hostname=self.box_hostname,
+            tags=["middlebox", self.appliance.vendor],
+        )
+        for port, app in self.appliance.admin_apps(self.deployment_context()).items():
+            host.add_service(port, app)
+        # The engine's deny pages must be served from this box too when
+        # the engine differs (deny redirects point at the box).
+        if self.engine is not self.appliance:
+            assert self.engine is not None
+            for port, app in self.engine.admin_apps(self.deployment_context()).items():
+                if port not in host.services:
+                    host.add_service(port, app)
+        return host
+
+    def hide(self) -> None:
+        """§6.1 evasion: stop exposing the box to the global Internet.
+
+        Deny pages stay reachable for in-network clients; external
+        scanners lose sight of the box.
+        """
+        self.externally_visible = False
+        if self.world_host is not None:
+            self.world_host.internal_only = True
+
+    def expose(self) -> None:
+        """Re-expose the box (the §3.1 misconfiguration)."""
+        self.externally_visible = True
+        if self.world_host is not None:
+            self.world_host.internal_only = False
+
+    def __str__(self) -> str:
+        engine = self.engine.vendor if self.engine else "?"
+        if engine != self.appliance.vendor:
+            return f"{self.name} [{self.appliance.vendor} + {engine} engine]"
+        return f"{self.name} [{self.appliance.vendor}]"

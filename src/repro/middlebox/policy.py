@@ -1,0 +1,75 @@
+"""Per-deployment filtering policy.
+
+A product ships a taxonomy; the *network operator* chooses which
+categories to deny (§2.1). The policy also controls block-page
+presentation (branding removal, §2.2), the blocking mechanism, and
+whether Netsweeper's diagnostic category-test pages are honored (§4.4:
+the probe "is only viable in networks where the tool has not been
+disabled").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from repro.products.base import BlockPageConfig
+from repro.products.categories import Taxonomy, VendorCategory
+
+
+class BlockMode(enum.Enum):
+    """How the deployment denies a request."""
+
+    BLOCKPAGE = "blockpage"  # explicit block page (the products studied)
+    RESET = "reset"  # inject TCP RST (other censorship styles)
+    DROP = "drop"  # silently drop (client times out)
+
+
+#: The pseudo-category used for operator custom lists (§2.1: products
+#: offer "the ability to create custom categories for blocking"). Number
+#: 0 never collides with vendor taxonomies (they start at 1), so the
+#: §4.4 category probe — which enumerates *vendor* categories — cannot
+#: see custom blocking.
+CUSTOM_CATEGORY = VendorCategory(0, "Custom Category")
+
+
+@dataclass
+class FilterPolicy:
+    """The operator-facing configuration of one installation."""
+
+    blocked_categories: FrozenSet[str] = frozenset()
+    custom_blocked_hosts: FrozenSet[str] = frozenset()
+    block_page: BlockPageConfig = field(default_factory=BlockPageConfig)
+    block_mode: BlockMode = BlockMode.BLOCKPAGE
+    honor_category_test_pages: bool = True
+
+    def custom_blocks_host(self, host: str) -> bool:
+        return host.lower() in self.custom_blocked_hosts
+
+    @classmethod
+    def blocking(
+        cls, taxonomy: Taxonomy, category_names: Iterable[str], **kwargs
+    ) -> "FilterPolicy":
+        """Build a policy, validating category names against the taxonomy."""
+        validated = frozenset(
+            taxonomy.by_name(name).name.lower() for name in category_names
+        )
+        return cls(blocked_categories=validated, **kwargs)
+
+    def blocks(self, category: VendorCategory) -> bool:
+        return category.name.lower() in self.blocked_categories
+
+    def with_categories(
+        self, taxonomy: Taxonomy, category_names: Iterable[str]
+    ) -> "FilterPolicy":
+        """A copy of this policy denying a different category set."""
+        return FilterPolicy(
+            blocked_categories=frozenset(
+                taxonomy.by_name(name).name.lower() for name in category_names
+            ),
+            custom_blocked_hosts=self.custom_blocked_hosts,
+            block_page=self.block_page,
+            block_mode=self.block_mode,
+            honor_category_test_pages=self.honor_category_test_pages,
+        )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the simulated network stack.
+
+Every error raised by :mod:`repro.net` derives from :class:`NetError` so
+that callers can catch simulation-level network failures without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class NetError(Exception):
+    """Base class for all simulated-network errors."""
+
+
+class AddressError(NetError):
+    """An IPv4 address or prefix could not be parsed or is out of range."""
+
+
+class UrlError(NetError):
+    """A URL could not be parsed or violates URL syntax rules."""
+
+
+class DnsError(NetError):
+    """Base class for DNS resolution failures."""
+
+
+class NxDomain(DnsError):
+    """The queried name does not exist (NXDOMAIN)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"NXDOMAIN: {name!r}")
+        self.name = name
+
+
+class DnsTimeout(DnsError):
+    """The resolver did not answer within the simulated timeout."""
+
+
+class ConnectionReset(NetError):
+    """The TCP connection was reset by a peer or an on-path device."""
+
+
+class ConnectionTimeout(NetError):
+    """The TCP connection attempt or read timed out."""
+
+
+class HostUnreachable(NetError):
+    """No route to the destination host exists in the simulated world."""
+
+    def __init__(self, ip: object) -> None:
+        super().__init__(f"no route to host {ip}")
+        self.ip = ip
+
+
+class AllocationExhausted(NetError):
+    """An address pool has no free addresses or prefixes left."""

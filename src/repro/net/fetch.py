@@ -1,0 +1,98 @@
+"""Fetch outcomes: what a client observes when it requests a URL.
+
+A fetch can end in a normal HTTP exchange (possibly after redirects), or
+in a network-level failure — DNS error, TCP reset, or timeout. The
+measurement client (§4.1) compares field and lab outcomes, and the paper
+notes that the products studied serve *explicit block pages*, avoiding
+the ambiguity of resets/drops; the model still supports those failure
+modes so the comparator has something to disambiguate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.url import Url
+
+
+class FetchOutcome(enum.Enum):
+    """Network-level result of attempting to fetch a URL."""
+
+    OK = "ok"  # an HTTP response was received (any status)
+    DNS_FAILURE = "dns_failure"
+    TCP_RESET = "tcp_reset"
+    TIMEOUT = "timeout"
+    UNREACHABLE = "unreachable"
+    TOO_MANY_REDIRECTS = "too_many_redirects"
+
+
+@dataclass
+class Hop:
+    """One request/response exchange within a redirect chain."""
+
+    request: HttpRequest
+    response: HttpResponse
+
+
+@dataclass
+class FetchResult:
+    """Everything observed while fetching one URL.
+
+    ``hops`` records each exchange including redirects; ``response`` is
+    the final response (None unless outcome is OK or TOO_MANY_REDIRECTS
+    with at least one hop).
+    """
+
+    url: Url
+    outcome: FetchOutcome
+    hops: List[Hop] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def response(self) -> Optional[HttpResponse]:
+        return self.hops[-1].response if self.hops else None
+
+    @property
+    def first_response(self) -> Optional[HttpResponse]:
+        return self.hops[0].response if self.hops else None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is FetchOutcome.OK
+
+    @property
+    def status(self) -> Optional[int]:
+        response = self.response
+        return response.status if response else None
+
+    def redirect_hosts(self) -> List[str]:
+        """Hosts named in Location headers along the chain (for signatures)."""
+        hosts = []
+        for hop in self.hops:
+            location = hop.response.location
+            if not location:
+                continue
+            try:
+                hosts.append(Url.parse(location).host)
+            except Exception:
+                continue
+        return hosts
+
+    @classmethod
+    def failure(
+        cls, url: Url, outcome: FetchOutcome, error: Optional[str] = None
+    ) -> "FetchResult":
+        if outcome is FetchOutcome.OK:
+            raise ValueError("failure() requires a non-OK outcome")
+        return cls(url, outcome, [], error)
+
+
+class Fetcher(Protocol):
+    """Anything that can fetch a URL on behalf of a client address."""
+
+    def fetch(self, url: Url, *, follow_redirects: bool = True) -> FetchResult:
+        """Fetch ``url`` and return the observed result."""
+        ...  # pragma: no cover

@@ -1,0 +1,187 @@
+"""HTTP message model for the simulated network.
+
+Requests and responses are plain data objects. Header access is
+case-insensitive, matching real HTTP semantics — the WhatWeb signatures
+in Table 2 match on headers such as ``Via-Proxy`` and ``Location``
+regardless of case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.net.url import Url
+
+REASON_PHRASES = {
+    200: "OK",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    307: "Temporary Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    407: "Proxy Authentication Required",
+    451: "Unavailable For Legal Reasons",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+REDIRECT_STATUSES = frozenset([301, 302, 303, 307])
+
+
+class Headers:
+    """Ordered, case-insensitive HTTP header collection."""
+
+    def __init__(self, items: Optional[List[Tuple[str, str]]] = None) -> None:
+        self._items: List[Tuple[str, str]] = []
+        for name, value in items or []:
+            self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((name, value))
+
+    def set(self, name: str, value: str) -> None:
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        lowered = name.lower()
+        for item_name, value in self._items:
+            if item_name.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        lowered = name.lower()
+        return [v for n, v in self._items if n.lower() == lowered]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> List[Tuple[str, str]]:
+        return list(self._items)
+
+    def copy(self) -> "Headers":
+        return Headers(self._items)
+
+    def as_text(self) -> str:
+        """Render as wire-format header lines (used for banner matching)."""
+        return "\r\n".join(f"{name}: {value}" for name, value in self._items)
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request as seen by servers and on-path middleboxes."""
+
+    method: str
+    url: Url
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+    client_ip: Optional[object] = None  # Ipv4Address of the originating client
+
+    @classmethod
+    def get(cls, url: Url, client_ip: Optional[object] = None) -> "HttpRequest":
+        headers = Headers()
+        headers.set("Host", url.host)
+        headers.set("User-Agent", "repro-measurement-client/1.0")
+        headers.set("Accept", "*/*")
+        return cls("GET", url, headers, client_ip=client_ip)
+
+    @property
+    def host(self) -> str:
+        return self.headers.get("Host", self.url.host)
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response, possibly synthesized by a filtering middlebox."""
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+
+    @property
+    def reason(self) -> str:
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in REDIRECT_STATUSES and "Location" in self.headers
+
+    @property
+    def location(self) -> Optional[str]:
+        return self.headers.get("Location")
+
+    def status_line(self) -> str:
+        return f"HTTP/1.1 {self.status} {self.reason}"
+
+    def banner_text(self) -> str:
+        """Status line + headers, the text a banner grabber would record."""
+        return f"{self.status_line()}\r\n{self.headers.as_text()}"
+
+    def full_text(self) -> str:
+        """Entire response as text, for signature/body matching."""
+        return f"{self.banner_text()}\r\n\r\n{self.body}"
+
+    def html_title(self) -> Optional[str]:
+        """Extract the <title> text if the body looks like HTML."""
+        lowered = self.body.lower()
+        start = lowered.find("<title>")
+        if start == -1:
+            return None
+        end = lowered.find("</title>", start)
+        if end == -1:
+            return None
+        return self.body[start + len("<title>"):end].strip()
+
+
+def html_page(title: str, body_html: str, extra_head: str = "") -> str:
+    """Render a minimal HTML page; used by origin servers and block pages."""
+    return (
+        "<!DOCTYPE html>\n"
+        "<html><head>"
+        f"<title>{title}</title>{extra_head}"
+        "</head><body>\n"
+        f"{body_html}\n"
+        "</body></html>"
+    )
+
+
+def ok_response(title: str, body_html: str, server: str = "nginx") -> HttpResponse:
+    """A plain 200 response from an origin server."""
+    headers = Headers()
+    headers.set("Server", server)
+    headers.set("Content-Type", "text/html; charset=utf-8")
+    return HttpResponse(200, headers, html_page(title, body_html))
+
+
+def redirect_response(location: str, status: int = 302) -> HttpResponse:
+    headers = Headers()
+    headers.set("Location", location)
+    headers.set("Content-Type", "text/html; charset=utf-8")
+    return HttpResponse(
+        status, headers, html_page("Redirect", f'<a href="{location}">moved</a>')
+    )
+
+
+def not_found_response() -> HttpResponse:
+    headers = Headers()
+    headers.set("Content-Type", "text/html; charset=utf-8")
+    return HttpResponse(404, headers, html_page("404 Not Found", "<h1>404</h1>"))

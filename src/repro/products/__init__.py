@@ -1,0 +1,77 @@
+"""URL-filtering product models: vendor databases, portals, block pages."""
+
+from repro.products.base import (
+    BlockPageConfig,
+    DeploymentContext,
+    SIGNATURE_HEADER_NAMES,
+    UrlFilterProduct,
+    strip_signature_headers,
+)
+from repro.products.bluecoat import BlueCoatProxySG, CFAUTH_HOST, make_bluecoat
+from repro.products.categories import (
+    BLUECOAT_TAXONOMY,
+    NETSWEEPER_TAXONOMY,
+    SMARTFILTER_TAXONOMY,
+    TAXONOMIES,
+    Taxonomy,
+    VendorCategory,
+    WEBSENSE_TAXONOMY,
+)
+from repro.products.database import DatabaseSubscription, DbEntry, UrlDatabase
+from repro.products.licensing import LicenseModel, always_active
+from repro.products.netsweeper import (
+    ADMIN_PORT as NETSWEEPER_ADMIN_PORT,
+    CATEGORY_TEST_HOST,
+    Netsweeper,
+    make_netsweeper,
+)
+from repro.products.smartfilter import McAfeeSmartFilter, make_smartfilter
+from repro.products.submission import (
+    ReviewPolicy,
+    Submission,
+    SubmissionPortal,
+    SubmissionStatus,
+    SubmitterIdentity,
+)
+from repro.products.websense import (
+    BLOCKPAGE_PORT as WEBSENSE_BLOCKPAGE_PORT,
+    Websense,
+    make_websense,
+)
+
+__all__ = [
+    "BLUECOAT_TAXONOMY",
+    "BlockPageConfig",
+    "BlueCoatProxySG",
+    "CATEGORY_TEST_HOST",
+    "CFAUTH_HOST",
+    "DatabaseSubscription",
+    "DbEntry",
+    "DeploymentContext",
+    "LicenseModel",
+    "McAfeeSmartFilter",
+    "NETSWEEPER_ADMIN_PORT",
+    "NETSWEEPER_TAXONOMY",
+    "Netsweeper",
+    "ReviewPolicy",
+    "SIGNATURE_HEADER_NAMES",
+    "SMARTFILTER_TAXONOMY",
+    "Submission",
+    "SubmissionPortal",
+    "SubmissionStatus",
+    "SubmitterIdentity",
+    "TAXONOMIES",
+    "Taxonomy",
+    "UrlDatabase",
+    "UrlFilterProduct",
+    "VendorCategory",
+    "WEBSENSE_BLOCKPAGE_PORT",
+    "WEBSENSE_TAXONOMY",
+    "Websense",
+    "always_active",
+    "make_bluecoat",
+    "make_netsweeper",
+    "make_smartfilter",
+    "make_websense",
+    "strip_signature_headers",
+]

@@ -1,0 +1,161 @@
+"""Abstract base for URL-filtering products.
+
+One instance of a product subclass represents the *vendor side* of a
+product line: the master categorization database, the public submission
+portal, and the behaviours every deployment of the product shares
+(block-page format, admin-interface surface, categorization quirks).
+Individual installations are :class:`repro.middlebox.FilterMiddlebox`
+objects that reference a product and read its database through a
+:class:`~repro.products.database.DatabaseSubscription`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.net.url import Url
+from repro.products.categories import Taxonomy, VendorCategory
+from repro.products.database import DatabaseSubscription, UrlDatabase
+from repro.products.submission import (
+    ContentOracle,
+    HostingOracle,
+    ReviewPolicy,
+    SubmissionPortal,
+)
+from repro.world.clock import SimTime
+from repro.world.entities import ServiceApp
+
+
+@dataclass
+class BlockPageConfig:
+    """Per-deployment presentation of block pages.
+
+    ``show_branding`` — vendors have been observed removing logos and
+    product names from block pages (§2.2); structural signatures like
+    redirect ports remain unless ``strip_signature_headers`` is also set
+    (the §6.1 header-stripping evasion).
+    """
+
+    show_branding: bool = True
+    strip_signature_headers: bool = False
+    custom_message: str = ""
+
+
+@dataclass
+class DeploymentContext:
+    """What a block-page builder needs to know about the installation."""
+
+    box_host: str  # hostname or dotted IP of the box, for deny redirects
+    config: BlockPageConfig = field(default_factory=BlockPageConfig)
+
+
+# Header names that identify products; stripped by the §6.1 evasion.
+SIGNATURE_HEADER_NAMES = (
+    "Via-Proxy",
+    "Via",
+    "X-Cache",
+    "Server",
+    "Proxy-Agent",
+    "X-Blocked-By",
+)
+
+
+def strip_signature_headers(response: HttpResponse) -> HttpResponse:
+    """Remove product-identifying headers from a synthesized response."""
+    cleaned = Headers(response.headers.items())
+    for name in SIGNATURE_HEADER_NAMES:
+        cleaned.remove(name)
+    return HttpResponse(response.status, cleaned, response.body)
+
+
+class UrlFilterProduct(abc.ABC):
+    """Vendor-side model of one URL-filtering product line."""
+
+    #: Vendor display name; overridden by subclasses.
+    vendor: str = "abstract"
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        content_oracle: ContentOracle,
+        rng: random.Random,
+        review_policy: Optional[ReviewPolicy] = None,
+        hosting_oracle: Optional[HostingOracle] = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.database = UrlDatabase(self.vendor)
+        self.portal = SubmissionPortal(
+            self.vendor,
+            taxonomy,
+            self.database,
+            content_oracle,
+            rng,
+            policy=review_policy,
+            hosting_oracle=hosting_oracle,
+        )
+        self._rng = rng
+
+    # ---------------------------------------------------------- lifecycle
+    def tick(self, now: SimTime) -> None:
+        """Advance vendor-side queues (review pipeline); call on clock tick."""
+        self.portal.process(now)
+
+    def subscription(self) -> DatabaseSubscription:
+        """A fresh update subscription for a new deployment."""
+        return DatabaseSubscription(self.database)
+
+    # ------------------------------------------------------- deployment IO
+    def decide(
+        self,
+        url: Url,
+        subscription: DatabaseSubscription,
+        now: SimTime,
+    ) -> Optional[VendorCategory]:
+        """Categorize a URL as a deployed box would (database lookup).
+
+        Subclasses extend this with product quirks (Netsweeper's
+        category-test pages and access queue).
+        """
+        return subscription.lookup(url, now)
+
+    def on_passthrough(self, url: Url, now: SimTime) -> None:
+        """Hook invoked when a deployment forwards an un-blocked request."""
+
+    @abc.abstractmethod
+    def block_response(
+        self,
+        request: HttpRequest,
+        category: VendorCategory,
+        context: DeploymentContext,
+    ) -> HttpResponse:
+        """The response a deployment synthesizes for a blocked request."""
+
+    @abc.abstractmethod
+    def admin_apps(self, context: DeploymentContext) -> Dict[int, ServiceApp]:
+        """HTTP services the box exposes (admin console, deny pages).
+
+        Keyed by port; installed on the box's Host when the deployment is
+        externally visible — the §3.1 misconfiguration that makes
+        identification possible.
+        """
+
+    def infrastructure_apps(self) -> Dict[str, ServiceApp]:
+        """Vendor-operated public websites, keyed by domain.
+
+        Examples: Blue Coat's ``www.cfauth.com`` (block redirects point
+        at it) and Netsweeper's ``denypagetests.netsweeper.com`` (the
+        §4.4 category-probe host). The scenario registers these in world
+        DNS so redirect chains and probes terminate.
+        """
+        return {}
+
+    # ------------------------------------------------------------ helpers
+    def categories(self) -> List[VendorCategory]:
+        return list(self.taxonomy.categories)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} vendor={self.vendor!r} db={len(self.database)}>"

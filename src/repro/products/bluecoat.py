@@ -1,0 +1,143 @@
+"""Blue Coat ProxySG / WebFilter model.
+
+Identification surface (Table 2): Shodan keywords ``proxysg`` and
+``cfru=``; WhatWeb matches ProxySG headers or a Location header pointing
+at ``www.cfauth.com``. The ProxySG is a web proxy appliance — §4.5 notes
+it is often deployed purely for traffic management with a third-party
+engine (SmartFilter) doing the URL filtering; that stacking lives in
+:mod:`repro.middlebox.stack`, not here.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict
+
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    html_page,
+    ok_response,
+)
+from repro.products.base import BlockPageConfig, DeploymentContext, UrlFilterProduct
+from repro.products.categories import BLUECOAT_TAXONOMY, VendorCategory
+from repro.world.entities import ServiceApp
+
+CFAUTH_HOST = "www.cfauth.com"
+
+
+def _cfru_token(url: str) -> str:
+    return base64.b64encode(url.encode("utf-8")).decode("ascii").rstrip("=")
+
+
+class BlueCoatProxySG(UrlFilterProduct):
+    """Vendor-side Blue Coat: ProxySG appliance + WebFilter database."""
+
+    vendor = "Blue Coat"
+
+    #: Fraction of deployments configured with cloud-auth redirects is a
+    #: deployment matter; the flag picks the block flow for this vendor
+    #: instance (both flows carry Table 2 signatures).
+    use_cfauth_redirect = True
+
+    def block_response(
+        self,
+        request: HttpRequest,
+        category: VendorCategory,
+        context: DeploymentContext,
+    ) -> HttpResponse:
+        if self.use_cfauth_redirect and not context.config.strip_signature_headers:
+            # The cfauth redirect itself is a product signature; masked
+            # deployments (§6.1) fall back to a local deny page.
+            return self._cfauth_redirect(request)
+        return self._deny_page(request, category, context.config)
+
+    def _cfauth_redirect(self, request: HttpRequest) -> HttpResponse:
+        token = _cfru_token(str(request.url))
+        headers = Headers()
+        headers.set("Location", f"http://{CFAUTH_HOST}/?cfru={token}")
+        headers.set("Via", "1.1 proxysg (Blue Coat ProxySG)")
+        headers.set("Content-Type", "text/html; charset=utf-8")
+        return HttpResponse(
+            302, headers, html_page("Redirect", "<p>Content filter redirect</p>")
+        )
+
+    def _deny_page(
+        self,
+        request: HttpRequest,
+        category: VendorCategory,
+        config: BlockPageConfig,
+    ) -> HttpResponse:
+        brand = "Blue Coat ProxySG" if config.show_branding else "Gateway"
+        message = config.custom_message or (
+            "Your request was denied because of its content categorization: "
+            f'"{category.name}".'
+        )
+        headers = Headers()
+        headers.set("Server", "Blue Coat ProxySG")
+        headers.set("Via", "1.1 proxysg (Blue Coat ProxySG)")
+        headers.set("X-Cache", "MISS from proxysg")
+        headers.set("Content-Type", "text/html; charset=utf-8")
+        return HttpResponse(
+            403,
+            headers,
+            html_page(
+                f"{brand} - Access Denied",
+                f"<h1>Access Denied</h1><p>{message}</p>"
+                f"<p>URL: {request.url}</p>",
+            ),
+        )
+
+    def admin_apps(self, context: DeploymentContext) -> Dict[int, ServiceApp]:
+        def console(request: HttpRequest) -> HttpResponse:
+            headers = Headers()
+            headers.set("Server", "Blue Coat ProxySG")
+            headers.set("WWW-Authenticate", 'Basic realm="Blue Coat ProxySG"')
+            headers.set("Content-Type", "text/html; charset=utf-8")
+            return HttpResponse(
+                401,
+                headers,
+                html_page(
+                    "Blue Coat ProxySG - Management Console",
+                    "<h1>ProxySG Management Console</h1><p>Authentication required.</p>",
+                ),
+            )
+
+        def proxy_error(request: HttpRequest) -> HttpResponse:
+            headers = Headers()
+            headers.set("Server", "Blue Coat ProxySG")
+            headers.set("Via", "1.1 proxysg (Blue Coat ProxySG)")
+            headers.set("Content-Type", "text/html; charset=utf-8")
+            return HttpResponse(
+                503,
+                headers,
+                html_page(
+                    "Blue Coat ProxySG - Network Error",
+                    "<h1>Network Error (tcp_error)</h1>"
+                    "<p>A communication error occurred. For assistance, "
+                    "contact your network support team.</p>",
+                ),
+            )
+
+        return {8080: console, 80: proxy_error}
+
+    def infrastructure_apps(self) -> Dict[str, ServiceApp]:
+        def cfauth(request: HttpRequest) -> HttpResponse:
+            params = request.url.query_params()
+            original = params.get("cfru", "")
+            return ok_response(
+                "Content Filtering",
+                "<h1>Access to this site is restricted</h1>"
+                f"<p>Request token: {original}</p>"
+                "<p><small>Blue Coat Systems, Inc. cloud filtering "
+                "service</small></p>",
+                server="BCSI",
+            )
+
+        return {CFAUTH_HOST: cfauth}
+
+
+def make_bluecoat(*args, **kwargs) -> BlueCoatProxySG:
+    """Construct a Blue Coat vendor instance with the standard taxonomy."""
+    return BlueCoatProxySG(BLUECOAT_TAXONOMY, *args, **kwargs)

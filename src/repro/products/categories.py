@@ -1,0 +1,388 @@
+"""Vendor category taxonomies.
+
+Each URL-filtering product ships its own proprietary category scheme
+(§2.1: "a database of pre-categorized URLs, that allow the network
+operator to configure which categories to block"). This module defines
+one taxonomy per vendor and the mapping from ground-truth
+:class:`~repro.world.content.ContentClass` values into each vendor's
+categories — the judgment a vendor's categorization analyst applies when
+reviewing a site.
+
+Netsweeper's taxonomy is numbered because the §4.4 category probe
+exercises ``denypagetests.netsweeper.com/category/catno/<N>`` URLs for
+each of its 66 categories (the paper names catno 23 as pornography; the
+remaining numbers are model assignments documented here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.world.content import ContentClass
+
+
+@dataclass(frozen=True, order=True)
+class VendorCategory:
+    """One category in a vendor taxonomy."""
+
+    number: int
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Taxonomy:
+    """A vendor's category scheme plus its content-class mapping."""
+
+    vendor: str
+    categories: List[VendorCategory]
+    content_mapping: Dict[ContentClass, str]
+    _by_name: Dict[str, VendorCategory] = field(init=False, repr=False)
+    _by_number: Dict[int, VendorCategory] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_name = {c.name.lower(): c for c in self.categories}
+        self._by_number = {c.number: c for c in self.categories}
+        if len(self._by_name) != len(self.categories):
+            raise ValueError(f"duplicate category names in {self.vendor} taxonomy")
+        if len(self._by_number) != len(self.categories):
+            raise ValueError(f"duplicate category numbers in {self.vendor} taxonomy")
+        for content_class, name in self.content_mapping.items():
+            if name.lower() not in self._by_name:
+                raise ValueError(
+                    f"{self.vendor}: mapping for {content_class} targets "
+                    f"unknown category {name!r}"
+                )
+
+    def by_name(self, name: str) -> VendorCategory:
+        category = self._by_name.get(name.lower())
+        if category is None:
+            raise KeyError(f"{self.vendor} has no category {name!r}")
+        return category
+
+    def by_number(self, number: int) -> Optional[VendorCategory]:
+        return self._by_number.get(number)
+
+    def classify(self, content_class: ContentClass) -> Optional[VendorCategory]:
+        """The category this vendor's analyst assigns to given content."""
+        name = self.content_mapping.get(content_class)
+        return self.by_name(name) if name else None
+
+    def names(self) -> List[str]:
+        return [c.name for c in self.categories]
+
+    def __len__(self) -> int:
+        return len(self.categories)
+
+    def __iter__(self) -> Iterable[VendorCategory]:
+        return iter(self.categories)
+
+
+def _tax(vendor: str, names: Iterable[str], mapping: Dict[ContentClass, str]) -> Taxonomy:
+    categories = [VendorCategory(i + 1, name) for i, name in enumerate(names)]
+    return Taxonomy(vendor, categories, mapping)
+
+
+# --------------------------------------------------------------------------
+# McAfee SmartFilter (§4.3: "Anonymizers" and "Pornography" categories).
+# --------------------------------------------------------------------------
+SMARTFILTER_TAXONOMY = _tax(
+    "McAfee SmartFilter",
+    [
+        "Anonymizers",
+        "Anonymizing Utilities",
+        "Pornography",
+        "Nudity",
+        "Dating/Personals",
+        "Gambling",
+        "Drugs",
+        "Alcohol",
+        "Hate Speech",
+        "Violence",
+        "Weapons",
+        "Criminal Skills",
+        "Phishing",
+        "Malicious Sites",
+        "Chat",
+        "Web Mail",
+        "Social Networking",
+        "Media Sharing",
+        "Games",
+        "Shopping",
+        "Sports",
+        "Travel",
+        "News",
+        "Politics/Opinion",
+        "Religion/Ideology",
+        "Sexual Materials",
+        "Search Engines",
+        "Translation",
+        "Remote Access",
+        "Content Server",
+    ],
+    {
+        ContentClass.PROXY_ANONYMIZER: "Anonymizers",
+        ContentClass.VPN_TOOLS: "Anonymizing Utilities",
+        ContentClass.PORNOGRAPHY: "Pornography",
+        ContentClass.ADULT_IMAGES: "Pornography",
+        ContentClass.DATING: "Dating/Personals",
+        ContentClass.LGBT: "Sexual Materials",
+        ContentClass.GAMBLING: "Gambling",
+        ContentClass.ALCOHOL_DRUGS: "Drugs",
+        ContentClass.PHISHING: "Phishing",
+        ContentClass.MALWARE: "Malicious Sites",
+        ContentClass.MILITANT: "Violence",
+        ContentClass.WEAPONS: "Weapons",
+        ContentClass.POLITICAL_OPPOSITION: "Politics/Opinion",
+        ContentClass.POLITICAL_REFORM: "Politics/Opinion",
+        ContentClass.HUMAN_RIGHTS: "Politics/Opinion",
+        ContentClass.MEDIA_FREEDOM: "News",
+        ContentClass.INDEPENDENT_MEDIA: "News",
+        ContentClass.RELIGIOUS_CRITICISM: "Religion/Ideology",
+        ContentClass.MINORITY_RELIGION: "Religion/Ideology",
+        ContentClass.MINORITY_GROUPS: "Politics/Opinion",
+        ContentClass.WOMENS_RIGHTS: "Politics/Opinion",
+        ContentClass.SOCIAL_MEDIA: "Social Networking",
+        ContentClass.SEARCH_ENGINE: "Search Engines",
+        ContentClass.EMAIL_PROVIDER: "Web Mail",
+        ContentClass.TRANSLATION: "Translation",
+        ContentClass.NEWS: "News",
+        ContentClass.SHOPPING: "Shopping",
+        ContentClass.SPORTS: "Sports",
+        ContentClass.RELIGION_MAINSTREAM: "Religion/Ideology",
+    },
+)
+
+# --------------------------------------------------------------------------
+# Blue Coat WebFilter (§4.5: "Proxy Avoidance" category).
+# --------------------------------------------------------------------------
+BLUECOAT_TAXONOMY = _tax(
+    "Blue Coat WebFilter",
+    [
+        "Proxy Avoidance",
+        "Remote Access Tools",
+        "Adult/Mature Content",
+        "Pornography",
+        "Nudity",
+        "LGBT",
+        "Personals/Dating",
+        "Gambling",
+        "Illegal Drugs",
+        "Alcohol/Tobacco",
+        "Hacking",
+        "Phishing",
+        "Malicious Sources",
+        "Violence/Hate/Racism",
+        "Weapons",
+        "Political/Social Advocacy",
+        "Alternative Spirituality/Belief",
+        "Religion",
+        "News/Media",
+        "Social Networking",
+        "Web-based Email",
+        "Search Engines/Portals",
+        "Translation",
+        "Shopping",
+        "Sports/Recreation",
+        "Entertainment",
+        "Education",
+        "Government/Legal",
+        "Health",
+        "Technology/Internet",
+    ],
+    {
+        ContentClass.PROXY_ANONYMIZER: "Proxy Avoidance",
+        ContentClass.VPN_TOOLS: "Remote Access Tools",
+        ContentClass.PORNOGRAPHY: "Pornography",
+        ContentClass.ADULT_IMAGES: "Adult/Mature Content",
+        ContentClass.DATING: "Personals/Dating",
+        ContentClass.LGBT: "LGBT",
+        ContentClass.GAMBLING: "Gambling",
+        ContentClass.ALCOHOL_DRUGS: "Illegal Drugs",
+        ContentClass.PHISHING: "Phishing",
+        ContentClass.MALWARE: "Malicious Sources",
+        ContentClass.MILITANT: "Violence/Hate/Racism",
+        ContentClass.WEAPONS: "Weapons",
+        ContentClass.POLITICAL_OPPOSITION: "Political/Social Advocacy",
+        ContentClass.POLITICAL_REFORM: "Political/Social Advocacy",
+        ContentClass.HUMAN_RIGHTS: "Political/Social Advocacy",
+        ContentClass.MEDIA_FREEDOM: "News/Media",
+        ContentClass.INDEPENDENT_MEDIA: "News/Media",
+        ContentClass.RELIGIOUS_CRITICISM: "Alternative Spirituality/Belief",
+        ContentClass.MINORITY_RELIGION: "Alternative Spirituality/Belief",
+        ContentClass.MINORITY_GROUPS: "Political/Social Advocacy",
+        ContentClass.WOMENS_RIGHTS: "Political/Social Advocacy",
+        ContentClass.SOCIAL_MEDIA: "Social Networking",
+        ContentClass.SEARCH_ENGINE: "Search Engines/Portals",
+        ContentClass.EMAIL_PROVIDER: "Web-based Email",
+        ContentClass.TRANSLATION: "Translation",
+        ContentClass.NEWS: "News/Media",
+        ContentClass.SHOPPING: "Shopping",
+        ContentClass.SPORTS: "Sports/Recreation",
+        ContentClass.ENTERTAINMENT: "Entertainment",
+        ContentClass.EDUCATION: "Education",
+        ContentClass.GOVERNMENT: "Government/Legal",
+        ContentClass.HEALTH: "Health",
+        ContentClass.TECHNOLOGY: "Technology/Internet",
+        ContentClass.RELIGION_MAINSTREAM: "Religion",
+    },
+)
+
+# --------------------------------------------------------------------------
+# Netsweeper: 66 numbered categories, matching the §4.4 denypagetests
+# probe. Catno 23 = Pornography is from the paper; other key numbers
+# (4 adult images, 41 phishing, 46 proxy anonymizer, 57 search keywords)
+# are model assignments.
+# --------------------------------------------------------------------------
+_NETSWEEPER_NAMES = [
+    "Access Denied", "Advertising", "Adult Content", "Adult Images",
+    "Alcohol", "Arts", "Automobiles", "Business", "Chat", "Criminal Skills",
+    "Dating", "Drugs", "Education", "Entertainment", "Extreme",
+    "Finance", "Forums", "Gambling", "Games", "General News",
+    "Government", "Hate Speech", "Pornography", "Hosting",
+    "Humor", "Intimate Apparel", "Investing", "Job Search", "Kids",
+    "Lifestyle", "Matrimonial", "Media Sharing", "Military", "Mobile",
+    "Motorized Sports", "Music", "Occult", "Online Auctions", "Peer to Peer",
+    "Personal Pages", "Phishing", "Photo Sharing", "Politics", "Portals",
+    "Profanity", "Proxy Anonymizer", "Real Estate", "Religion",
+    "Search Engines", "Sex Education", "Shopping", "Social Networking",
+    "Sports", "Streaming Media", "Substance Abuse", "Tobacco",
+    "Search Keywords", "Translation", "Travel", "Viruses", "Weapons",
+    "Web Mail", "Web Storage", "New Domains", "Intolerance", "Malware",
+]
+assert len(_NETSWEEPER_NAMES) == 66
+
+NETSWEEPER_TAXONOMY = _tax(
+    "Netsweeper",
+    _NETSWEEPER_NAMES,
+    {
+        ContentClass.PROXY_ANONYMIZER: "Proxy Anonymizer",
+        ContentClass.VPN_TOOLS: "Proxy Anonymizer",
+        ContentClass.PORNOGRAPHY: "Pornography",
+        ContentClass.ADULT_IMAGES: "Adult Images",
+        ContentClass.DATING: "Dating",
+        ContentClass.LGBT: "Lifestyle",
+        ContentClass.GAMBLING: "Gambling",
+        ContentClass.ALCOHOL_DRUGS: "Drugs",
+        ContentClass.PHISHING: "Phishing",
+        ContentClass.MALWARE: "Malware",
+        ContentClass.MILITANT: "Extreme",
+        ContentClass.WEAPONS: "Weapons",
+        ContentClass.POLITICAL_OPPOSITION: "Politics",
+        ContentClass.POLITICAL_REFORM: "Politics",
+        ContentClass.HUMAN_RIGHTS: "Politics",
+        ContentClass.MEDIA_FREEDOM: "General News",
+        ContentClass.INDEPENDENT_MEDIA: "General News",
+        ContentClass.RELIGIOUS_CRITICISM: "Occult",
+        ContentClass.MINORITY_RELIGION: "Religion",
+        ContentClass.MINORITY_GROUPS: "Intolerance",
+        ContentClass.WOMENS_RIGHTS: "Politics",
+        ContentClass.SOCIAL_MEDIA: "Social Networking",
+        ContentClass.SEARCH_ENGINE: "Search Engines",
+        ContentClass.EMAIL_PROVIDER: "Web Mail",
+        ContentClass.TRANSLATION: "Translation",
+        ContentClass.NEWS: "General News",
+        ContentClass.SHOPPING: "Shopping",
+        ContentClass.SPORTS: "Sports",
+        ContentClass.ENTERTAINMENT: "Entertainment",
+        ContentClass.EDUCATION: "Education",
+        ContentClass.GOVERNMENT: "Government",
+        ContentClass.HEALTH: "Lifestyle",
+        ContentClass.TECHNOLOGY: "Business",
+        ContentClass.RELIGION_MAINSTREAM: "Religion",
+        ContentClass.HOSTING_SERVICE: "Hosting",
+    },
+)
+
+# Pornography must be catno 23 per the paper's example URL.
+assert NETSWEEPER_TAXONOMY.by_name("Pornography").number == 23
+
+# --------------------------------------------------------------------------
+# Websense.
+# --------------------------------------------------------------------------
+WEBSENSE_TAXONOMY = _tax(
+    "Websense",
+    [
+        "Proxy Avoidance",
+        "Adult Content",
+        "Nudity",
+        "Sex",
+        "Lingerie and Swimsuit",
+        "Gay or Lesbian or Bisexual Interest",
+        "Personals and Dating",
+        "Gambling",
+        "Illegal or Questionable",
+        "Drugs",
+        "Hacking",
+        "Phishing and Other Frauds",
+        "Malicious Web Sites",
+        "Militancy and Extremist",
+        "Weapons",
+        "Advocacy Groups",
+        "Political Organizations",
+        "Non-Traditional Religions",
+        "Traditional Religions",
+        "News and Media",
+        "Social Networking",
+        "Web-based Email",
+        "Search Engines and Portals",
+        "Translation",
+        "Shopping",
+        "Sports",
+        "Entertainment",
+        "Educational Institutions",
+        "Government",
+        "Health",
+        "Information Technology",
+        "Alternative Journals",
+    ],
+    {
+        ContentClass.PROXY_ANONYMIZER: "Proxy Avoidance",
+        ContentClass.VPN_TOOLS: "Proxy Avoidance",
+        ContentClass.PORNOGRAPHY: "Sex",
+        ContentClass.ADULT_IMAGES: "Adult Content",
+        ContentClass.DATING: "Personals and Dating",
+        ContentClass.LGBT: "Gay or Lesbian or Bisexual Interest",
+        ContentClass.GAMBLING: "Gambling",
+        ContentClass.ALCOHOL_DRUGS: "Drugs",
+        ContentClass.PHISHING: "Phishing and Other Frauds",
+        ContentClass.MALWARE: "Malicious Web Sites",
+        ContentClass.MILITANT: "Militancy and Extremist",
+        ContentClass.WEAPONS: "Weapons",
+        ContentClass.POLITICAL_OPPOSITION: "Political Organizations",
+        ContentClass.POLITICAL_REFORM: "Political Organizations",
+        ContentClass.HUMAN_RIGHTS: "Advocacy Groups",
+        ContentClass.MEDIA_FREEDOM: "Alternative Journals",
+        ContentClass.INDEPENDENT_MEDIA: "Alternative Journals",
+        ContentClass.RELIGIOUS_CRITICISM: "Non-Traditional Religions",
+        ContentClass.MINORITY_RELIGION: "Non-Traditional Religions",
+        ContentClass.MINORITY_GROUPS: "Advocacy Groups",
+        ContentClass.WOMENS_RIGHTS: "Advocacy Groups",
+        ContentClass.SOCIAL_MEDIA: "Social Networking",
+        ContentClass.SEARCH_ENGINE: "Search Engines and Portals",
+        ContentClass.EMAIL_PROVIDER: "Web-based Email",
+        ContentClass.TRANSLATION: "Translation",
+        ContentClass.NEWS: "News and Media",
+        ContentClass.SHOPPING: "Shopping",
+        ContentClass.SPORTS: "Sports",
+        ContentClass.ENTERTAINMENT: "Entertainment",
+        ContentClass.EDUCATION: "Educational Institutions",
+        ContentClass.GOVERNMENT: "Government",
+        ContentClass.HEALTH: "Health",
+        ContentClass.TECHNOLOGY: "Information Technology",
+        ContentClass.RELIGION_MAINSTREAM: "Traditional Religions",
+    },
+)
+
+TAXONOMIES: Dict[str, Taxonomy] = {
+    t.vendor: t
+    for t in (
+        SMARTFILTER_TAXONOMY,
+        BLUECOAT_TAXONOMY,
+        NETSWEEPER_TAXONOMY,
+        WEBSENSE_TAXONOMY,
+    )
+}

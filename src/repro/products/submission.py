@@ -1,0 +1,237 @@
+"""Vendor site-submission portals and the review pipeline.
+
+This is the mechanism the confirmation methodology (§4.2) leans on:
+"many URL filters provide a mechanism for users to submit sites that
+should be blocked ... After 3-5 days, we retest the sites and observe
+whether or not the submitted sites are blocked."
+
+A :class:`SubmissionPortal` accepts submissions, holds them for a
+review delay, and then has a simulated vendor analyst examine the site
+content (via a content oracle standing in for "the analyst visits the
+site") and either add it to the master database or reject it. The §6.2
+evasion discussion — vendors trying to identify and disregard the
+researchers' submissions by submitter identity or hosting provider — is
+modeled by :class:`ReviewPolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.url import Url
+from repro.products.categories import Taxonomy, VendorCategory
+from repro.products.database import UrlDatabase
+from repro.world.clock import SimTime
+from repro.world.content import ContentClass
+
+# The analyst "visits" a host and reports what it hosts; None = unreachable.
+ContentOracle = Callable[[str], Optional[ContentClass]]
+
+
+class SubmissionStatus(enum.Enum):
+    PENDING = "pending"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class SubmitterIdentity:
+    """Who appears to be submitting: email + source IP (§6.2 evasion).
+
+    ``via_proxy`` marks submissions laundered through Tor/proxies with a
+    throwaway webmail address — the paper's counter-evasion tactic.
+    """
+
+    email: str
+    source_ip: str
+    via_proxy: bool = False
+
+
+@dataclass
+class Submission:
+    """One submitted site working its way through vendor review."""
+
+    id: int
+    url: Url
+    submitter: SubmitterIdentity
+    submitted_at: SimTime
+    requested_category: Optional[str] = None
+    status: SubmissionStatus = SubmissionStatus.PENDING
+    decided_at: Optional[SimTime] = None
+    assigned_category: Optional[VendorCategory] = None
+    rejection_reason: Optional[str] = None
+    due_at: SimTime = SimTime(0)
+
+
+@dataclass
+class ReviewPolicy:
+    """How a vendor's categorization team behaves.
+
+    ``min_review_days``/``max_review_days`` bound the §4.2 "3-5 days".
+    ``base_accept_rate`` models ordinary review noise (a reviewer may
+    decline or lose a valid submission — the Du case in Table 3 saw
+    5 of 6 submitted sites blocked).
+    """
+
+    min_review_days: float = 3.0
+    max_review_days: float = 5.0
+    base_accept_rate: float = 1.0
+    # §6.2 evasion: reject everything from flagged submitters.
+    distrusted_emails: List[str] = field(default_factory=list)
+    distrusted_ips: List[str] = field(default_factory=list)
+    # §6.2 evasion: reject sites hosted on suspicious small providers,
+    # unless the provider is "too big to block" (protected).
+    distrusted_hosting: List[str] = field(default_factory=list)
+    protected_hosting: List[str] = field(default_factory=list)
+
+    def review_delay_days(self, rng: random.Random) -> float:
+        if self.max_review_days < self.min_review_days:
+            raise ValueError("max_review_days < min_review_days")
+        return rng.uniform(self.min_review_days, self.max_review_days)
+
+    def distrusts_submitter(self, submitter: SubmitterIdentity) -> bool:
+        if submitter.via_proxy:
+            # Laundered identity: nothing to correlate (§6.2: "easy for
+            # us to evade using proxy services or Tor").
+            return False
+        return (
+            submitter.email in self.distrusted_emails
+            or submitter.source_ip in self.distrusted_ips
+        )
+
+    def distrusts_hosting(self, hosting_label: Optional[str]) -> bool:
+        if hosting_label is None:
+            return False
+        if hosting_label in self.protected_hosting:
+            return False
+        return hosting_label in self.distrusted_hosting
+
+
+# Maps a host to a label for its hosting provider (AS name); used by the
+# hosting-based evasion check. None = unknown.
+HostingOracle = Callable[[str], Optional[str]]
+
+
+class SubmissionPortal:
+    """A vendor's public "submit/test-a-site" interface plus review queue."""
+
+    def __init__(
+        self,
+        vendor: str,
+        taxonomy: Taxonomy,
+        database: UrlDatabase,
+        content_oracle: ContentOracle,
+        rng: random.Random,
+        policy: Optional[ReviewPolicy] = None,
+        hosting_oracle: Optional[HostingOracle] = None,
+    ) -> None:
+        self.vendor = vendor
+        self.taxonomy = taxonomy
+        self.database = database
+        self.policy = policy or ReviewPolicy()
+        self._content_oracle = content_oracle
+        self._hosting_oracle = hosting_oracle
+        self._rng = rng
+        self._ids = itertools.count(1)
+        self._pending: List[Submission] = []
+        self._decided: List[Submission] = []
+
+    # ------------------------------------------------------------- submit
+    def submit(
+        self,
+        url: Url,
+        submitter: SubmitterIdentity,
+        now: SimTime,
+        requested_category: Optional[str] = None,
+    ) -> Submission:
+        """Submit a site for categorization/blocking.
+
+        ``requested_category`` (vendor category name) models forms that
+        let the submitter claim a category; Netsweeper's test-a-site
+        takes no category and simply queues the site for classification.
+        """
+        if requested_category is not None:
+            # Validates the name against the vendor taxonomy.
+            self.taxonomy.by_name(requested_category)
+        submission = Submission(
+            id=next(self._ids),
+            url=url,
+            submitter=submitter,
+            submitted_at=now,
+            requested_category=requested_category,
+            due_at=now.plus_days(self.policy.review_delay_days(self._rng)),
+        )
+        self._pending.append(submission)
+        return submission
+
+    # ------------------------------------------------------------- review
+    def process(self, now: SimTime) -> List[Submission]:
+        """Review every pending submission whose delay has elapsed."""
+        due = [s for s in self._pending if s.due_at <= now]
+        if not due:
+            return []
+        self._pending = [s for s in self._pending if s.due_at > now]
+        for submission in due:
+            self._review(submission, now)
+            self._decided.append(submission)
+        return due
+
+    def _review(self, submission: Submission, now: SimTime) -> None:
+        policy = self.policy
+        if policy.distrusts_submitter(submission.submitter):
+            self._reject(submission, now, "submitter flagged")
+            return
+        host = submission.url.host
+        if self._hosting_oracle is not None and policy.distrusts_hosting(
+            self._hosting_oracle(host)
+        ):
+            self._reject(submission, now, "hosting provider flagged")
+            return
+        content = self._content_oracle(host)
+        if content is None:
+            self._reject(submission, now, "site unreachable at review time")
+            return
+        category = self.taxonomy.classify(content)
+        if category is None:
+            self._reject(submission, now, "content not categorizable")
+            return
+        if (
+            submission.requested_category is not None
+            and self.taxonomy.by_name(submission.requested_category) != category
+        ):
+            # Analyst disagrees with the claimed category: most vendors
+            # still file under the analyst's category.
+            pass
+        if self._rng.random() > policy.base_accept_rate:
+            self._reject(submission, now, "reviewer declined")
+            return
+        submission.status = SubmissionStatus.ACCEPTED
+        submission.decided_at = now
+        submission.assigned_category = category
+        self.database.add(submission.url, category, now, source="submission")
+
+    @staticmethod
+    def _reject(submission: Submission, now: SimTime, reason: str) -> None:
+        submission.status = SubmissionStatus.REJECTED
+        submission.decided_at = now
+        submission.rejection_reason = reason
+
+    # ------------------------------------------------------------ inspect
+    @property
+    def pending(self) -> List[Submission]:
+        return list(self._pending)
+
+    @property
+    def decided(self) -> List[Submission]:
+        return list(self._decided)
+
+    def find(self, url: Url) -> List[Submission]:
+        return [
+            s
+            for s in self._pending + self._decided
+            if s.url.host == url.host
+        ]

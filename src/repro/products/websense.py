@@ -1,0 +1,112 @@
+"""Websense model.
+
+Identification surface (Table 2): Shodan keywords ``blockpage.cgi`` and
+``gateway websense``; WhatWeb matches a Location header redirecting to a
+host on port 15871 with a ``ws-session`` parameter. Websense deployments
+also carry the concurrent-license fail-open behaviour documented for
+Yemen (§4.4): the :class:`~repro.products.licensing.LicenseModel` is
+attached at the middlebox layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from repro.net.http import Headers, HttpRequest, HttpResponse, html_page
+from repro.products.base import DeploymentContext, UrlFilterProduct
+from repro.products.categories import WEBSENSE_TAXONOMY, VendorCategory
+from repro.world.entities import ServiceApp
+
+BLOCKPAGE_PORT = 15871
+
+
+class Websense(UrlFilterProduct):
+    """Vendor-side Websense: database plus block-page gateway surface."""
+
+    vendor = "Websense"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(WEBSENSE_TAXONOMY, *args, **kwargs)
+        self._sessions = itertools.count(1_048_576)
+
+    def block_response(
+        self,
+        request: HttpRequest,
+        category: VendorCategory,
+        context: DeploymentContext,
+    ) -> HttpResponse:
+        session = next(self._sessions)
+        target = (
+            f"http://{context.box_host}:{BLOCKPAGE_PORT}/cgi-bin/blockpage.cgi"
+            f"?ws-session={session}&cat={category.number}"
+        )
+        headers = Headers()
+        headers.set("Location", target)
+        headers.set("Content-Type", "text/html; charset=utf-8")
+        return HttpResponse(
+            302, headers, html_page("Redirect", "<p>redirecting</p>")
+        )
+
+    def _blockpage(
+        self, request: HttpRequest, context: DeploymentContext
+    ) -> HttpResponse:
+        params = request.url.query_params()
+        catno = params.get("cat", "")
+        category = (
+            self.taxonomy.by_number(int(catno)) if catno.isdigit() else None
+        )
+        branded = context.config.show_branding
+        title = (
+            "Websense - Access to this site is blocked"
+            if branded
+            else "Access to this site is blocked"
+        )
+        reason = (
+            f"<p>Reason: the Websense category "
+            f'"{category.name}" is filtered.</p>'
+            if branded and category
+            else "<p>This site is blocked by your organization's policy.</p>"
+        )
+        headers = Headers()
+        headers.set("Server", "Websense Content Gateway")
+        headers.set("Content-Type", "text/html; charset=utf-8")
+        return HttpResponse(
+            200,
+            headers,
+            html_page(
+                title,
+                f"<h1>Access to this site is blocked</h1>{reason}"
+                f"<p>URL: {params.get('url', '')}</p>",
+            ),
+        )
+
+    def admin_apps(self, context: DeploymentContext) -> Dict[int, ServiceApp]:
+        def blockpage_service(request: HttpRequest) -> HttpResponse:
+            if request.url.path.startswith("/cgi-bin/blockpage.cgi"):
+                return self._blockpage(request, context)
+            headers = Headers()
+            headers.set("Server", "Websense Content Gateway")
+            headers.set("Content-Type", "text/html; charset=utf-8")
+            return HttpResponse(403, headers, html_page("Forbidden", "<h1>403</h1>"))
+
+        def gateway_login(request: HttpRequest) -> HttpResponse:
+            headers = Headers()
+            headers.set("Server", "Websense Content Gateway")
+            headers.set("Content-Type", "text/html; charset=utf-8")
+            return HttpResponse(
+                200,
+                headers,
+                html_page(
+                    "Content Gateway Websense",
+                    "<h1>Websense Content Gateway</h1>"
+                    "<p>Administrator login.</p>",
+                ),
+            )
+
+        return {BLOCKPAGE_PORT: blockpage_service, 80: gateway_login}
+
+
+def make_websense(*args, **kwargs) -> Websense:
+    """Construct a Websense vendor instance with the standard taxonomy."""
+    return Websense(*args, **kwargs)

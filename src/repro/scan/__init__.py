@@ -1,0 +1,54 @@
+"""Scanning substrate: banners, Shodan-like index, census, WhatWeb."""
+
+from repro.scan.banner import (
+    BannerRecord,
+    DEFAULT_SCAN_PORTS,
+    grab_banner,
+    scan_world,
+)
+from repro.scan.census import CensusDataset, run_census
+from repro.scan.shodan import DEFAULT_RESULT_CAP, ShodanIndex, ShodanQueryLog
+from repro.scan.signatures import (
+    BLUE_COAT,
+    DEFAULT_PROBE_PLAN,
+    Evidence,
+    NETSWEEPER,
+    PRODUCT_NAMES,
+    ProbeObservation,
+    SHODAN_KEYWORDS,
+    SMARTFILTER,
+    WEBSENSE,
+    WHATWEB_SIGNATURES,
+)
+from repro.scan.whatweb import (
+    ProductMatch,
+    WhatWebEngine,
+    WhatWebReport,
+    world_probe,
+)
+
+__all__ = [
+    "BLUE_COAT",
+    "BannerRecord",
+    "CensusDataset",
+    "DEFAULT_PROBE_PLAN",
+    "DEFAULT_RESULT_CAP",
+    "DEFAULT_SCAN_PORTS",
+    "Evidence",
+    "NETSWEEPER",
+    "PRODUCT_NAMES",
+    "ProbeObservation",
+    "ProductMatch",
+    "SHODAN_KEYWORDS",
+    "SMARTFILTER",
+    "ShodanIndex",
+    "ShodanQueryLog",
+    "WEBSENSE",
+    "WHATWEB_SIGNATURES",
+    "WhatWebEngine",
+    "WhatWebReport",
+    "grab_banner",
+    "run_census",
+    "scan_world",
+    "world_probe",
+]

@@ -1,0 +1,128 @@
+"""Banner grabbing: what an Internet-wide scanner records per service.
+
+Shodan entries "consist of an IP address, along with meta-data and HTTP
+headers observed when the IP address was accessed by the search engine"
+(§3.1). A :class:`BannerRecord` captures exactly that: the status line,
+headers, HTML title, and hostname — enough for keyword search, not a
+full crawl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.net.fetch import FetchOutcome
+from repro.net.ip import Ipv4Address
+from repro.net.url import Url
+from repro.world.clock import SimTime
+from repro.world.world import World
+
+#: Ports a Shodan-style scanner probes. 15871 is Websense's block-page
+#: port; 8080 carries both Netsweeper's webadmin and ProxySG consoles.
+DEFAULT_SCAN_PORTS: Sequence[int] = (80, 443, 8080, 8443, 3128, 9090, 15871)
+
+
+@dataclass
+class BannerRecord:
+    """One (ip, port) observation from an Internet-wide scan."""
+
+    ip: Ipv4Address
+    port: int
+    status_line: str
+    headers_text: str
+    html_title: str
+    hostname: str
+    observed_at: SimTime
+    country_code: str = ""  # scanner-side geolocation tag (may be wrong)
+
+    @property
+    def banner_text(self) -> str:
+        """The searchable text of this record."""
+        return "\n".join(
+            part
+            for part in (
+                self.status_line,
+                self.headers_text,
+                self.html_title,
+                self.hostname,
+            )
+            if part
+        )
+
+    @property
+    def _banner_lower(self) -> str:
+        cached = getattr(self, "_banner_lower_cache", None)
+        if cached is None:
+            cached = self.banner_text.lower()
+            object.__setattr__(self, "_banner_lower_cache", cached)
+        return cached
+
+    def matches_keyword(self, keyword: str) -> bool:
+        return keyword.lower() in self._banner_lower
+
+
+def grab_banner(
+    world: World, ip: Ipv4Address, port: int
+) -> Optional[BannerRecord]:
+    """Probe one (ip, port) from the open Internet; None if nothing answers.
+
+    The probe does not follow redirects: a scanner records the raw
+    response, so Location headers (Netsweeper's ``/webadmin/`` redirect,
+    Websense's ``blockpage.cgi``) appear verbatim in the banner.
+    """
+    host = world.host_at(ip)
+    if host is None or port not in host.services:
+        return None
+    scheme = "https" if port in (443, 8443) else "http"
+    url = Url(scheme, str(ip), port, "/")
+    result = world.fetch(None, url, follow_redirects=False)
+    if result.outcome is not FetchOutcome.OK or result.response is None:
+        return None
+    response = result.response
+    country = world.country_of(ip)
+    return BannerRecord(
+        ip=ip,
+        port=port,
+        status_line=response.status_line(),
+        headers_text=response.headers.as_text(),
+        html_title=response.html_title() or "",
+        hostname=world.zone.reverse(ip) or "",
+        observed_at=world.now,
+        country_code=country.code if country else "",
+    )
+
+
+def scan_world(
+    world: World,
+    ports: Sequence[int] = DEFAULT_SCAN_PORTS,
+    *,
+    coverage: float = 1.0,
+    coverage_salt: str = "scan",
+) -> List[BannerRecord]:
+    """Banner-grab every visible service in the world.
+
+    ``coverage`` < 1 models a scanner that has only indexed part of the
+    address space (Shodan's view is always partial); inclusion is a
+    deterministic hash of (salt, ip) so repeated scans agree.
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError("coverage must be within [0, 1]")
+    records: List[BannerRecord] = []
+    for ip_value in sorted(world.hosts):
+        ip = Ipv4Address(ip_value)
+        if coverage < 1.0 and not _covered(ip, coverage, coverage_salt):
+            continue
+        for port in ports:
+            record = grab_banner(world, ip, port)
+            if record is not None:
+                records.append(record)
+    return records
+
+
+def _covered(ip: Ipv4Address, coverage: float, salt: str) -> bool:
+    import hashlib
+
+    digest = hashlib.sha256(f"{salt}:{ip.value}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return fraction < coverage

@@ -1,0 +1,135 @@
+"""A Shodan-like banner search engine.
+
+Models the properties of the real service that shaped the paper's
+methodology (§3.1):
+
+- keyword queries match as substrings over banner text and hostname;
+- results per query are **capped**, which is exactly why the authors
+  combined each keyword "with each of the two letter country-code
+  top-level domains, to maximize the set of results";
+- a ``country:xx`` token filters on the scanner's own (GeoIP-derived)
+  country tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.net.ip import Ipv4Address
+from repro.scan.banner import BannerRecord
+
+DEFAULT_RESULT_CAP = 100
+
+
+@dataclass
+class ShodanQueryLog:
+    """Bookkeeping: queries issued and how many results each returned."""
+
+    entries: List[Tuple[str, int]] = field(default_factory=list)
+
+    def record(self, query: str, count: int) -> None:
+        self.entries.append((query, count))
+
+    @property
+    def query_count(self) -> int:
+        return len(self.entries)
+
+
+class ShodanIndex:
+    """Searchable index over banner records."""
+
+    def __init__(
+        self,
+        records: Iterable[BannerRecord],
+        *,
+        result_cap: int = DEFAULT_RESULT_CAP,
+        geolocate: Optional[Callable[[Ipv4Address], Optional[str]]] = None,
+    ) -> None:
+        """``geolocate`` overrides each record's country tag (e.g. with a
+        MaxMind-style database including its errors); records the
+        function cannot place keep their original tag."""
+        self._records: List[BannerRecord] = []
+        for record in records:
+            if geolocate is not None:
+                code = geolocate(record.ip)
+                if code is not None:
+                    record.country_code = code
+            self._records.append(record)
+        if result_cap <= 0:
+            raise ValueError("result_cap must be positive")
+        self.result_cap = result_cap
+        self.log = ShodanQueryLog()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[BannerRecord]:
+        return list(self._records)
+
+    def search(self, query: str) -> List[BannerRecord]:
+        """Run one query; results are capped at ``result_cap``.
+
+        Tokens: ``country:xx`` filters by country tag; ``port:N`` by
+        port; every other token must appear as a substring of the
+        banner. Quoted phrases ("mcafee web gateway") match as one
+        token.
+        """
+        tokens = _tokenize(query)
+        hits: List[BannerRecord] = []
+        for record in self._records:
+            if all(_token_matches(record, token) for token in tokens):
+                hits.append(record)
+                if len(hits) >= self.result_cap:
+                    break
+        self.log.record(query, len(hits))
+        return hits
+
+    def search_expanded(
+        self, keyword: str, country_codes: Sequence[str]
+    ) -> List[BannerRecord]:
+        """The paper's keyword x ccTLD expansion (§3.1).
+
+        Runs the bare keyword plus one country-scoped query per code and
+        unions the results, defeating the per-query cap.
+        """
+        seen: Set[Tuple[int, int]] = set()
+        merged: List[BannerRecord] = []
+        for query in [keyword] + [
+            f"{keyword} country:{code}" for code in country_codes
+        ]:
+            for record in self.search(query):
+                key = (record.ip.value, record.port)
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(record)
+        return merged
+
+
+def _tokenize(query: str) -> List[str]:
+    tokens: List[str] = []
+    rest = query.strip()
+    while rest:
+        if rest.startswith('"'):
+            end = rest.find('"', 1)
+            if end == -1:
+                tokens.append(rest[1:])
+                break
+            tokens.append(rest[1:end])
+            rest = rest[end + 1:].strip()
+        else:
+            piece, _, rest = rest.partition(" ")
+            tokens.append(piece)
+            rest = rest.strip()
+    return [t for t in tokens if t]
+
+
+def _token_matches(record: BannerRecord, token: str) -> bool:
+    lowered = token.lower()
+    if lowered.startswith("country:"):
+        return record.country_code.lower() == lowered[len("country:"):]
+    if lowered.startswith("port:"):
+        value = lowered[len("port:"):]
+        return value.isdigit() and record.port == int(value)
+    return record.matches_keyword(token)

@@ -1,0 +1,62 @@
+"""World model: simulated clock, entities, topology, and population."""
+
+from repro.world.clock import MINUTES_PER_DAY, SimClock, SimTime
+from repro.world.content import ContentClass
+from repro.world.entities import (
+    AutonomousSystem,
+    Country,
+    Host,
+    InterceptAction,
+    InterceptKind,
+    ISP,
+    OnPathDevice,
+    Organization,
+    OrgKind,
+    WebSite,
+)
+from repro.world.population import (
+    DEFAULT_CLASS_MIX,
+    DomainSynthesizer,
+    PopulationConfig,
+    populate,
+)
+from repro.world.builder import CustomScenario, WorldBuilder
+from repro.world.rng import (
+    derive_rng,
+    derive_seed,
+    stable_sample,
+    stable_shuffle,
+    weighted_choice,
+)
+from repro.world.world import MAX_REDIRECTS, Vantage, World
+
+__all__ = [
+    "AutonomousSystem",
+    "ContentClass",
+    "CustomScenario",
+    "WorldBuilder",
+    "Country",
+    "DEFAULT_CLASS_MIX",
+    "DomainSynthesizer",
+    "Host",
+    "ISP",
+    "InterceptAction",
+    "InterceptKind",
+    "MAX_REDIRECTS",
+    "MINUTES_PER_DAY",
+    "OnPathDevice",
+    "Organization",
+    "OrgKind",
+    "PopulationConfig",
+    "SimClock",
+    "SimTime",
+    "Vantage",
+    "WebSite",
+    "World",
+    "derive_rng",
+    "derive_seed",
+    "populate",
+    "stable_sample",
+    "stable_shuffle",
+    "weighted_choice",
+]

@@ -1,0 +1,124 @@
+"""Content vocabulary: what a site *actually* hosts.
+
+This is the ground-truth language shared by origin servers, vendor
+categorization reviewers, and test lists. Each :class:`ContentClass` is
+what a human (or a vendor's categorization analyst) would conclude after
+looking at the site — vendor products then map content classes into their
+own proprietary category taxonomies (:mod:`repro.products.categories`).
+
+The classes cover the paper's needs: proxy/anonymizer sites built on the
+Glype script (§4.3, §4.4), pornography and standalone adult images
+(Saudi case study, §4.3), and the §5 characterization themes (human
+rights, political reform, LGBT, religious criticism, minority religions,
+independent media).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ContentClass(enum.Enum):
+    """Ground-truth content hosted by a website."""
+
+    # Internet tools
+    PROXY_ANONYMIZER = "proxy_anonymizer"
+    VPN_TOOLS = "vpn_tools"
+    TRANSLATION = "translation"
+    SEARCH_ENGINE = "search_engine"
+    EMAIL_PROVIDER = "email_provider"
+    HOSTING_SERVICE = "hosting_service"
+
+    # Social / adult
+    PORNOGRAPHY = "pornography"
+    ADULT_IMAGES = "adult_images"
+    DATING = "dating"
+    LGBT = "lgbt"
+    GAMBLING = "gambling"
+    ALCOHOL_DRUGS = "alcohol_drugs"
+    SOCIAL_MEDIA = "social_media"
+
+    # Political
+    POLITICAL_OPPOSITION = "political_opposition"
+    POLITICAL_REFORM = "political_reform"
+    HUMAN_RIGHTS = "human_rights"
+    MEDIA_FREEDOM = "media_freedom"
+    INDEPENDENT_MEDIA = "independent_media"
+    RELIGIOUS_CRITICISM = "religious_criticism"
+    MINORITY_RELIGION = "minority_religion"
+    MINORITY_GROUPS = "minority_groups"
+    WOMENS_RIGHTS = "womens_rights"
+
+    # Conflict / security
+    MILITANT = "militant"
+    PHISHING = "phishing"
+    MALWARE = "malware"
+    WEAPONS = "weapons"
+
+    # Everyday
+    NEWS = "news"
+    EDUCATION = "education"
+    GOVERNMENT = "government"
+    RELIGION_MAINSTREAM = "religion_mainstream"
+    SHOPPING = "shopping"
+    SPORTS = "sports"
+    TECHNOLOGY = "technology"
+    ENTERTAINMENT = "entertainment"
+    HEALTH = "health"
+    BENIGN = "benign"
+
+    @property
+    def is_sensitive(self) -> bool:
+        """Content commonly targeted by national censorship policies."""
+        return self in _SENSITIVE
+
+    @property
+    def is_rights_protected(self) -> bool:
+        """Speech protected by international human-rights norms (§5).
+
+        These are the classes whose blocking the paper flags as
+        contradicting Article 19 of the Universal Declaration of Human
+        Rights: political speech, rights advocacy, independent media,
+        LGBT content, and religious discussion.
+        """
+        return self in _RIGHTS_PROTECTED
+
+
+_SENSITIVE = frozenset(
+    {
+        ContentClass.PROXY_ANONYMIZER,
+        ContentClass.VPN_TOOLS,
+        ContentClass.PORNOGRAPHY,
+        ContentClass.ADULT_IMAGES,
+        ContentClass.DATING,
+        ContentClass.LGBT,
+        ContentClass.GAMBLING,
+        ContentClass.ALCOHOL_DRUGS,
+        ContentClass.POLITICAL_OPPOSITION,
+        ContentClass.POLITICAL_REFORM,
+        ContentClass.HUMAN_RIGHTS,
+        ContentClass.MEDIA_FREEDOM,
+        ContentClass.INDEPENDENT_MEDIA,
+        ContentClass.RELIGIOUS_CRITICISM,
+        ContentClass.MINORITY_RELIGION,
+        ContentClass.MINORITY_GROUPS,
+        ContentClass.MILITANT,
+        ContentClass.PHISHING,
+        ContentClass.MALWARE,
+    }
+)
+
+_RIGHTS_PROTECTED = frozenset(
+    {
+        ContentClass.POLITICAL_OPPOSITION,
+        ContentClass.POLITICAL_REFORM,
+        ContentClass.HUMAN_RIGHTS,
+        ContentClass.MEDIA_FREEDOM,
+        ContentClass.INDEPENDENT_MEDIA,
+        ContentClass.LGBT,
+        ContentClass.RELIGIOUS_CRITICISM,
+        ContentClass.MINORITY_RELIGION,
+        ContentClass.MINORITY_GROUPS,
+        ContentClass.WOMENS_RIGHTS,
+    }
+)

@@ -1,0 +1,169 @@
+"""Synthetic website population.
+
+Builds the background web the study operates against: thousands of sites
+spread over hosting ASes, each with a ground-truth content class. Vendor
+databases pre-categorize a (vendor-specific) fraction of the population,
+mirroring how real products ship large pre-categorized URL databases
+(§2.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.http import ok_response
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+from repro.world.words import SYLLABLES, WORDS_A, WORDS_B
+from repro.world.world import World
+from repro.world.entities import WebSite
+
+# Relative frequency of content classes in the synthetic web. Sensitive
+# classes are rarer than everyday content, as on the real web.
+DEFAULT_CLASS_MIX: Dict[ContentClass, float] = {
+    ContentClass.NEWS: 8.0,
+    ContentClass.SHOPPING: 8.0,
+    ContentClass.TECHNOLOGY: 7.0,
+    ContentClass.ENTERTAINMENT: 7.0,
+    ContentClass.SPORTS: 5.0,
+    ContentClass.EDUCATION: 5.0,
+    ContentClass.HEALTH: 4.0,
+    ContentClass.BENIGN: 10.0,
+    ContentClass.SOCIAL_MEDIA: 3.0,
+    ContentClass.GOVERNMENT: 2.0,
+    ContentClass.RELIGION_MAINSTREAM: 2.0,
+    ContentClass.SEARCH_ENGINE: 1.0,
+    ContentClass.EMAIL_PROVIDER: 1.0,
+    ContentClass.HOSTING_SERVICE: 1.5,
+    ContentClass.TRANSLATION: 0.5,
+    ContentClass.PROXY_ANONYMIZER: 2.0,
+    ContentClass.VPN_TOOLS: 1.0,
+    ContentClass.PORNOGRAPHY: 4.0,
+    ContentClass.ADULT_IMAGES: 1.5,
+    ContentClass.DATING: 1.5,
+    ContentClass.LGBT: 1.0,
+    ContentClass.GAMBLING: 2.0,
+    ContentClass.ALCOHOL_DRUGS: 1.0,
+    ContentClass.POLITICAL_OPPOSITION: 1.0,
+    ContentClass.POLITICAL_REFORM: 1.0,
+    ContentClass.HUMAN_RIGHTS: 1.0,
+    ContentClass.MEDIA_FREEDOM: 0.7,
+    ContentClass.INDEPENDENT_MEDIA: 1.2,
+    ContentClass.RELIGIOUS_CRITICISM: 0.6,
+    ContentClass.MINORITY_RELIGION: 0.7,
+    ContentClass.MINORITY_GROUPS: 0.7,
+    ContentClass.WOMENS_RIGHTS: 0.6,
+    ContentClass.MILITANT: 0.4,
+    ContentClass.PHISHING: 0.8,
+    ContentClass.MALWARE: 0.6,
+    ContentClass.WEAPONS: 0.4,
+}
+
+_TLD_CHOICES = ["com", "net", "org", "info"]
+
+
+@dataclass
+class PopulationConfig:
+    """Knobs for the synthetic web."""
+
+    site_count: int = 2000
+    class_mix: Dict[ContentClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_CLASS_MIX)
+    )
+    local_tld_fraction: float = 0.15  # sites under a ccTLD
+
+
+class DomainSynthesizer:
+    """Generates unique, plausible domain names."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used: set = set()
+
+    def two_word(self, tld: str = "info") -> str:
+        """A "two random non-profane words" domain as used in §4.3."""
+        for _attempt in range(10_000):
+            name = self._rng.choice(WORDS_A) + self._rng.choice(WORDS_B)
+            domain = f"{name}.{tld}"
+            if domain not in self._used:
+                self._used.add(domain)
+                return domain
+        raise RuntimeError("two-word domain space exhausted")
+
+    def filler(self, tld: str) -> str:
+        """A syllable-soup domain for the background population."""
+        for _attempt in range(10_000):
+            syllables = self._rng.randint(2, 4)
+            name = "".join(self._rng.choice(SYLLABLES) for _ in range(syllables))
+            domain = f"{name}.{tld}"
+            if domain not in self._used:
+                self._used.add(domain)
+                return domain
+        raise RuntimeError("filler domain space exhausted")
+
+    def reserve(self, domain: str) -> None:
+        """Mark an externally chosen domain as used."""
+        self._used.add(domain)
+
+
+def _page_body(content_class: ContentClass, domain: str) -> str:
+    descriptions = {
+        ContentClass.PROXY_ANONYMIZER: (
+            "Browse the web anonymously. Enter a URL below to surf through "
+            "our free web proxy and bypass filters."
+        ),
+        ContentClass.PORNOGRAPHY: "Explicit adult content. 18+ only.",
+        ContentClass.ADULT_IMAGES: "Adult image gallery. 18+ only.",
+        ContentClass.HUMAN_RIGHTS: (
+            "Documenting human rights violations and advocating for "
+            "freedom of expression."
+        ),
+        ContentClass.INDEPENDENT_MEDIA: "Independent news and analysis.",
+        ContentClass.LGBT: "Community resources and support.",
+    }
+    text = descriptions.get(
+        content_class, f"Welcome to {domain} ({content_class.value})."
+    )
+    return f"<h1>{domain}</h1><p>{text}</p>"
+
+
+def populate(
+    world: World,
+    hosting_asns: Sequence[int],
+    config: Optional[PopulationConfig] = None,
+    *,
+    rng_label: str = "population",
+) -> List[WebSite]:
+    """Fill the world with a synthetic website population.
+
+    Sites are spread round-robin-with-jitter across ``hosting_asns`` and
+    registered in world DNS. Returns the created sites in creation order.
+    """
+    if not hosting_asns:
+        raise ValueError("need at least one hosting AS")
+    config = config or PopulationConfig()
+    rng = derive_rng(world.seed, rng_label)
+    synthesizer = DomainSynthesizer(rng)
+    for domain in world.websites:
+        synthesizer.reserve(domain)
+
+    classes = list(config.class_mix)
+    weights = [config.class_mix[c] for c in classes]
+    cctlds = sorted(world.countries)
+    sites: List[WebSite] = []
+    for _index in range(config.site_count):
+        content_class = rng.choices(classes, weights=weights, k=1)[0]
+        if cctlds and rng.random() < config.local_tld_fraction:
+            tld = rng.choice(cctlds)
+        else:
+            tld = rng.choice(_TLD_CHOICES)
+        domain = synthesizer.filler(tld)
+        asn = rng.choice(list(hosting_asns))
+        site = world.register_website(domain, content_class, asn)
+        site.add_page(
+            "/", ok_response(domain, _page_body(content_class, domain))
+        )
+        sites.append(site)
+    return sites

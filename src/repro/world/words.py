@@ -1,0 +1,48 @@
+"""Word lists for domain synthesis.
+
+The confirmation methodology registers fresh domains "of two random
+(non-profane) words registered with the .info top-level domain (e.g.
+starwasher.info)" (§4.3). These lists feed that generator and the
+website population builder. All words are deliberately neutral.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# Two pools so generated names read noun-ish + noun-ish like "starwasher".
+WORDS_A: List[str] = [
+    "star", "moon", "river", "cloud", "stone", "maple", "cedar", "amber",
+    "silver", "copper", "violet", "crimson", "golden", "winter", "summer",
+    "autumn", "spring", "north", "south", "east", "west", "ocean", "desert",
+    "meadow", "harbor", "garden", "forest", "valley", "canyon", "prairie",
+    "island", "summit", "lantern", "beacon", "compass", "anchor", "harvest",
+    "willow", "aspen", "birch", "clover", "coral", "crystal", "ember",
+    "falcon", "heron", "osprey", "otter", "badger", "marten", "lynx",
+    "tundra", "glacier", "breeze", "thunder", "drizzle", "sunrise", "sunset",
+    "twilight", "midnight", "morning", "evening", "quartz", "granite",
+    "basalt", "marble", "pepper", "saffron", "vanilla", "cinnamon", "ginger",
+    "walnut", "almond", "hazel", "pecan", "orchard", "vineyard", "pasture",
+]
+
+WORDS_B: List[str] = [
+    "washer", "runner", "keeper", "finder", "maker", "weaver", "builder",
+    "rider", "walker", "singer", "dancer", "painter", "writer", "reader",
+    "planner", "helper", "guide", "scout", "pilot", "sailor", "ranger",
+    "trader", "miller", "baker", "smith", "mason", "carver", "potter",
+    "tailor", "cobbler", "gardener", "farmer", "fisher", "hunter", "tracker",
+    "watcher", "listener", "dreamer", "thinker", "seeker", "wanderer",
+    "voyager", "explorer", "pioneer", "settler", "crafter", "printer",
+    "binder", "folder", "sender", "carrier", "courier", "porter", "bridge",
+    "tower", "castle", "cottage", "cabin", "lodge", "haven", "refuge",
+    "shelter", "station", "depot", "junction", "crossing", "passage",
+    "gateway", "archway", "terrace", "plaza", "avenue", "boulevard", "lane",
+]
+
+# Syllables for filler site names in the background population.
+SYLLABLES: List[str] = [
+    "an", "ar", "ba", "bel", "cor", "dan", "del", "el", "far", "gal",
+    "han", "il", "jor", "kan", "kel", "lor", "mar", "mel", "nor", "or",
+    "pel", "qar", "ran", "rel", "san", "sel", "tan", "tel", "ur", "van",
+    "vel", "wan", "xen", "yor", "zan", "zel", "mon", "dor", "fin", "gar",
+]

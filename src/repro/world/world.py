@@ -1,0 +1,293 @@
+"""The simulated Internet: registries, routing, and vantage points.
+
+A :class:`World` owns the clock, DNS zone, address registries, ISPs,
+hosts, and websites. A :class:`Vantage` binds a client address inside an
+ISP (or the unfiltered lab network) to the world and implements the
+:class:`repro.net.Fetcher` protocol: every request from an ISP vantage
+traverses that ISP's on-path middlebox stack, which is where URL filters
+act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.net.dns import DnsZone, Resolver
+from repro.net.errors import NxDomain
+from repro.net.fetch import FetchOutcome, FetchResult, Hop
+from repro.net.http import HttpRequest
+from repro.net.ip import AddressPool, Ipv4Address, Ipv4Prefix, PrefixTable
+from repro.net.url import Url
+from repro.world.clock import SimClock, SimTime
+from repro.world.content import ContentClass
+from repro.world.entities import (
+    AutonomousSystem,
+    Country,
+    Host,
+    InterceptKind,
+    ISP,
+    OrgKind,
+    Organization,
+    WebSite,
+)
+
+MAX_REDIRECTS = 8
+
+
+def _is_ip_literal(host: str) -> bool:
+    parts = host.split(".")
+    return len(parts) == 4 and all(p.isdigit() for p in parts)
+
+
+class World:
+    """Container and router for the whole simulated Internet."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.clock = SimClock()
+        self.zone = DnsZone()
+        self.countries: Dict[str, Country] = {}
+        self.autonomous_systems: Dict[int, AutonomousSystem] = {}
+        self.isps: Dict[str, ISP] = {}
+        self.hosts: Dict[int, Host] = {}
+        self.websites: Dict[str, WebSite] = {}
+        self._pools: Dict[int, AddressPool] = {}
+        self._prefix_owners = PrefixTable()
+        self.lab_country: Optional[Country] = None
+
+    # ----------------------------------------------------------- registry
+    def add_country(self, code: str, name: str, region: str = "") -> Country:
+        country = Country(code, name, region)
+        self.countries[code] = country
+        return country
+
+    def country(self, code: str) -> Country:
+        return self.countries[code]
+
+    def add_autonomous_system(
+        self,
+        asn: int,
+        name: str,
+        org_name: str,
+        kind: OrgKind,
+        country: Country,
+        prefixes: List[Ipv4Prefix],
+    ) -> AutonomousSystem:
+        if asn in self.autonomous_systems:
+            raise ValueError(f"AS {asn} already registered")
+        org = Organization(org_name, kind, country)
+        autonomous_system = AutonomousSystem(asn, name, org, list(prefixes))
+        self.autonomous_systems[asn] = autonomous_system
+        for prefix in prefixes:
+            self._prefix_owners.add(prefix, autonomous_system)
+            if prefix.num_addresses >= 4:
+                self._pools.setdefault(asn, AddressPool(prefix))
+        return autonomous_system
+
+    def add_isp(
+        self,
+        name: str,
+        autonomous_system: AutonomousSystem,
+        client_prefix: Optional[Ipv4Prefix] = None,
+    ) -> ISP:
+        if name in self.isps:
+            raise ValueError(f"ISP {name!r} already registered")
+        if client_prefix is None:
+            if not autonomous_system.prefixes:
+                raise ValueError(f"AS {autonomous_system.asn} has no prefixes")
+            client_prefix = autonomous_system.prefixes[0]
+        isp = ISP(name, autonomous_system, client_prefix)
+        self.isps[name] = isp
+        return isp
+
+    def allocate_ip(self, asn: int) -> Ipv4Address:
+        """Allocate a fresh host address from an AS's pool."""
+        pool = self._pools.get(asn)
+        if pool is None:
+            raise KeyError(f"AS {asn} has no address pool")
+        return pool.allocate()
+
+    def add_host(self, host: Host) -> Host:
+        self.hosts[host.ip.value] = host
+        if host.hostname:
+            self.zone.register(host.hostname, host.ip)
+        return host
+
+    def remove_host(self, ip: Ipv4Address) -> None:
+        host = self.hosts.pop(ip.value, None)
+        if host is not None and host.hostname:
+            self.zone.unregister(host.hostname)
+
+    def host_at(self, ip: Ipv4Address) -> Optional[Host]:
+        return self.hosts.get(ip.value)
+
+    def register_website(
+        self,
+        domain: str,
+        content_class: ContentClass,
+        hosting_asn: int,
+        title: str = "",
+        language: str = "en",
+    ) -> WebSite:
+        """Register a new website hosted in ``hosting_asn`` (DNS + host)."""
+        if domain in self.websites:
+            raise ValueError(f"domain {domain!r} already registered")
+        ip = self.allocate_ip(hosting_asn)
+        site = WebSite(domain, content_class, ip, title=title, language=language)
+        self.websites[domain] = site
+        self.add_host(site.as_host())
+        return site
+
+    def unregister_website(self, domain: str) -> None:
+        site = self.websites.pop(domain, None)
+        if site is not None:
+            self.remove_host(site.ip)
+
+    def owner_of(self, address: Ipv4Address) -> Optional[AutonomousSystem]:
+        """Ground-truth AS owning an address (registries may have errors)."""
+        owner = self._prefix_owners.lookup(address)
+        return owner if isinstance(owner, AutonomousSystem) else None
+
+    def country_of(self, address: Ipv4Address) -> Optional[Country]:
+        owner = self.owner_of(address)
+        return owner.country if owner else None
+
+    def all_websites(self) -> Iterator[WebSite]:
+        return iter(self.websites.values())
+
+    # ------------------------------------------------------------ routing
+    @property
+    def now(self) -> SimTime:
+        return self.clock.now
+
+    def advance_days(self, days: float) -> SimTime:
+        return self.clock.advance_days(days)
+
+    def vantage(self, isp_name: str, client_index: int = 10) -> "Vantage":
+        """A measurement vantage inside a named ISP (§4.1 "field")."""
+        isp = self.isps[isp_name]
+        return Vantage(self, isp, isp.client_ip(client_index))
+
+    def lab_vantage(self) -> "Vantage":
+        """The unfiltered lab vantage (University of Toronto in the paper)."""
+        return Vantage(self, None, Ipv4Address.parse("198.51.100.7"))
+
+    def _same_network(self, isp: Optional[ISP], host: Host) -> bool:
+        """True when the vantage sits in the AS that owns the host."""
+        if isp is None:
+            return False
+        owner = self.owner_of(host.ip)
+        return owner is not None and owner.asn == isp.asn
+
+    def _resolve(self, isp: Optional[ISP], hostname: str) -> Ipv4Address:
+        if _is_ip_literal(hostname):
+            return Ipv4Address.parse(hostname)
+        resolver = Resolver(self.zone)
+        if isp is not None:
+            resolver.poisoned.update(isp.dns_poisoned)
+            resolver.refused.update(isp.dns_refused)
+        return resolver.resolve(hostname)
+
+    def fetch(
+        self,
+        isp: Optional[ISP],
+        url: Url,
+        client_ip: Optional[Ipv4Address] = None,
+        *,
+        follow_redirects: bool = True,
+    ) -> FetchResult:
+        """Fetch ``url`` from inside ``isp`` (or the open Internet if None).
+
+        Each hop (including redirect targets) traverses the ISP's on-path
+        devices, so a filter sees and can block redirect destinations too.
+        """
+        hops: List[Hop] = []
+        current = url
+        for _hop_index in range(MAX_REDIRECTS + 1):
+            try:
+                destination = self._resolve(isp, current.host)
+            except NxDomain as exc:
+                return FetchResult(url, FetchOutcome.DNS_FAILURE, hops, str(exc))
+            request = HttpRequest.get(current, client_ip)
+            response = None
+            if isp is not None:
+                for device in isp.devices:
+                    action = device.intercept(request, self.clock.now)
+                    if action.kind is InterceptKind.PASS:
+                        continue
+                    if action.kind is InterceptKind.RESET:
+                        return FetchResult(
+                            url, FetchOutcome.TCP_RESET, hops, "connection reset"
+                        )
+                    if action.kind is InterceptKind.DROP:
+                        return FetchResult(
+                            url, FetchOutcome.TIMEOUT, hops, "connection timed out"
+                        )
+                    response = action.response
+                    break
+            if response is None:
+                host = self.hosts.get(destination.value)
+                if host is None:
+                    return FetchResult(
+                        url,
+                        FetchOutcome.UNREACHABLE,
+                        hops,
+                        f"no route to {destination}",
+                    )
+                if host.internal_only and not self._same_network(isp, host):
+                    return FetchResult(
+                        url,
+                        FetchOutcome.UNREACHABLE,
+                        hops,
+                        f"{destination} not externally reachable",
+                    )
+                response = host.serve(request)
+                if isp is not None:
+                    # Proxies on the return path may annotate responses
+                    # (Via headers etc.) — the signal Netalyzr-style
+                    # fingerprinting reads.
+                    for device in isp.devices:
+                        annotate = getattr(device, "annotate_response", None)
+                        if annotate is not None:
+                            response = annotate(request, response)
+            hops.append(Hop(request, response))
+            if not (follow_redirects and response.is_redirect):
+                return FetchResult(url, FetchOutcome.OK, hops)
+            location = response.location or ""
+            try:
+                if "://" in location:
+                    current = Url.parse(location)
+                elif location.startswith("/"):
+                    current = current.with_path(location)
+                else:
+                    return FetchResult(url, FetchOutcome.OK, hops)
+            except Exception:
+                return FetchResult(url, FetchOutcome.OK, hops)
+        return FetchResult(
+            url, FetchOutcome.TOO_MANY_REDIRECTS, hops, "redirect loop"
+        )
+
+
+@dataclass
+class Vantage:
+    """A client location bound to the world; implements the Fetcher protocol."""
+
+    world: World
+    isp: Optional[ISP]
+    client_ip: Ipv4Address
+
+    def fetch(self, url: Url, *, follow_redirects: bool = True) -> FetchResult:
+        return self.world.fetch(
+            self.isp, url, self.client_ip, follow_redirects=follow_redirects
+        )
+
+    @property
+    def location(self) -> str:
+        if self.isp is None:
+            return "lab"
+        return str(self.isp)
+
+    @property
+    def is_lab(self) -> bool:
+        return self.isp is None

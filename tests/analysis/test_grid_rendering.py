@@ -1,0 +1,62 @@
+"""Property tests for the fixed-width table renderer."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.tables import _grid
+
+# Real tables never have fully empty headers; an all-empty header row
+# renders a zero-width line that splitlines() collapses, so cells are
+# at least one visible character here.
+_CELL = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=12,
+)
+
+
+class DescribeGrid:
+    @given(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda width: st.tuples(
+                st.lists(_CELL, min_size=width, max_size=width),
+                st.lists(
+                    st.lists(_CELL, min_size=width, max_size=width),
+                    max_size=6,
+                ),
+            )
+        )
+    )
+    def test_columns_align(self, header_and_rows):
+        header, rows = header_and_rows
+        text = _grid(rows, header)
+        lines = text.splitlines()
+        # header + divider + one line per row
+        assert len(lines) == 2 + len(rows)
+        # Every separator column lines up with the header's.
+        header_line = lines[0]
+        separator_positions = [
+            index
+            for index, char in enumerate(header_line)
+            if header_line[index:index + 3] == " | "
+        ]
+        for line in lines[2:]:
+            for position in separator_positions:
+                assert line[position:position + 3] == " | "
+
+    @given(st.lists(_CELL, min_size=1, max_size=4))
+    def test_empty_rows_render_header_only(self, header):
+        text = _grid([], header)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        for cell in header:
+            assert cell in lines[0]
+
+    def test_wide_cells_stretch_columns(self):
+        text = _grid(
+            [("short", "a-very-long-cell-value")], ("col1", "col2")
+        )
+        lines = text.splitlines()
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "a-very-long-cell-value" in lines[2]

@@ -1,0 +1,42 @@
+"""Unit tests for the markdown report writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import write_markdown_report
+from repro.core.identify import IdentificationReport
+from repro.core.pipeline import StudyReport
+
+
+class DescribeReportWriter:
+    def test_empty_report_renders(self):
+        document = write_markdown_report(
+            StudyReport(identification=IdentificationReport())
+        )
+        assert document.startswith("# URL-Filter Censorship Study")
+        assert "## Figure 1" in document
+        assert "## Table 3" in document
+        # No probe/characterization sections when absent.
+        assert "category probe" not in document
+        assert "## Table 4" not in document
+        assert "Confirmed product/ISP pairs: none." in document
+
+    def test_seed_line_optional(self):
+        report = StudyReport(identification=IdentificationReport())
+        with_seed = write_markdown_report(report, seed=7)
+        without = write_markdown_report(report)
+        assert "Scenario seed: `7`" in with_seed
+        assert "Scenario seed" not in without
+
+    def test_full_report_sections(self, scenario):
+        from repro.core.pipeline import FullStudy
+
+        # Identification only is cheap; reuse read-only scenario.
+        identification = FullStudy(scenario).run_identification()
+        document = write_markdown_report(
+            StudyReport(identification=identification)
+        )
+        assert "Shodan queries issued" in document
+        assert "keyword-stage precision" in document
+        assert "Netsweeper" in document

@@ -1,0 +1,66 @@
+"""Unit tests for aggregation helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import mean, proportion_ci, rate_table, stddev, tally
+
+
+class DescribeBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stddev(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=0.01
+        )
+
+    def test_stddev_degenerate(self):
+        assert stddev([5.0]) == 0.0
+        assert stddev([]) == 0.0
+
+    def test_tally(self):
+        assert tally("aabac") == {"a": 3, "b": 1, "c": 1}
+
+    def test_rate_table_sorted(self):
+        rows = rate_table({"x": 1, "y": 5}, 6)
+        assert rows[0] == ("y", 5, pytest.approx(5 / 6))
+
+    def test_rate_table_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            rate_table({"x": 1}, 0)
+
+
+class DescribeProportionCI:
+    def test_bounds_ordering(self):
+        low, high = proportion_ci(5, 10)
+        assert 0.0 <= low < 0.5 < high <= 1.0
+
+    def test_extremes(self):
+        low, high = proportion_ci(0, 10)
+        assert low == 0.0 and high < 0.35
+        low, high = proportion_ci(10, 10)
+        assert low > 0.65 and high == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_ci(1, 0)
+        with pytest.raises(ValueError):
+            proportion_ci(5, 3)
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=1, max_value=50))
+    def test_ci_contains_point_estimate(self, successes, extra):
+        trials = successes + extra
+        low, high = proportion_ci(successes, trials)
+        assert low <= successes / trials <= high
+
+    def test_narrower_with_more_trials(self):
+        small = proportion_ci(5, 10)
+        large = proportion_ci(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])

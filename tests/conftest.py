@@ -1,0 +1,76 @@
+"""Shared fixtures: a compact world for unit tests, the full scenario
+for integration-style checks (session-scoped, treated as read-only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.ip import Ipv4Prefix
+from repro.world.content import ContentClass
+from repro.world.entities import OrgKind
+from repro.world.rng import derive_rng
+from repro.world.scenario import Scenario, build_scenario
+from repro.world.world import World
+
+
+def make_mini_world(seed: int = 7) -> World:
+    """A small two-country world: one filtered ISP slot, one hosting AS.
+
+    Contains three websites (proxy / porn / news) and no middleboxes;
+    tests deploy what they need.
+    """
+    world = World(seed=seed)
+    testland = world.add_country("tl", "Testland", "Test Region")
+    world.add_country("ca", "Canada", "North America")
+    world.add_autonomous_system(
+        65001,
+        "TESTNET",
+        "Testland Telecom",
+        OrgKind.NATIONAL_ISP,
+        testland,
+        [Ipv4Prefix.parse("20.1.0.0/16")],
+    )
+    world.add_autonomous_system(
+        65002,
+        "HOSTCO",
+        "Host Co",
+        OrgKind.HOSTING,
+        world.country("ca"),
+        [Ipv4Prefix.parse("20.2.0.0/16")],
+    )
+    world.add_isp("testnet", world.autonomous_systems[65001])
+    world.register_website(
+        "free-proxy.example.com", ContentClass.PROXY_ANONYMIZER, 65002
+    )
+    world.register_website("adult-site.example.com", ContentClass.PORNOGRAPHY, 65002)
+    world.register_website("daily-news.example.com", ContentClass.NEWS, 65002)
+    return world
+
+
+@pytest.fixture()
+def mini_world() -> World:
+    return make_mini_world()
+
+
+def make_content_oracle(world: World):
+    def oracle(host: str):
+        site = world.websites.get(host)
+        return site.content_class if site else None
+
+    return oracle
+
+
+@pytest.fixture()
+def mini_oracle(mini_world):
+    return make_content_oracle(mini_world)
+
+
+@pytest.fixture()
+def rng():
+    return derive_rng(42, "tests")
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """The full IMC'13 scenario — session-scoped; do NOT mutate."""
+    return build_scenario()

@@ -1,0 +1,59 @@
+"""Unit tests for the census-driven identification variant."""
+
+from __future__ import annotations
+
+from repro.core.identify import IdentificationPipeline
+from repro.geo.cymru import WhoisService
+from repro.geo.maxmind import GeoDatabase
+from repro.middlebox.deploy import deploy
+from repro.products.netsweeper import make_netsweeper
+from repro.scan.census import run_census
+from repro.scan.whatweb import WhatWebEngine, world_probe
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle, make_mini_world
+
+
+def build_world_with_box():
+    world = make_mini_world()
+    product = make_netsweeper(
+        make_content_oracle(world), derive_rng(1, "cen-ns")
+    )
+    box = deploy(world, world.isps["testnet"], product, [])
+    return world, box
+
+
+class DescribeCensusPipeline:
+    def test_finds_installation_without_cctld_expansion(self):
+        world, box = build_world_with_box()
+        census = run_census(world)
+        geo = GeoDatabase.build_from_world(world)
+        pipeline = IdentificationPipeline.from_census(
+            census,
+            WhatWebEngine(world_probe(world)),
+            geo,
+            WhoisService.build_from_world(world),
+        )
+        report = pipeline.run(["Netsweeper"])
+        assert [i.ip for i in report.installations] == [box.box_ip]
+        # One uncapped query per keyword — no ccTLD fan-out.
+        assert report.queries_issued == 4  # Netsweeper has 4 keywords
+
+    def test_census_and_shodan_agree_on_full_coverage(self, scenario):
+        from repro.core.pipeline import FullStudy
+        from repro.scan.shodan import ShodanIndex
+
+        world = scenario.world
+        shodan_report = FullStudy(scenario).run_identification()
+        census = run_census(world)
+        geo = GeoDatabase.build_from_world(world)
+        census_pipeline = IdentificationPipeline.from_census(
+            census,
+            WhatWebEngine(world_probe(world)),
+            geo,
+            WhoisService.build_from_world(world),
+        )
+        census_report = census_pipeline.run()
+        assert census_report.country_map() == shodan_report.country_map()
+        # The census route needs an order of magnitude fewer queries.
+        assert census_report.queries_issued < shodan_report.queries_issued / 10

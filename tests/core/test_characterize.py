@@ -1,0 +1,114 @@
+"""Unit tests for §5 content characterization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterize import ContentCharacterization
+from repro.measure.testlists import Table4Column, TestList, TestListEntry
+from repro.measure.testlists import CATEGORY_BY_NAME
+from repro.middlebox.deploy import deploy
+from repro.net.url import Url
+from repro.products.smartfilter import make_smartfilter
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle, make_mini_world
+
+
+def build_world_blocking_lgbt():
+    world = make_mini_world()
+    world.register_website("rainbow-community.org", ContentClass.LGBT, 65002)
+    world.register_website("rights-watch.org", ContentClass.HUMAN_RIGHTS, 65002)
+    product = make_smartfilter(
+        make_content_oracle(world), derive_rng(1, "ch-sf")
+    )
+    deploy(world, world.isps["testnet"], product, ["Sexual Materials"])
+    product.database.add(
+        "rainbow-community.org",
+        product.taxonomy.by_name("Sexual Materials"),
+        world.now,
+    )
+    return world
+
+
+def explicit_lists():
+    lgbt = CATEGORY_BY_NAME["LGBT"]
+    rights = CATEGORY_BY_NAME["Human Rights"]
+    news = CATEGORY_BY_NAME["Independent Media"]
+    return (
+        TestList(
+            "global",
+            [
+                TestListEntry(Url.for_host("rainbow-community.org"), lgbt),
+                TestListEntry(Url.for_host("rights-watch.org"), rights),
+                TestListEntry(Url.for_host("daily-news.example.com"), news),
+            ],
+        ),
+        TestList("local-tl", []),
+    )
+
+
+class DescribeCharacterization:
+    def test_marks_only_blocked_columns(self):
+        world = build_world_blocking_lgbt()
+        characterization = ContentCharacterization(world)
+        global_list, local_list = explicit_lists()
+        result = characterization.run(
+            "testnet",
+            "McAfee SmartFilter",
+            global_list=global_list,
+            local_list=local_list,
+        )
+        assert result.table4_columns() == {Table4Column.LGBT}
+        assert result.blocks_rights_protected_content()
+
+    def test_stats_tallied_per_category(self):
+        world = build_world_blocking_lgbt()
+        characterization = ContentCharacterization(world)
+        global_list, local_list = explicit_lists()
+        result = characterization.run(
+            "testnet", "McAfee SmartFilter",
+            global_list=global_list, local_list=local_list,
+        )
+        lgbt_stats = result.stats["LGBT"]
+        assert lgbt_stats.tested == 1
+        assert lgbt_stats.blocked == 1
+        assert lgbt_stats.block_rate == 1.0
+        assert lgbt_stats.vendors == {"McAfee SmartFilter": 1}
+        assert result.stats["Human Rights"].blocked == 0
+
+    def test_no_blocking_no_columns(self):
+        world = make_mini_world()
+        characterization = ContentCharacterization(world)
+        global_list, local_list = explicit_lists()
+        # rainbow/rights not registered in this fresh world; build lists
+        # from registered sites only.
+        news = CATEGORY_BY_NAME["Independent Media"]
+        plain = TestList(
+            "global",
+            [TestListEntry(Url.for_host("daily-news.example.com"), news)],
+        )
+        result = characterization.run(
+            "testnet", "None", global_list=plain, local_list=local_list
+        )
+        assert result.table4_columns() == set()
+        assert not result.blocks_rights_protected_content()
+
+    def test_metadata_captured(self):
+        world = build_world_blocking_lgbt()
+        characterization = ContentCharacterization(world)
+        global_list, local_list = explicit_lists()
+        result = characterization.run(
+            "testnet", "McAfee SmartFilter",
+            global_list=global_list, local_list=local_list,
+        )
+        assert result.asn == 65001
+        assert result.country_code == "tl"
+        assert result.measured_at == world.now
+
+    def test_default_lists_built_from_world(self, scenario):
+        """Omitting lists builds the global + country-local lists."""
+        characterization = ContentCharacterization(scenario.world)
+        result = characterization.run("du", "Netsweeper")
+        assert len(result.tests) > 40

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class DescribeParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_default(self):
+        args = build_parser().parse_args(["identify"])
+        from repro.world.scenario import DEFAULT_SEED
+
+        assert args.seed == DEFAULT_SEED
+
+    def test_netalyzr_collects_isps(self):
+        args = build_parser().parse_args(
+            ["netalyzr", "--isp", "a", "--isp", "b"]
+        )
+        assert args.isp == ["a", "b"]
+
+
+class DescribeCommands:
+    def test_probe_command(self, capsys):
+        assert main(["probe", "--isp", "yemennet"]) == 0
+        out = capsys.readouterr().out
+        assert "Proxy Anonymizer" in out
+        assert "match" in out
+
+    def test_probe_unknown_isp(self, capsys):
+        assert main(["probe", "--isp", "nowhere"]) == 2
+        assert "unknown ISP" in capsys.readouterr().err
+
+    def test_confirm_command(self, capsys):
+        code = main(
+            ["confirm", "--product", "McAfee SmartFilter", "--isp", "bayanat"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CONFIRMED" in out
+        assert "5/5" in out
+
+    def test_confirm_unknown_pair(self, capsys):
+        code = main(["confirm", "--product", "Websense", "--isp", "bayanat"])
+        assert code == 2
+        assert "known (product, isp) pairs" in capsys.readouterr().err
+
+    def test_netalyzr_command(self, capsys):
+        assert main(["netalyzr", "--isp", "etisalat", "--isp", "du"]) == 0
+        out = capsys.readouterr().out
+        assert "PROXY (Blue Coat)" in out
+        assert "clean" in out
+
+    def test_netalyzr_unknown_isp(self, capsys):
+        assert main(["netalyzr", "--isp", "nowhere"]) == 2
+
+    def test_identify_command(self, capsys):
+        assert main(["identify"]) == 0
+        out = capsys.readouterr().out
+        assert "Netsweeper" in out
+        assert "installations validated" in out
+
+    def test_identify_with_partial_coverage(self, capsys):
+        assert main(["identify", "--coverage", "0.4"]) == 0
+        out = capsys.readouterr().out
+        # A partial index cannot match the paper's full map.
+        assert "DIFFERS" in out
+
+    def test_seed_override_changes_nothing_qualitative(self, capsys):
+        assert main(["--seed", "424242", "probe", "--isp", "yemennet"]) == 0
+        out = capsys.readouterr().out
+        assert "Proxy Anonymizer" in out
+
+    def test_study_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        assert main(["study", "--output", str(output)]) == 0
+        document = output.read_text()
+        assert "# URL-Filter Censorship Study" in document
+        assert "## Table 3" in document
+        assert "Headline finding" in document
+        assert "**McAfee SmartFilter** in `bayanat`" in document

@@ -1,0 +1,133 @@
+"""Unit tests for the §6 evasion toolkit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evasion import (
+    BRAND_TOKENS,
+    hide_installation,
+    mask_installation,
+    screen_submissions,
+    scrub_response,
+)
+from repro.middlebox.deploy import deploy
+from repro.net.fetch import FetchOutcome
+from repro.net.http import Headers, HttpResponse
+from repro.net.url import Url
+from repro.products.netsweeper import make_netsweeper
+from repro.scan.whatweb import WhatWebEngine, world_probe
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle, make_mini_world
+
+
+@pytest.fixture()
+def netsweeper_world():
+    world = make_mini_world()
+    product = make_netsweeper(
+        make_content_oracle(world), derive_rng(1, "ev-ns")
+    )
+    world.clock.on_tick(product.tick)
+    box = deploy(
+        world, world.isps["testnet"], product, ["Proxy Anonymizer"]
+    )
+    product.database.add(
+        "free-proxy.example.com",
+        product.taxonomy.by_name("Proxy Anonymizer"),
+        world.now,
+    )
+    return world, product, box
+
+
+class DescribeScrubbing:
+    def test_scrub_response_removes_headers_and_brands(self):
+        response = HttpResponse(
+            200,
+            Headers([
+                ("Server", "Apache"),
+                ("Content-Type", "text/html"),
+                ("WWW-Authenticate", 'Basic realm="X"'),
+            ]),
+            "<title>Netsweeper WebAdmin</title> by Netsweeper Inc.",
+        )
+        scrubbed = scrub_response(response, BRAND_TOKENS["Netsweeper"])
+        assert scrubbed.headers.get("Server") is None
+        assert scrubbed.headers.get("WWW-Authenticate") is None
+        assert scrubbed.headers.get("Content-Type") == "text/html"
+        assert "netsweeper" not in scrubbed.body.lower()
+
+    def test_scrub_case_insensitive(self):
+        response = HttpResponse(200, Headers(), "NETSWEEPER and NetSweeper")
+        scrubbed = scrub_response(response, ("netsweeper",))
+        assert "netsweeper" not in scrubbed.body.lower()
+
+
+class DescribeHide:
+    def test_hidden_box_unreachable_externally(self, netsweeper_world):
+        world, _product, box = netsweeper_world
+        hide_installation(box)
+        result = world.lab_vantage().fetch(
+            Url.parse(f"http://{box.box_ip}:8080/")
+        )
+        assert result.outcome is FetchOutcome.UNREACHABLE
+
+    def test_hidden_box_still_filters(self, netsweeper_world):
+        world, _product, box = netsweeper_world
+        hide_installation(box)
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        # Deny redirect chain still completes for in-network clients.
+        assert result.ok
+        assert "Web Page Blocked" in result.response.body
+
+
+class DescribeMask:
+    def test_masked_box_defeats_whatweb(self, netsweeper_world):
+        world, _product, box = netsweeper_world
+        engine = WhatWebEngine(world_probe(world))
+        assert engine.identify(box.box_ip).matched("Netsweeper")
+        mask_installation(box)
+        assert not engine.identify(box.box_ip).matched("Netsweeper")
+
+    def test_masked_box_still_blocks_without_branding(self, netsweeper_world):
+        world, _product, box = netsweeper_world
+        mask_installation(box)
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        final = result.response
+        assert final is not None
+        assert "netsweeper" not in final.full_text().lower()
+
+    def test_masked_console_root_is_404(self, netsweeper_world):
+        world, _product, box = netsweeper_world
+        mask_installation(box)
+        result = world.lab_vantage().fetch(
+            Url.parse(f"http://{box.box_ip}:8080/"), follow_redirects=False
+        )
+        assert result.status == 404
+
+    def test_mask_survives_missing_world_host(self, netsweeper_world):
+        _world, _product, box = netsweeper_world
+        box.world_host = None
+        mask_installation(box)  # must not raise
+
+
+class DescribeScreening:
+    def test_policy_extended(self, netsweeper_world):
+        _world, product, box = netsweeper_world
+        screen_submissions(
+            box,
+            distrusted_emails=["x@lab.example"],
+            distrusted_ips=["203.0.113.1"],
+            distrusted_hosting=["Tiny VPS"],
+            protected_hosting=["MegaCloud"],
+        )
+        policy = product.portal.policy
+        assert "x@lab.example" in policy.distrusted_emails
+        assert "203.0.113.1" in policy.distrusted_ips
+        assert "Tiny VPS" in policy.distrusted_hosting
+        assert "MegaCloud" in policy.protected_hosting

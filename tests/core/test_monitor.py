@@ -1,0 +1,102 @@
+"""Tests for longitudinal confirmation monitoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confirm import ConfirmationConfig
+from repro.core.monitor import (
+    LongitudinalMonitor,
+    TransitionKind,
+    UsageState,
+)
+from repro.middlebox.deploy import deploy
+from repro.products.smartfilter import make_smartfilter
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle, make_mini_world
+
+
+def build(accepting=True):
+    world = make_mini_world()
+    product = make_smartfilter(
+        make_content_oracle(world), derive_rng(1, "mon-sf")
+    )
+    world.clock.on_tick(product.tick)
+    box = deploy(world, world.isps["testnet"], product, ["Anonymizers"])
+    config = ConfirmationConfig(
+        product_name="McAfee SmartFilter",
+        isp_name="testnet",
+        content_class=ContentClass.PROXY_ANONYMIZER,
+        category_label="Anonymizers",
+        requested_category="Anonymizers",
+        total_domains=6,
+        submit_count=3,
+    )
+    return world, product, box, config
+
+
+class DescribeMonitoring:
+    def test_stable_confirmed_series(self):
+        world, product, _box, config = build()
+        monitor = LongitudinalMonitor(world, product, 65002, config)
+        series = monitor.run(rounds=3, interval_days=30)
+        assert series.states() == [UsageState.CONFIRMED] * 3
+        assert series.transitions() == []
+        assert series.ever_confirmed()
+        assert series.currently_confirmed()
+
+    def test_each_round_uses_fresh_domains(self):
+        world, product, _box, config = build()
+        monitor = LongitudinalMonitor(world, product, 65002, config)
+        series = monitor.run(rounds=2, interval_days=10)
+        first = {o.domain for o in series.rounds[0].result.outcomes}
+        second = {o.domain for o in series.rounds[1].result.outcomes}
+        assert first.isdisjoint(second)
+
+    def test_withdrawal_detected(self):
+        """The Websense-Yemen arc (§2.2): after the vendor cuts update
+        support, the deployment keeps its old database but the monitor's
+        freshly submitted sites never reach it — confirmed flips to
+        not-confirmed."""
+        world, product, box, config = build()
+        monitor = LongitudinalMonitor(world, product, 65002, config)
+        monitor.run_round()
+        # Vendor withdraws support between rounds.
+        box.subscription.withdraw(world.now)
+        world.advance_days(30)
+        monitor.run_round()
+        series = monitor.series
+        assert series.states() == [
+            UsageState.CONFIRMED,
+            UsageState.NOT_CONFIRMED,
+        ]
+        transitions = series.transitions()
+        assert len(transitions) == 1
+        assert transitions[0].kind is TransitionKind.WITHDRAWN
+
+    def test_appearance_detected(self):
+        world, product, box, config = build()
+        box.enabled = False  # no filtering yet
+        monitor = LongitudinalMonitor(world, product, 65002, config)
+        monitor.run_round()
+        box.enabled = True  # censorship begins
+        world.advance_days(30)
+        monitor.run_round()
+        transitions = monitor.series.transitions()
+        assert [t.kind for t in transitions] == [TransitionKind.APPEARED]
+
+    def test_validation(self):
+        world, product, _box, config = build()
+        monitor = LongitudinalMonitor(world, product, 65002, config)
+        with pytest.raises(ValueError):
+            monitor.run(rounds=0, interval_days=10)
+        with pytest.raises(ValueError):
+            monitor.run(rounds=2, interval_days=-1)
+
+    def test_empty_series_state(self):
+        world, product, _box, config = build()
+        monitor = LongitudinalMonitor(world, product, 65002, config)
+        assert monitor.series.currently_confirmed() is None
+        assert not monitor.series.ever_confirmed()

@@ -1,0 +1,98 @@
+"""Tests for the §6/§7 scalability cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confirm import ConfirmationConfig
+from repro.core.identify import IdentificationReport, Installation
+from repro.core.scale import (
+    CampaignCost,
+    campaign_cost,
+    case_study_cost,
+    exhaustive_campaign,
+    reduction_factor,
+    targeted_campaign,
+)
+from repro.net.ip import Ipv4Address
+from repro.world.content import ContentClass
+
+
+def template(**overrides) -> ConfirmationConfig:
+    defaults = dict(
+        product_name="Netsweeper",
+        isp_name="du",
+        content_class=ContentClass.PROXY_ANONYMIZER,
+        category_label="Proxy anonymizer",
+        total_domains=12,
+        submit_count=6,
+        pre_validate=False,
+    )
+    defaults.update(overrides)
+    return ConfirmationConfig(**defaults)
+
+
+class DescribeCaseStudyCost:
+    def test_netsweeper_flow_cost(self):
+        cost = case_study_cost(template())
+        assert cost.target_isps == 1
+        assert cost.domains_registered == 12
+        assert cost.vendor_submissions == 6
+        # No pre-validation; one retest round; x2 for the paired lab fetch.
+        assert cost.field_fetches == 2 * 12
+        assert cost.wall_clock_days == pytest.approx(5.0)
+
+    def test_prevalidating_flow_costs_more_fetches(self):
+        with_pre = case_study_cost(template(pre_validate=True))
+        without = case_study_cost(template(pre_validate=False))
+        assert with_pre.field_fetches == without.field_fetches + 2 * 12
+
+    def test_repeat_rounds_scale_fetches_and_days(self):
+        rounds = case_study_cost(template(retest_rounds=3, round_gap_days=0.5))
+        assert rounds.field_fetches == 2 * 12 * 3
+        assert rounds.wall_clock_days == pytest.approx(5.0 + 2 * 0.5)
+
+
+class DescribeCampaigns:
+    def test_empty_campaign(self):
+        assert campaign_cost([]).field_fetches == 0
+
+    def test_concurrent_wall_clock(self):
+        cost = exhaustive_campaign(["a", "b", "c"], template())
+        assert cost.target_isps == 3
+        assert cost.wall_clock_days == pytest.approx(5.0)  # max, not sum
+        assert cost.domains_registered == 36
+
+    def test_targeted_campaign_uses_identification(self):
+        report = IdentificationReport()
+        report.installations = [
+            Installation(
+                Ipv4Address.parse("20.0.0.1"), "Netsweeper", "ae", 15802,
+                "DU-AS1", "Du", None,
+            ),
+            Installation(
+                Ipv4Address.parse("20.0.0.2"), "Netsweeper", "ye", 12486,
+                "YEMENNET", "PTC", None,
+            ),
+            # A network without an in-country vantage: skipped.
+            Installation(
+                Ipv4Address.parse("20.0.0.3"), "Netsweeper", "us", 7018,
+                "ATT", "AT&T", None,
+            ),
+        ]
+        vantage_map = {15802: "du", 12486: "yemennet"}
+        cost = targeted_campaign(
+            report, "Netsweeper", vantage_map.get, template()
+        )
+        assert cost.target_isps == 2
+
+    def test_reduction_factor(self):
+        everywhere = exhaustive_campaign([f"isp{i}" for i in range(40)], template())
+        somewhere = exhaustive_campaign(["du", "yemennet"], template())
+        factor = reduction_factor(everywhere, somewhere)
+        assert factor == pytest.approx(20.0)
+
+    def test_reduction_factor_degenerate(self):
+        everywhere = exhaustive_campaign(["a"], template())
+        nothing = campaign_cost([])
+        assert reduction_factor(everywhere, nothing) == float("inf")

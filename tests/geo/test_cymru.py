@@ -1,0 +1,37 @@
+"""Unit tests for the Team Cymru-style whois service."""
+
+from __future__ import annotations
+
+from repro.geo.cymru import WhoisService
+from repro.net.ip import Ipv4Address
+from repro.world.entities import OrgKind
+
+
+class DescribeWhoisService:
+    def test_lookup_from_world(self, mini_world):
+        service = WhoisService.build_from_world(mini_world)
+        site = mini_world.websites["daily-news.example.com"]
+        record = service.lookup(site.ip)
+        assert record is not None
+        assert record.asn == 65002
+        assert record.as_name == "HOSTCO"
+        assert record.org_name == "Host Co"
+        assert record.org_kind is OrgKind.HOSTING
+        assert record.country_code == "ca"
+
+    def test_asn_shortcut(self, mini_world):
+        service = WhoisService.build_from_world(mini_world)
+        client = mini_world.isps["testnet"].client_ip()
+        assert service.asn(client) == 65001
+
+    def test_miss_returns_none(self, mini_world):
+        service = WhoisService.build_from_world(mini_world)
+        assert service.lookup(Ipv4Address.parse("203.0.113.9")) is None
+        assert service.asn(Ipv4Address.parse("203.0.113.9")) is None
+
+    def test_scenario_case_study_asns(self, scenario):
+        service = WhoisService.build_from_world(scenario.world)
+        etisalat = scenario.world.isps["etisalat"]
+        record = service.lookup(etisalat.client_ip())
+        assert record.asn == 5384
+        assert record.org_kind is OrgKind.NATIONAL_ISP

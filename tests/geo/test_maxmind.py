@@ -1,0 +1,51 @@
+"""Unit tests for the MaxMind-style geolocation database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.maxmind import GeoDatabase
+from repro.net.ip import Ipv4Address, Ipv4Prefix
+from repro.world.rng import derive_rng
+
+
+class DescribeGeoDatabase:
+    def test_lookup(self):
+        database = GeoDatabase()
+        database.add(Ipv4Prefix.parse("20.0.0.0/16"), "AE")
+        assert database.country_code(Ipv4Address.parse("20.0.1.1")) == "ae"
+        assert database.country_code(Ipv4Address.parse("21.0.0.1")) is None
+
+    def test_longest_prefix_wins(self):
+        database = GeoDatabase()
+        database.add(Ipv4Prefix.parse("20.0.0.0/8"), "us")
+        database.add(Ipv4Prefix.parse("20.5.0.0/16"), "qa")
+        assert database.country_code(Ipv4Address.parse("20.5.0.1")) == "qa"
+        assert database.country_code(Ipv4Address.parse("20.6.0.1")) == "us"
+
+    def test_build_from_world_exact(self, mini_world):
+        database = GeoDatabase.build_from_world(mini_world)
+        site = mini_world.websites["daily-news.example.com"]
+        assert database.country_code(site.ip) == "ca"
+        assert database.error_count() == 0
+
+    def test_build_with_errors_requires_rng(self, mini_world):
+        with pytest.raises(ValueError):
+            GeoDatabase.build_from_world(mini_world, error_rate=0.5)
+
+    def test_build_with_errors_mislocates(self, mini_world):
+        database = GeoDatabase.build_from_world(
+            mini_world, error_rate=1.0, rng=derive_rng(1, "geo")
+        )
+        assert database.error_count() == len(database.records)
+        site = mini_world.websites["daily-news.example.com"]
+        assert database.country_code(site.ip) != "ca"
+
+    def test_error_rate_statistics(self, scenario):
+        database = GeoDatabase.build_from_world(
+            scenario.world, error_rate=0.3, rng=derive_rng(2, "geo")
+        )
+        total = len(database.records)
+        errors = database.error_count()
+        assert 0 < errors < total
+        assert abs(errors / total - 0.3) < 0.2

@@ -1,0 +1,174 @@
+"""Integration: cross-module stories the paper tells.
+
+Each test walks one narrative thread through multiple subsystems, using
+a fresh compact world so state is fully controlled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confirm import ConfirmationConfig, ConfirmationStudy
+from repro.measure.client import MeasurementClient
+from repro.middlebox.deploy import deploy, register_vendor_infrastructure
+from repro.net.url import Url
+from repro.products.netsweeper import CATEGORY_TEST_HOST, make_netsweeper
+from repro.products.smartfilter import make_smartfilter
+from repro.products.websense import make_websense
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle, make_mini_world
+
+
+class DescribeWebsenseYemenStory:
+    """§2.2: Websense withdrew update support from Yemen in 2009."""
+
+    def test_withdrawn_subscription_stops_new_blocks(self):
+        world = make_mini_world()
+        product = make_websense(
+            make_content_oracle(world), derive_rng(1, "e2e-ws")
+        )
+        world.clock.on_tick(product.tick)
+        box = deploy(world, world.isps["testnet"], product, ["Proxy Avoidance"])
+        proxy_category = product.taxonomy.by_name("Proxy Avoidance")
+        product.database.add("free-proxy.example.com", proxy_category, world.now)
+
+        vantage = world.vantage("testnet")
+        old = vantage.fetch(Url.parse("http://free-proxy.example.com/"))
+        assert old.hops[0].response.status == 302  # blocked via redirect
+
+        # Vendor cuts the update channel; new categorizations never land.
+        box.subscription.withdraw(world.now)
+        world.advance_days(1)
+        world.register_website(
+            "new-proxy.example.net", ContentClass.PROXY_ANONYMIZER, 65002
+        )
+        product.database.add(
+            "new-proxy.example.net", proxy_category, world.now
+        )
+        new = vantage.fetch(Url.parse("http://new-proxy.example.net/"))
+        assert new.status == 200
+        # Pre-withdrawal categorizations keep working.
+        still_old = vantage.fetch(Url.parse("http://free-proxy.example.com/"))
+        assert still_old.hops[0].response.status == 302
+
+
+class DescribeNetsweeperEndToEnd:
+    def test_deny_page_roundtrip_inside_isp(self):
+        world = make_mini_world()
+        product = make_netsweeper(
+            make_content_oracle(world), derive_rng(1, "e2e-ns")
+        )
+        register_vendor_infrastructure(world, product, 65002)
+        deploy(world, world.isps["testnet"], product, ["Proxy Anonymizer"])
+        product.database.add(
+            "free-proxy.example.com",
+            product.taxonomy.by_name("Proxy Anonymizer"),
+            world.now,
+        )
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        # 302 to the box deny page, then the deny page itself.
+        assert len(result.hops) == 2
+        assert "webadmin/deny" in result.hops[0].response.location
+        assert "Web Page Blocked" in result.response.body
+
+    def test_category_probe_flow(self):
+        world = make_mini_world()
+        product = make_netsweeper(
+            make_content_oracle(world), derive_rng(1, "e2e-ns2")
+        )
+        register_vendor_infrastructure(world, product, 65002)
+        deploy(world, world.isps["testnet"], product, ["Gambling", "Dating"])
+        from repro.core.confirm import run_category_probe
+
+        probe = run_category_probe(world, "testnet")
+        assert set(probe.blocked_names) == {"Gambling", "Dating"}
+
+    def test_full_confirmation_without_prevalidation(self):
+        world = make_mini_world()
+        product = make_netsweeper(
+            make_content_oracle(world), derive_rng(1, "e2e-ns3"),
+            queue_min_days=20.0, queue_max_days=30.0,
+        )
+        world.clock.on_tick(product.tick)
+        register_vendor_infrastructure(world, product, 65002)
+        deploy(world, world.isps["testnet"], product, ["Proxy Anonymizer"])
+        study = ConfirmationStudy(world, product, 65002)
+        result = study.run(
+            ConfirmationConfig(
+                product_name="Netsweeper",
+                isp_name="testnet",
+                content_class=ContentClass.PROXY_ANONYMIZER,
+                category_label="Proxy anonymizer",
+                total_domains=12,
+                submit_count=6,
+                pre_validate=False,
+            )
+        )
+        assert result.blocked_submitted == 6
+        assert result.blocked_control == 0
+        assert result.confirmed
+
+
+class DescribeChallenge1Story:
+    """§4.3: pick a category the ISP actually blocks."""
+
+    def test_wrong_category_then_right_category(self):
+        world = make_mini_world()
+        product = make_smartfilter(
+            make_content_oracle(world), derive_rng(1, "e2e-sf")
+        )
+        world.clock.on_tick(product.tick)
+        # Saudi-style policy: porn blocked, proxies NOT.
+        deploy(world, world.isps["testnet"], product, ["Pornography", "Nudity"])
+        study = ConfirmationStudy(world, product, 65002)
+
+        proxy_attempt = study.run(
+            ConfirmationConfig(
+                product_name="McAfee SmartFilter",
+                isp_name="testnet",
+                content_class=ContentClass.PROXY_ANONYMIZER,
+                category_label="Anonymizers",
+                requested_category="Anonymizers",
+            )
+        )
+        assert not proxy_attempt.confirmed  # wrong category: no signal
+
+        porn_attempt = study.run(
+            ConfirmationConfig(
+                product_name="McAfee SmartFilter",
+                isp_name="testnet",
+                content_class=ContentClass.ADULT_IMAGES,
+                category_label="Pornography",
+                requested_category="Pornography",
+            )
+        )
+        assert porn_attempt.confirmed  # right category: clean 5/5
+        assert porn_attempt.blocked_submitted == 5
+
+
+class DescribeHostnameGranularity:
+    """§4.6: blocking applies to the whole host, so testers can fetch a
+    benign path and still observe the block."""
+
+    def test_benign_path_blocked_once_host_categorized(self):
+        world = make_mini_world()
+        product = make_smartfilter(
+            make_content_oracle(world), derive_rng(1, "e2e-sf2")
+        )
+        world.clock.on_tick(product.tick)
+        deploy(world, world.isps["testnet"], product, ["Pornography"])
+        from repro.measure.domains import TestDomainFactory
+
+        factory = TestDomainFactory(world, 65002)
+        domain = factory.create(ContentClass.ADULT_IMAGES)
+        product.database.add(
+            domain.domain, product.taxonomy.by_name("Pornography"), world.now
+        )
+        client = MeasurementClient(world.vantage("testnet"), world.lab_vantage())
+        test = client.test_url(domain.test_url)  # the BENIGN image path
+        assert test.blocked
+        assert test.vendor == "McAfee SmartFilter"

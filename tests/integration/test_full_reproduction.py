@@ -1,0 +1,97 @@
+"""Integration: the calibrated scenario reproduces the paper end to end.
+
+These are the library-level counterparts of the benchmark harness — the
+complete campaign is run once (module scope) and every published
+artifact is asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FullStudy, build_scenario
+from repro.analysis.paper_data import (
+    PAPER_FIGURE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_YEMEN_PROBE_CATEGORIES,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return FullStudy(build_scenario()).run()
+
+
+class DescribeFigure1:
+    def test_country_map_exact(self, report):
+        measured = report.identification.country_map()
+        for product, expected in PAPER_FIGURE1.items():
+            assert measured[product] == set(expected), product
+
+    def test_validation_rejected_noise(self, report):
+        assert len(report.identification.rejected) >= 4
+
+    def test_every_installation_has_whois(self, report):
+        for installation in report.identification.installations:
+            assert installation.asn is not None
+            assert installation.org_name
+
+
+class DescribeTable3:
+    def test_every_row_reproduced(self, report):
+        for row in PAPER_TABLE3:
+            result = report.confirmation_for(
+                row.product, row.isp_key, row.category
+            )
+            assert result is not None
+            assert result.blocked_submitted == row.blocked
+            assert result.confirmed == row.confirmed
+
+    def test_dates_in_paper_order(self, report):
+        stamps = [r.submitted_at for r in report.confirmations]
+        assert stamps == sorted(stamps)
+
+    def test_controls_never_blocked(self, report):
+        for result in report.confirmations:
+            assert result.blocked_control == 0
+
+    def test_prevalidation_only_for_non_netsweeper(self, report):
+        for result in report.confirmations:
+            if result.config.product_name == "Netsweeper":
+                assert result.pre_check_accessible is None
+            else:
+                assert result.pre_check_accessible == result.config.total_domains
+
+
+class DescribeProbe:
+    def test_exactly_five_categories(self, report):
+        assert set(report.category_probe.blocked_names) == set(
+            PAPER_YEMEN_PROBE_CATEGORIES
+        )
+        assert report.category_probe.tested == 66
+
+    def test_probe_ran_in_january_2013(self, report):
+        assert str(report.category_probe.probed_at).startswith("2013-01")
+
+
+class DescribeTable4:
+    def test_columns_match_reconstruction(self, report):
+        for row in PAPER_TABLE4:
+            result = report.characterizations[row.isp_key]
+            assert result.table4_columns() == set(row.columns), row.isp_key
+
+    def test_all_confirmed_deployments_block_protected_speech(self, report):
+        for result in report.characterizations.values():
+            assert result.blocks_rights_protected_content()
+
+
+class DescribeHeadline:
+    def test_six_confirmed_pairs(self, report):
+        pairs = report.confirmed_pairs()
+        assert len(pairs) == 6
+        products = {product for product, _isp in pairs}
+        assert products == {"McAfee SmartFilter", "Netsweeper"}
+
+    def test_blue_coat_never_confirmed(self, report):
+        assert all(product != "Blue Coat" for product, _ in report.confirmed_pairs())

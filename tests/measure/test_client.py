@@ -1,0 +1,84 @@
+"""Unit tests for the dual field/lab measurement client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measure.client import MeasurementClient
+from repro.middlebox.deploy import deploy
+from repro.net.url import Url
+from repro.products.smartfilter import make_smartfilter
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle
+
+
+@pytest.fixture()
+def filtered_world(mini_world):
+    product = make_smartfilter(
+        make_content_oracle(mini_world), derive_rng(1, "mc")
+    )
+    deploy(mini_world, mini_world.isps["testnet"], product, ["Anonymizers"])
+    product.database.add(
+        "free-proxy.example.com",
+        product.taxonomy.by_name("Anonymizers"),
+        mini_world.now,
+    )
+    return mini_world
+
+
+class DescribeClientConstruction:
+    def test_rejects_lab_as_field(self, filtered_world):
+        with pytest.raises(ValueError):
+            MeasurementClient(
+                filtered_world.lab_vantage(), filtered_world.lab_vantage()
+            )
+
+    def test_rejects_field_as_lab(self, filtered_world):
+        with pytest.raises(ValueError):
+            MeasurementClient(
+                filtered_world.vantage("testnet"),
+                filtered_world.vantage("testnet"),
+            )
+
+
+class DescribeTesting:
+    @pytest.fixture()
+    def client(self, filtered_world):
+        return MeasurementClient(
+            filtered_world.vantage("testnet"), filtered_world.lab_vantage()
+        )
+
+    def test_blocked_url(self, client):
+        test = client.test_url(Url.parse("http://free-proxy.example.com/"))
+        assert test.blocked
+        assert not test.accessible
+        assert test.vendor == "McAfee SmartFilter"
+
+    def test_accessible_url(self, client):
+        test = client.test_url(Url.parse("http://daily-news.example.com/"))
+        assert test.accessible
+        assert test.vendor is None
+
+    def test_run_list_aggregation(self, client):
+        run = client.run_list(
+            [
+                Url.parse("http://free-proxy.example.com/"),
+                Url.parse("http://daily-news.example.com/"),
+                Url.parse("http://adult-site.example.com/"),
+            ]
+        )
+        assert len(run) == 3
+        assert run.blocked_count() == 1
+        assert len(run.accessible_tests()) == 2
+        assert run.vendors_seen() == {"McAfee SmartFilter": 1}
+
+    def test_result_for_lookup(self, client):
+        url = Url.parse("http://daily-news.example.com/")
+        run = client.run_list([url])
+        assert run.result_for(url) is run.tests[0]
+        assert run.result_for(Url.parse("http://other.example.com/")) is None
+
+    def test_measured_at_timestamp(self, client, filtered_world):
+        test = client.test_url(Url.parse("http://daily-news.example.com/"))
+        assert test.measured_at == filtered_world.now

@@ -1,0 +1,29 @@
+"""Unit tests for the Glype proxy-script content."""
+
+from __future__ import annotations
+
+from repro.measure.glype import GLYPE_MARKER, glype_browse_page, glype_index_page
+
+
+class DescribeGlypePages:
+    def test_index_page_carries_marker(self):
+        page = glype_index_page("starwasher.info")
+        assert GLYPE_MARKER in page.body
+        assert page.status == 200
+
+    def test_index_page_has_proxy_form(self):
+        page = glype_index_page("starwasher.info")
+        assert 'action="/browse.php"' in page.body
+        assert "Web Proxy" in (page.html_title() or "")
+
+    def test_index_page_looks_like_php_hosting(self):
+        page = glype_index_page("starwasher.info")
+        assert "PHP" in (page.headers.get("X-Powered-By") or "")
+
+    def test_browse_endpoint(self):
+        page = glype_browse_page("starwasher.info")
+        assert page.status == 200
+
+    def test_domain_appears_in_title(self):
+        page = glype_index_page("moonkeeper.info")
+        assert "moonkeeper.info" in page.html_title()

@@ -1,0 +1,130 @@
+"""Unit tests for deployment wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.middlebox.deploy import (
+    deploy,
+    deploy_stacked,
+    register_vendor_infrastructure,
+)
+from repro.net.fetch import FetchOutcome
+from repro.net.url import Url
+from repro.products.bluecoat import CFAUTH_HOST, make_bluecoat
+from repro.products.netsweeper import make_netsweeper
+from repro.products.smartfilter import make_smartfilter
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle
+
+
+def products_for(world):
+    oracle = make_content_oracle(world)
+    return (
+        make_smartfilter(oracle, derive_rng(1, "d-sf")),
+        make_bluecoat(oracle, derive_rng(1, "d-bc")),
+        make_netsweeper(oracle, derive_rng(1, "d-ns")),
+    )
+
+
+class DescribeDeploy:
+    def test_appends_to_isp_device_stack(self, mini_world):
+        smartfilter, _bc, _ns = products_for(mini_world)
+        isp = mini_world.isps["testnet"]
+        box = deploy(mini_world, isp, smartfilter, ["Pornography"])
+        assert isp.devices[-1] is box
+
+    def test_visible_box_host_reachable_externally(self, mini_world):
+        smartfilter, _bc, _ns = products_for(mini_world)
+        box = deploy(
+            mini_world, mini_world.isps["testnet"], smartfilter, [],
+            externally_visible=True,
+        )
+        result = mini_world.lab_vantage().fetch(
+            Url.parse(f"http://{box.box_ip}/"), follow_redirects=False
+        )
+        assert result.ok
+
+    def test_hidden_box_host_unreachable_externally(self, mini_world):
+        smartfilter, _bc, _ns = products_for(mini_world)
+        box = deploy(
+            mini_world, mini_world.isps["testnet"], smartfilter, [],
+            externally_visible=False,
+        )
+        result = mini_world.lab_vantage().fetch(Url.parse(f"http://{box.box_ip}/"))
+        assert result.outcome is FetchOutcome.UNREACHABLE
+        inside = mini_world.vantage("testnet").fetch(
+            Url.parse(f"http://{box.box_ip}/"), follow_redirects=False
+        )
+        assert inside.ok
+
+    def test_box_ip_allocated_from_isp_as(self, mini_world):
+        smartfilter, _bc, _ns = products_for(mini_world)
+        box = deploy(mini_world, mini_world.isps["testnet"], smartfilter, [])
+        owner = mini_world.owner_of(box.box_ip)
+        assert owner.asn == 65001
+
+    def test_policy_categories_validated_against_engine(self, mini_world):
+        smartfilter, _bc, _ns = products_for(mini_world)
+        with pytest.raises(KeyError):
+            deploy(
+                mini_world, mini_world.isps["testnet"], smartfilter,
+                ["Proxy Anonymizer"],  # Netsweeper name, not SmartFilter
+            )
+
+
+class DescribeStackedDeploy:
+    def test_stacked_box_uses_engine_database(self, mini_world):
+        smartfilter, bluecoat, _ns = products_for(mini_world)
+        box = deploy_stacked(
+            mini_world, mini_world.isps["testnet"], bluecoat, smartfilter,
+            ["Anonymizers"],
+        )
+        smartfilter.database.add(
+            "free-proxy.example.com",
+            smartfilter.taxonomy.by_name("Anonymizers"),
+            mini_world.now,
+        )
+        result = mini_world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.status == 403
+        # The block page is the ENGINE's (SmartFilter), not the appliance's.
+        assert result.response.headers.get("Via-Proxy") is not None
+
+    def test_appliance_database_is_inert(self, mini_world):
+        smartfilter, bluecoat, _ns = products_for(mini_world)
+        deploy_stacked(
+            mini_world, mini_world.isps["testnet"], bluecoat, smartfilter,
+            ["Anonymizers"],
+        )
+        # Categorize in the APPLIANCE's (Blue Coat) database only.
+        bluecoat.database.add(
+            "free-proxy.example.com",
+            bluecoat.taxonomy.by_name("Proxy Avoidance"),
+            mini_world.now,
+        )
+        result = mini_world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.status == 200
+
+
+class DescribeInfrastructure:
+    def test_registers_vendor_sites_once(self, mini_world):
+        _sf, bluecoat, netsweeper = products_for(mini_world)
+        register_vendor_infrastructure(mini_world, bluecoat, 65002)
+        register_vendor_infrastructure(mini_world, bluecoat, 65002)  # idempotent
+        register_vendor_infrastructure(mini_world, netsweeper, 65002)
+        assert CFAUTH_HOST in mini_world.zone
+        assert "denypagetests.netsweeper.com" in mini_world.zone
+
+    def test_infra_site_serves(self, mini_world):
+        _sf, bluecoat, _ns = products_for(mini_world)
+        register_vendor_infrastructure(mini_world, bluecoat, 65002)
+        result = mini_world.lab_vantage().fetch(
+            Url.parse(f"http://{CFAUTH_HOST}/?cfru=zzz")
+        )
+        assert result.ok and "zzz" in result.response.body

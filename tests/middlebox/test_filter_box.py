@@ -1,0 +1,188 @@
+"""Unit tests for the deployed filter middlebox."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.middlebox.deploy import deploy
+from repro.middlebox.filter_box import FilterMiddlebox
+from repro.middlebox.policy import BlockMode, FilterPolicy
+from repro.net.fetch import FetchOutcome
+from repro.net.http import HttpRequest
+from repro.net.url import Url
+from repro.products.database import DatabaseSubscription
+from repro.products.licensing import LicenseModel
+from repro.products.smartfilter import make_smartfilter
+from repro.products.bluecoat import make_bluecoat
+from repro.world.clock import SimTime
+from repro.world.content import ContentClass
+from repro.world.entities import InterceptKind
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle
+
+
+@pytest.fixture()
+def deployed(mini_world):
+    product = make_smartfilter(
+        make_content_oracle(mini_world), derive_rng(1, "sf")
+    )
+    mini_world.clock.on_tick(product.tick)
+    box = deploy(
+        mini_world,
+        mini_world.isps["testnet"],
+        product,
+        ["Anonymizers", "Pornography"],
+    )
+    # Seed the vendor database with the known sites.
+    now = mini_world.now
+    taxonomy = product.taxonomy
+    product.database.add(
+        "free-proxy.example.com", taxonomy.by_name("Anonymizers"), now
+    )
+    product.database.add(
+        "adult-site.example.com", taxonomy.by_name("Pornography"), now
+    )
+    return mini_world, product, box
+
+
+class DescribeInterception:
+    def test_blocks_categorized_hosts(self, deployed):
+        world, _product, box = deployed
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.status == 403
+        assert box.block_count == 1
+
+    def test_passes_uncategorized_hosts(self, deployed):
+        world, _product, _box = deployed
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://daily-news.example.com/")
+        )
+        assert result.status == 200
+
+    def test_disabled_box_passes_everything(self, deployed):
+        world, _product, box = deployed
+        box.enabled = False
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.status == 200
+
+    def test_self_traffic_passes(self, deployed):
+        world, _product, box = deployed
+        request = HttpRequest.get(Url.parse(f"http://{box.box_ip}:9090/"))
+        action = box.intercept(request, world.now)
+        assert action.kind is InterceptKind.PASS
+
+    def test_custom_host_blocked_without_vendor_category(self, deployed):
+        world, _product, box = deployed
+        box.policy = FilterPolicy(
+            blocked_categories=box.policy.blocked_categories,
+            custom_blocked_hosts=frozenset({"daily-news.example.com"}),
+        )
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://daily-news.example.com/")
+        )
+        assert result.status == 403
+
+    def test_reset_mode(self, deployed):
+        world, product, box = deployed
+        box.policy = FilterPolicy.blocking(
+            product.taxonomy, ["Anonymizers"], block_mode=BlockMode.RESET
+        )
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.outcome is FetchOutcome.TCP_RESET
+
+    def test_drop_mode(self, deployed):
+        world, product, box = deployed
+        box.policy = FilterPolicy.blocking(
+            product.taxonomy, ["Anonymizers"], block_mode=BlockMode.DROP
+        )
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.outcome is FetchOutcome.TIMEOUT
+
+    def test_license_overflow_fails_open(self, deployed):
+        world, _product, box = deployed
+        box.license = LicenseModel(
+            seats=1, mean_load=1000.0, load_stddev=1.0, seed=1
+        )
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.status == 200
+
+    def test_strip_signature_headers_applied(self, deployed):
+        world, product, box = deployed
+        box.policy.block_page.strip_signature_headers = True
+        result = world.vantage("testnet").fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.status == 403
+        assert result.response.headers.get("Via-Proxy") is None
+
+    def test_lab_traffic_not_intercepted(self, deployed):
+        world, _product, _box = deployed
+        result = world.lab_vantage().fetch(
+            Url.parse("http://free-proxy.example.com/")
+        )
+        assert result.status == 200
+
+
+class DescribeConstruction:
+    def test_subscription_must_match_engine(self, mini_world):
+        smartfilter = make_smartfilter(
+            make_content_oracle(mini_world), derive_rng(1, "sf2")
+        )
+        bluecoat = make_bluecoat(
+            make_content_oracle(mini_world), derive_rng(1, "bc2")
+        )
+        with pytest.raises(ValueError):
+            FilterMiddlebox(
+                name="bad",
+                appliance=bluecoat,
+                engine=smartfilter,
+                subscription=DatabaseSubscription(bluecoat.database),
+                policy=FilterPolicy(),
+                box_ip=mini_world.allocate_ip(65001),
+            )
+
+    def test_str_shows_stacking(self, mini_world):
+        smartfilter = make_smartfilter(
+            make_content_oracle(mini_world), derive_rng(1, "sf3")
+        )
+        bluecoat = make_bluecoat(
+            make_content_oracle(mini_world), derive_rng(1, "bc3")
+        )
+        box = FilterMiddlebox(
+            name="stack",
+            appliance=bluecoat,
+            engine=smartfilter,
+            subscription=DatabaseSubscription(smartfilter.database),
+            policy=FilterPolicy(),
+            box_ip=mini_world.allocate_ip(65001),
+        )
+        assert "Blue Coat" in str(box)
+        assert "McAfee SmartFilter" in str(box)
+
+    def test_hide_and_expose(self, deployed):
+        _world, _product, box = deployed
+        assert box.externally_visible
+        box.hide()
+        assert not box.externally_visible
+        assert box.world_host.internal_only
+        box.expose()
+        assert box.externally_visible
+        assert not box.world_host.internal_only
+
+    def test_deployment_context_prefers_hostname(self, deployed):
+        _world, _product, box = deployed
+        box.box_hostname = "filter.testnet.tl"
+        assert box.deployment_context().box_host == "filter.testnet.tl"
+        box.box_hostname = ""
+        assert box.deployment_context().box_host == str(box.box_ip)

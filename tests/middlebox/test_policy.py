@@ -1,0 +1,49 @@
+"""Unit tests for filtering policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.middlebox.policy import BlockMode, CUSTOM_CATEGORY, FilterPolicy
+from repro.products.categories import NETSWEEPER_TAXONOMY, SMARTFILTER_TAXONOMY
+
+
+class DescribeFilterPolicy:
+    def test_blocking_factory_validates_names(self):
+        policy = FilterPolicy.blocking(SMARTFILTER_TAXONOMY, ["Anonymizers"])
+        assert policy.blocks(SMARTFILTER_TAXONOMY.by_name("Anonymizers"))
+        assert not policy.blocks(SMARTFILTER_TAXONOMY.by_name("Gambling"))
+
+    def test_blocking_factory_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            FilterPolicy.blocking(SMARTFILTER_TAXONOMY, ["No Such"])
+
+    def test_names_case_insensitive(self):
+        policy = FilterPolicy.blocking(SMARTFILTER_TAXONOMY, ["pornography"])
+        assert policy.blocks(SMARTFILTER_TAXONOMY.by_name("Pornography"))
+
+    def test_custom_hosts(self):
+        policy = FilterPolicy(custom_blocked_hosts=frozenset({"bad.example"}))
+        assert policy.custom_blocks_host("bad.example")
+        assert policy.custom_blocks_host("BAD.example")
+        assert not policy.custom_blocks_host("good.example")
+
+    def test_with_categories_preserves_other_fields(self):
+        base = FilterPolicy(
+            custom_blocked_hosts=frozenset({"x.example"}),
+            block_mode=BlockMode.RESET,
+            honor_category_test_pages=False,
+        )
+        updated = base.with_categories(NETSWEEPER_TAXONOMY, ["Pornography"])
+        assert updated.blocks(NETSWEEPER_TAXONOMY.by_name("Pornography"))
+        assert updated.custom_blocks_host("x.example")
+        assert updated.block_mode is BlockMode.RESET
+        assert not updated.honor_category_test_pages
+
+    def test_custom_category_is_outside_vendor_numbering(self):
+        assert CUSTOM_CATEGORY.number == 0
+        assert NETSWEEPER_TAXONOMY.by_number(0) is None
+
+    def test_empty_policy_blocks_nothing(self):
+        policy = FilterPolicy()
+        assert not policy.blocks(SMARTFILTER_TAXONOMY.by_name("Pornography"))

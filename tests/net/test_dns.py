@@ -1,0 +1,72 @@
+"""Unit tests for the simulated DNS zone and resolver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.dns import DnsZone, Resolver
+from repro.net.errors import NxDomain
+from repro.net.ip import Ipv4Address
+
+
+@pytest.fixture()
+def zone():
+    zone = DnsZone()
+    zone.register("example.com", Ipv4Address.parse("192.0.2.1"))
+    zone.register("blocked.example.com", Ipv4Address.parse("192.0.2.2"))
+    return zone
+
+
+class DescribeZone:
+    def test_resolution(self, zone):
+        assert str(zone.resolve("example.com")) == "192.0.2.1"
+
+    def test_case_and_trailing_dot_insensitive(self, zone):
+        assert str(zone.resolve("Example.COM.")) == "192.0.2.1"
+
+    def test_nxdomain(self, zone):
+        with pytest.raises(NxDomain) as exc:
+            zone.resolve("missing.example.com")
+        assert "missing.example.com" in str(exc.value)
+
+    def test_repointing(self, zone):
+        zone.register("example.com", Ipv4Address.parse("192.0.2.9"))
+        assert str(zone.resolve("example.com")) == "192.0.2.9"
+
+    def test_unregister(self, zone):
+        zone.unregister("example.com")
+        with pytest.raises(NxDomain):
+            zone.resolve("example.com")
+
+    def test_unregister_missing_is_noop(self, zone):
+        zone.unregister("never-existed.example.com")
+
+    def test_reverse(self, zone):
+        assert zone.reverse(Ipv4Address.parse("192.0.2.1")) == "example.com"
+        assert zone.reverse(Ipv4Address.parse("192.0.2.200")) is None
+
+    def test_contains_and_len(self, zone):
+        assert "example.com" in zone
+        assert "nope.example.com" not in zone
+        assert 42 not in zone
+        assert len(zone) == 2
+
+
+class DescribeResolver:
+    def test_passthrough(self, zone):
+        resolver = Resolver(zone)
+        assert str(resolver.resolve("example.com")) == "192.0.2.1"
+
+    def test_poisoning(self, zone):
+        resolver = Resolver(zone)
+        liar_ip = Ipv4Address.parse("203.0.113.99")
+        resolver.poison("Blocked.Example.COM", liar_ip)
+        assert resolver.resolve("blocked.example.com") == liar_ip
+        # Other names unaffected.
+        assert str(resolver.resolve("example.com")) == "192.0.2.1"
+
+    def test_refusal(self, zone):
+        resolver = Resolver(zone)
+        resolver.refuse("example.com")
+        with pytest.raises(NxDomain):
+            resolver.resolve("example.com")

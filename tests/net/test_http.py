@@ -1,0 +1,141 @@
+"""Unit tests for the HTTP message model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    html_page,
+    not_found_response,
+    ok_response,
+    redirect_response,
+)
+from repro.net.url import Url
+
+
+class DescribeHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Via-Proxy", "MWG")])
+        assert headers.get("via-proxy") == "MWG"
+        assert headers.get("VIA-PROXY") == "MWG"
+
+    def test_get_default(self):
+        assert Headers().get("X-Missing", "fallback") == "fallback"
+        assert Headers().get("X-Missing") is None
+
+    def test_set_replaces_all(self):
+        headers = Headers([("X-A", "1"), ("x-a", "2")])
+        headers.set("X-A", "3")
+        assert headers.get_all("x-a") == ["3"]
+
+    def test_add_appends(self):
+        headers = Headers()
+        headers.add("Via", "1.1 a")
+        headers.add("Via", "1.1 b")
+        assert headers.get_all("via") == ["1.1 a", "1.1 b"]
+        assert headers.get("via") == "1.1 a"
+
+    def test_remove(self):
+        headers = Headers([("Server", "x"), ("Other", "y")])
+        headers.remove("SERVER")
+        assert "Server" not in headers
+        assert "Other" in headers
+
+    def test_contains_rejects_non_strings(self):
+        assert 42 not in Headers([("42", "x")])
+
+    def test_iteration_preserves_order(self):
+        headers = Headers([("B", "2"), ("A", "1")])
+        assert [name for name, _v in headers] == ["B", "A"]
+
+    def test_copy_is_independent(self):
+        original = Headers([("A", "1")])
+        copied = original.copy()
+        copied.set("A", "2")
+        assert original.get("A") == "1"
+
+    def test_as_text_wire_format(self):
+        headers = Headers([("Server", "nginx"), ("X", "y")])
+        assert headers.as_text() == "Server: nginx\r\nX: y"
+
+    def test_len(self):
+        assert len(Headers([("A", "1"), ("B", "2")])) == 2
+
+
+class DescribeRequests:
+    def test_get_sets_standard_headers(self):
+        request = HttpRequest.get(Url.parse("http://example.com/x"))
+        assert request.method == "GET"
+        assert request.headers.get("Host") == "example.com"
+        assert "repro-measurement-client" in request.headers.get("User-Agent")
+
+    def test_host_property_prefers_header(self):
+        request = HttpRequest.get(Url.parse("http://example.com/"))
+        request.headers.set("Host", "other.example.com")
+        assert request.host == "other.example.com"
+
+
+class DescribeResponses:
+    def test_reason_phrases(self):
+        assert HttpResponse(200).reason == "OK"
+        assert HttpResponse(403).reason == "Forbidden"
+        assert HttpResponse(451).reason == "Unavailable For Legal Reasons"
+        assert HttpResponse(299).reason == "Unknown"
+
+    def test_redirect_detection_requires_location(self):
+        response = HttpResponse(302)
+        assert not response.is_redirect
+        response.headers.set("Location", "http://x.com/")
+        assert response.is_redirect
+
+    def test_non_redirect_status_with_location(self):
+        response = HttpResponse(200, Headers([("Location", "http://x.com/")]))
+        assert not response.is_redirect
+
+    def test_status_line(self):
+        assert HttpResponse(404).status_line() == "HTTP/1.1 404 Not Found"
+
+    def test_banner_text_contains_headers(self):
+        response = HttpResponse(401, Headers([("Server", "Blue Coat ProxySG")]))
+        assert "Blue Coat ProxySG" in response.banner_text()
+        assert "HTTP/1.1 401" in response.banner_text()
+
+    def test_full_text_contains_body(self):
+        response = ok_response("T", "<p>body-token</p>")
+        assert "body-token" in response.full_text()
+
+    def test_html_title_extraction(self):
+        response = ok_response("My Title", "<p>x</p>")
+        assert response.html_title() == "My Title"
+
+    def test_html_title_case_insensitive_tags(self):
+        response = HttpResponse(200, body="<TITLE>Upper</TITLE>")
+        assert response.html_title() == "Upper"
+
+    def test_html_title_missing(self):
+        assert HttpResponse(200, body="no markup").html_title() is None
+        assert HttpResponse(200, body="<title>unterminated").html_title() is None
+
+
+class DescribeFactories:
+    def test_html_page_structure(self):
+        page = html_page("T", "<p>b</p>", extra_head="<meta x>")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<title>T</title>" in page
+        assert "<meta x>" in page
+
+    def test_ok_response(self):
+        response = ok_response("T", "b", server="apache")
+        assert response.status == 200
+        assert response.headers.get("Server") == "apache"
+
+    def test_redirect_response(self):
+        response = redirect_response("http://x.com/", 301)
+        assert response.status == 301
+        assert response.location == "http://x.com/"
+
+    def test_not_found(self):
+        assert not_found_response().status == 404

@@ -1,0 +1,68 @@
+"""Round-trip tests for deny-redirect URL construction and parsing."""
+
+from __future__ import annotations
+
+from urllib.parse import unquote
+
+import pytest
+
+from repro.net.http import HttpRequest
+from repro.net.url import Url
+from repro.products.base import DeploymentContext
+from repro.products.netsweeper import make_netsweeper
+from repro.products.websense import make_websense
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+
+ORACLE = lambda host: ContentClass.PROXY_ANONYMIZER  # noqa: E731
+
+
+class DescribeNetsweeperRedirectRoundtrip:
+    @pytest.mark.parametrize(
+        "original",
+        [
+            "http://starwasher.info/",
+            "http://example.com/path/with/segments",
+            "http://example.com/q?key=value&other=1",
+            "http://example.com:8081/odd-port",
+        ],
+    )
+    def test_original_url_recoverable_from_deny_redirect(self, original):
+        product = make_netsweeper(ORACLE, derive_rng(1, "rt-ns"))
+        category = product.taxonomy.by_name("Proxy Anonymizer")
+        context = DeploymentContext(box_host="192.0.2.50")
+        request = HttpRequest.get(Url.parse(original))
+        response = product.block_response(request, category, context)
+        location = Url.parse(response.location)
+        assert location.host == "192.0.2.50"
+        assert location.port == 8080
+        params = location.query_params()
+        assert unquote(params["url"]) == str(Url.parse(original))
+        assert int(params["cat"]) == category.number
+
+    def test_deny_page_echoes_category(self):
+        product = make_netsweeper(ORACLE, derive_rng(1, "rt-ns2"))
+        context = DeploymentContext(box_host="192.0.2.50")
+        category = product.taxonomy.by_name("Gambling")
+        request = HttpRequest.get(Url.parse("http://bets.example/"))
+        redirect = product.block_response(request, category, context)
+        deny_request = HttpRequest.get(Url.parse(redirect.location))
+        deny = product.admin_apps(context)[8080](deny_request)
+        assert f"({category.number})" in deny.body
+        assert category.name in deny.body
+
+
+class DescribeWebsenseRedirectRoundtrip:
+    def test_category_number_travels_in_redirect(self):
+        product = make_websense(ORACLE, derive_rng(1, "rt-ws"))
+        context = DeploymentContext(box_host="192.0.2.60")
+        category = product.taxonomy.by_name("Gambling")
+        request = HttpRequest.get(Url.parse("http://bets.example/"))
+        redirect = product.block_response(request, category, context)
+        location = Url.parse(redirect.location)
+        assert location.port == 15871
+        assert int(location.query_params()["cat"]) == category.number
+        page = product.admin_apps(context)[15871](
+            HttpRequest.get(location)
+        )
+        assert category.name in page.body

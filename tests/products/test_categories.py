@@ -1,0 +1,126 @@
+"""Unit tests for vendor taxonomies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.products.categories import (
+    BLUECOAT_TAXONOMY,
+    NETSWEEPER_TAXONOMY,
+    SMARTFILTER_TAXONOMY,
+    TAXONOMIES,
+    Taxonomy,
+    VendorCategory,
+    WEBSENSE_TAXONOMY,
+)
+from repro.world.content import ContentClass
+
+ALL = [BLUECOAT_TAXONOMY, SMARTFILTER_TAXONOMY, NETSWEEPER_TAXONOMY, WEBSENSE_TAXONOMY]
+
+
+class DescribeTaxonomyStructure:
+    @pytest.mark.parametrize("taxonomy", ALL, ids=lambda t: t.vendor)
+    def test_unique_names_and_numbers(self, taxonomy):
+        names = [c.name.lower() for c in taxonomy.categories]
+        numbers = [c.number for c in taxonomy.categories]
+        assert len(set(names)) == len(names)
+        assert len(set(numbers)) == len(numbers)
+
+    @pytest.mark.parametrize("taxonomy", ALL, ids=lambda t: t.vendor)
+    def test_mapping_targets_exist(self, taxonomy):
+        for content_class, name in taxonomy.content_mapping.items():
+            assert taxonomy.by_name(name) is not None, (content_class, name)
+
+    def test_netsweeper_has_66_categories(self):
+        assert len(NETSWEEPER_TAXONOMY) == 66
+
+    def test_netsweeper_pornography_is_catno_23(self):
+        """The paper's example: denypagetests .../catno/23 for porn."""
+        assert NETSWEEPER_TAXONOMY.by_name("Pornography").number == 23
+        assert NETSWEEPER_TAXONOMY.by_number(23).name == "Pornography"
+
+    def test_registry_keyed_by_vendor(self):
+        assert set(TAXONOMIES) == {
+            "Blue Coat WebFilter", "McAfee SmartFilter", "Netsweeper",
+            "Websense",
+        }
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy(
+                "X",
+                [VendorCategory(1, "A"), VendorCategory(2, "a")],
+                {},
+            )
+
+    def test_duplicate_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy(
+                "X",
+                [VendorCategory(1, "A"), VendorCategory(1, "B")],
+                {},
+            )
+
+    def test_mapping_to_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy(
+                "X",
+                [VendorCategory(1, "A")],
+                {ContentClass.NEWS: "Missing"},
+            )
+
+
+class DescribeClassification:
+    def test_by_name_case_insensitive(self):
+        assert SMARTFILTER_TAXONOMY.by_name("anonymizers").name == "Anonymizers"
+
+    def test_by_name_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SMARTFILTER_TAXONOMY.by_name("No Such Category")
+
+    def test_by_number_missing_returns_none(self):
+        assert NETSWEEPER_TAXONOMY.by_number(0) is None
+        assert NETSWEEPER_TAXONOMY.by_number(999) is None
+
+    @pytest.mark.parametrize(
+        "taxonomy,expected",
+        [
+            (SMARTFILTER_TAXONOMY, "Anonymizers"),
+            (BLUECOAT_TAXONOMY, "Proxy Avoidance"),
+            (NETSWEEPER_TAXONOMY, "Proxy Anonymizer"),
+            (WEBSENSE_TAXONOMY, "Proxy Avoidance"),
+        ],
+        ids=lambda v: getattr(v, "vendor", v),
+    )
+    def test_proxy_content_maps_to_proxy_category(self, taxonomy, expected):
+        assert taxonomy.classify(ContentClass.PROXY_ANONYMIZER).name == expected
+
+    @pytest.mark.parametrize("taxonomy", ALL, ids=lambda t: t.vendor)
+    def test_key_paper_classes_covered(self, taxonomy):
+        """Every taxonomy must categorize the content the case studies use."""
+        for content_class in (
+            ContentClass.PROXY_ANONYMIZER,
+            ContentClass.PORNOGRAPHY,
+            ContentClass.ADULT_IMAGES,
+            ContentClass.LGBT,
+            ContentClass.HUMAN_RIGHTS,
+            ContentClass.RELIGIOUS_CRITICISM,
+        ):
+            assert taxonomy.classify(content_class) is not None
+
+    def test_unmapped_class_returns_none(self):
+        assert SMARTFILTER_TAXONOMY.classify(ContentClass.BENIGN) is None
+
+    def test_netsweeper_lgbt_is_lifestyle(self):
+        assert NETSWEEPER_TAXONOMY.classify(ContentClass.LGBT).name == "Lifestyle"
+
+    def test_websense_lgbt_category(self):
+        assert (
+            WEBSENSE_TAXONOMY.classify(ContentClass.LGBT).name
+            == "Gay or Lesbian or Bisexual Interest"
+        )
+
+    def test_iteration_and_names(self):
+        names = SMARTFILTER_TAXONOMY.names()
+        assert "Pornography" in names
+        assert len(list(SMARTFILTER_TAXONOMY)) == len(names)

@@ -1,0 +1,177 @@
+"""Unit tests for the vendor submission portal and review pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.url import Url
+from repro.products.categories import SMARTFILTER_TAXONOMY
+from repro.products.database import UrlDatabase
+from repro.products.submission import (
+    ReviewPolicy,
+    SubmissionPortal,
+    SubmissionStatus,
+    SubmitterIdentity,
+)
+from repro.world.clock import SimTime
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+
+LAUNDERED = SubmitterIdentity("anon@mail.example", "198.18.0.1", via_proxy=True)
+NAIVE = SubmitterIdentity("me@lab.example", "203.0.113.7", via_proxy=False)
+
+
+def make_portal(oracle=None, policy=None, hosting_oracle=None):
+    database = UrlDatabase("McAfee SmartFilter")
+    portal = SubmissionPortal(
+        "McAfee SmartFilter",
+        SMARTFILTER_TAXONOMY,
+        database,
+        oracle or (lambda host: ContentClass.PROXY_ANONYMIZER),
+        derive_rng(1, "portal"),
+        policy=policy or ReviewPolicy(3.0, 5.0, 1.0),
+        hosting_oracle=hosting_oracle,
+    )
+    return portal, database
+
+
+URL = Url.parse("http://starwasher.info/")
+
+
+class DescribeSubmission:
+    def test_submit_queues_with_review_delay(self):
+        portal, _db = make_portal()
+        now = SimTime.from_days(10)
+        submission = portal.submit(URL, LAUNDERED, now, "Anonymizers")
+        assert submission.status is SubmissionStatus.PENDING
+        assert 3.0 <= (submission.due_at - now) / (24 * 60) <= 5.0
+        assert portal.pending == [submission]
+
+    def test_invalid_requested_category_rejected_upfront(self):
+        portal, _db = make_portal()
+        with pytest.raises(KeyError):
+            portal.submit(URL, LAUNDERED, SimTime(0), "Nonexistent Category")
+
+    def test_ids_are_unique_and_increasing(self):
+        portal, _db = make_portal()
+        a = portal.submit(URL, LAUNDERED, SimTime(0))
+        b = portal.submit(Url.parse("http://other.info/"), LAUNDERED, SimTime(0))
+        assert b.id > a.id
+
+    def test_find_by_host(self):
+        portal, _db = make_portal()
+        submission = portal.submit(URL, LAUNDERED, SimTime(0))
+        assert portal.find(URL) == [submission]
+        assert portal.find(Url.parse("http://none.info/")) == []
+
+
+class DescribeReview:
+    def test_not_processed_before_due(self):
+        portal, database = make_portal()
+        submission = portal.submit(URL, LAUNDERED, SimTime(0), "Anonymizers")
+        processed = portal.process(SimTime.from_days(1))
+        assert processed == []
+        assert submission.status is SubmissionStatus.PENDING
+        assert len(database) == 0
+
+    def test_accepted_after_due(self):
+        portal, database = make_portal()
+        submission = portal.submit(URL, LAUNDERED, SimTime(0), "Anonymizers")
+        processed = portal.process(SimTime.from_days(6))
+        assert processed == [submission]
+        assert submission.status is SubmissionStatus.ACCEPTED
+        assert submission.assigned_category.name == "Anonymizers"
+        assert database.lookup(URL, SimTime.from_days(6)).name == "Anonymizers"
+        assert portal.pending == []
+        assert portal.decided == [submission]
+
+    def test_analyst_overrides_claimed_category(self):
+        """Reviewer files under what the site ACTUALLY hosts."""
+        portal, database = make_portal(
+            oracle=lambda host: ContentClass.PORNOGRAPHY
+        )
+        submission = portal.submit(URL, LAUNDERED, SimTime(0), "Anonymizers")
+        portal.process(SimTime.from_days(6))
+        assert submission.assigned_category.name == "Pornography"
+
+    def test_unreachable_site_rejected(self):
+        portal, database = make_portal(oracle=lambda host: None)
+        submission = portal.submit(URL, LAUNDERED, SimTime(0))
+        portal.process(SimTime.from_days(6))
+        assert submission.status is SubmissionStatus.REJECTED
+        assert "unreachable" in submission.rejection_reason
+        assert len(database) == 0
+
+    def test_uncategorizable_content_rejected(self):
+        portal, _db = make_portal(oracle=lambda host: ContentClass.BENIGN)
+        submission = portal.submit(URL, LAUNDERED, SimTime(0))
+        portal.process(SimTime.from_days(6))
+        assert submission.status is SubmissionStatus.REJECTED
+        assert "not categorizable" in submission.rejection_reason
+
+    def test_zero_accept_rate_rejects(self):
+        portal, _db = make_portal(policy=ReviewPolicy(3.0, 5.0, 0.0))
+        submission = portal.submit(URL, LAUNDERED, SimTime(0))
+        portal.process(SimTime.from_days(6))
+        assert submission.status is SubmissionStatus.REJECTED
+        assert submission.rejection_reason == "reviewer declined"
+
+    def test_bad_delay_bounds_raise(self):
+        portal, _db = make_portal(policy=ReviewPolicy(5.0, 3.0))
+        with pytest.raises(ValueError):
+            portal.submit(URL, LAUNDERED, SimTime(0))
+
+
+class DescribeEvasionScreening:
+    def test_distrusted_email_rejected(self):
+        policy = ReviewPolicy(3.0, 5.0, 1.0, distrusted_emails=[NAIVE.email])
+        portal, _db = make_portal(policy=policy)
+        submission = portal.submit(URL, NAIVE, SimTime(0))
+        portal.process(SimTime.from_days(6))
+        assert submission.status is SubmissionStatus.REJECTED
+        assert submission.rejection_reason == "submitter flagged"
+
+    def test_distrusted_ip_rejected(self):
+        policy = ReviewPolicy(3.0, 5.0, 1.0, distrusted_ips=[NAIVE.source_ip])
+        portal, _db = make_portal(policy=policy)
+        submission = portal.submit(URL, NAIVE, SimTime(0))
+        portal.process(SimTime.from_days(6))
+        assert submission.status is SubmissionStatus.REJECTED
+
+    def test_laundered_identity_not_screened(self):
+        """§6.2: proxies/Tor + webmail defeat submitter correlation."""
+        policy = ReviewPolicy(
+            3.0, 5.0, 1.0,
+            distrusted_emails=[LAUNDERED.email],
+            distrusted_ips=[LAUNDERED.source_ip],
+        )
+        portal, _db = make_portal(policy=policy)
+        submission = portal.submit(URL, LAUNDERED, SimTime(0))
+        portal.process(SimTime.from_days(6))
+        assert submission.status is SubmissionStatus.ACCEPTED
+
+    def test_distrusted_hosting_rejected(self):
+        policy = ReviewPolicy(
+            3.0, 5.0, 1.0, distrusted_hosting=["Tiny VPS Co"]
+        )
+        portal, _db = make_portal(
+            policy=policy, hosting_oracle=lambda host: "Tiny VPS Co"
+        )
+        submission = portal.submit(URL, LAUNDERED, SimTime(0))
+        portal.process(SimTime.from_days(6))
+        assert submission.status is SubmissionStatus.REJECTED
+        assert submission.rejection_reason == "hosting provider flagged"
+
+    def test_protected_hosting_overrides_distrust(self):
+        """§6.2: blocking a popular cloud provider is too damaging."""
+        policy = ReviewPolicy(
+            3.0, 5.0, 1.0,
+            distrusted_hosting=["MegaCloud"],
+            protected_hosting=["MegaCloud"],
+        )
+        portal, _db = make_portal(
+            policy=policy, hosting_oracle=lambda host: "MegaCloud"
+        )
+        submission = portal.submit(URL, LAUNDERED, SimTime(0))
+        portal.process(SimTime.from_days(6))
+        assert submission.status is SubmissionStatus.ACCEPTED

@@ -1,0 +1,90 @@
+"""Unit tests for banner grabbing and world scans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.middlebox.deploy import deploy
+from repro.net.http import ok_response, redirect_response
+from repro.net.ip import Ipv4Address
+from repro.products.smartfilter import make_smartfilter
+from repro.scan.banner import grab_banner, scan_world
+from repro.world.entities import Host
+from repro.world.rng import derive_rng
+
+from tests.conftest import make_content_oracle
+
+
+class DescribeGrabBanner:
+    def test_nothing_listening_returns_none(self, mini_world):
+        assert grab_banner(mini_world, Ipv4Address.parse("203.0.113.1"), 80) is None
+
+    def test_closed_port_returns_none(self, mini_world):
+        site = mini_world.websites["daily-news.example.com"]
+        assert grab_banner(mini_world, site.ip, 8080) is None
+
+    def test_records_status_headers_title(self, mini_world):
+        site = mini_world.websites["daily-news.example.com"]
+        record = grab_banner(mini_world, site.ip, 80)
+        assert record is not None
+        assert record.status_line.startswith("HTTP/1.1 200")
+        assert "Server:" in record.headers_text
+        assert record.html_title == "daily-news.example.com"
+        assert record.hostname == "daily-news.example.com"
+        assert record.country_code == "ca"
+
+    def test_does_not_follow_redirects(self, mini_world):
+        ip = mini_world.allocate_ip(65002)
+        host = Host(ip=ip, hostname="redir.example.com")
+        host.add_service(8080, lambda _r: redirect_response("/webadmin/"))
+        mini_world.add_host(host)
+        record = grab_banner(mini_world, ip, 8080)
+        assert "Location: /webadmin/" in record.headers_text
+
+    def test_internal_host_not_grabbable(self, mini_world):
+        product = make_smartfilter(
+            make_content_oracle(mini_world), derive_rng(1, "b-sf")
+        )
+        box = deploy(
+            mini_world, mini_world.isps["testnet"], product, [],
+            externally_visible=False,
+        )
+        assert grab_banner(mini_world, box.box_ip, 80) is None
+
+    def test_keyword_matching_case_insensitive(self, mini_world):
+        site = mini_world.websites["daily-news.example.com"]
+        record = grab_banner(mini_world, site.ip, 80)
+        assert record.matches_keyword("DAILY-NEWS")
+        assert not record.matches_keyword("netsweeper")
+
+
+class DescribeScanWorld:
+    def test_scans_all_hosts_on_default_ports(self, mini_world):
+        records = scan_world(mini_world)
+        ips = {str(r.ip) for r in records}
+        assert len(ips) >= 3  # the three websites
+
+    def test_coverage_validation(self, mini_world):
+        with pytest.raises(ValueError):
+            scan_world(mini_world, coverage=1.5)
+
+    def test_partial_coverage_subsets_full_scan(self, mini_world):
+        full = {(r.ip.value, r.port) for r in scan_world(mini_world)}
+        partial = {
+            (r.ip.value, r.port)
+            for r in scan_world(mini_world, coverage=0.5)
+        }
+        assert partial <= full
+        assert len(partial) < len(full)
+
+    def test_partial_coverage_deterministic(self, mini_world):
+        a = [(r.ip.value, r.port) for r in scan_world(mini_world, coverage=0.5)]
+        b = [(r.ip.value, r.port) for r in scan_world(mini_world, coverage=0.5)]
+        assert a == b
+
+    def test_zero_coverage_empty(self, mini_world):
+        assert scan_world(mini_world, coverage=0.0) == []
+
+    def test_custom_ports(self, mini_world):
+        records = scan_world(mini_world, ports=(443,))
+        assert all(r.port == 443 for r in records)

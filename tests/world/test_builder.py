@@ -1,0 +1,164 @@
+"""Tests for the fluent custom-world builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confirm import ConfirmationConfig, ConfirmationStudy
+from repro.net.url import Url
+from repro.world.builder import WorldBuilder
+from repro.world.content import ContentClass
+
+
+def minimal_builder(seed=7) -> WorldBuilder:
+    return (
+        WorldBuilder(seed=seed)
+        .country("xx", "Examplestan", region="Test")
+        .country("ca", "Canada", region="North America")
+        .hosting_as(65100, "HOSTCO", "Host Co", "ca")
+        .isp("examplenet", 65000, "EXAMPLENET", "Examplestan Telecom", "xx",
+             national=True)
+    )
+
+
+class DescribeBuilderValidation:
+    def test_build_once(self):
+        builder = minimal_builder()
+        builder.build()
+        with pytest.raises(RuntimeError):
+            builder.build()
+
+    def test_website_requires_hosting(self):
+        builder = WorldBuilder().country("xx", "Examplestan")
+        with pytest.raises(ValueError):
+            builder.website("a.example", ContentClass.NEWS)
+
+    def test_population_requires_hosting(self):
+        builder = WorldBuilder().country("xx", "Examplestan").population(10)
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_unknown_vendor_rejected(self):
+        with pytest.raises(KeyError):
+            minimal_builder().product("Acme Filter")
+
+    def test_deploy_requires_declared_product(self):
+        builder = minimal_builder().deploy("Netsweeper", "examplenet")
+        with pytest.raises(KeyError):
+            builder.build()
+
+
+class DescribeBuiltScenario:
+    def test_topology_and_population(self):
+        scenario = minimal_builder().population(120).build()
+        world = scenario.world
+        assert "examplenet" in world.isps
+        assert len(world.websites) >= 120
+        assert scenario.hosting_asns == [65100]
+
+    def test_explicit_websites(self):
+        scenario = (
+            minimal_builder()
+            .website("proxy-one.example", ContentClass.PROXY_ANONYMIZER)
+            .build()
+        )
+        assert "proxy-one.example" in scenario.world.websites
+
+    def test_deployment_blocks(self):
+        scenario = (
+            minimal_builder()
+            .website("proxy-one.example", ContentClass.PROXY_ANONYMIZER)
+            .product("Netsweeper", db_coverage=1.0)
+            .deploy("Netsweeper", "examplenet", blocked=["Proxy Anonymizer"])
+            .build()
+        )
+        result = scenario.world.vantage("examplenet").fetch(
+            Url.for_host("proxy-one.example")
+        )
+        assert "webadmin/deny" in (result.hops[0].response.location or "")
+
+    def test_stacked_deployment(self):
+        scenario = (
+            minimal_builder()
+            .product("Blue Coat")
+            .product("McAfee SmartFilter")
+            .deploy(
+                "Blue Coat", "examplenet",
+                blocked=["Anonymizers"],
+                engine_vendor="McAfee SmartFilter",
+            )
+            .build()
+        )
+        box = next(iter(scenario.deployments.values()))
+        assert box.appliance.vendor == "Blue Coat"
+        assert box.engine.vendor == "McAfee SmartFilter"
+
+    def test_deterministic(self):
+        a = minimal_builder(seed=9).population(60).build()
+        b = minimal_builder(seed=9).population(60).build()
+        assert sorted(a.world.websites) == sorted(b.world.websites)
+
+
+class DescribePipelinesOnCustomWorlds:
+    def test_confirmation_study_runs_end_to_end(self):
+        scenario = (
+            minimal_builder()
+            .population(80)
+            .product("McAfee SmartFilter", db_coverage=1.0)
+            .deploy(
+                "McAfee SmartFilter", "examplenet",
+                blocked=["Anonymizers", "Pornography"],
+            )
+            .build()
+        )
+        study = ConfirmationStudy(
+            scenario.world,
+            scenario.products["McAfee SmartFilter"],
+            scenario.hosting_asns[0],
+        )
+        result = study.run(
+            ConfirmationConfig(
+                product_name="McAfee SmartFilter",
+                isp_name="examplenet",
+                content_class=ContentClass.PROXY_ANONYMIZER,
+                category_label="Anonymizers",
+                requested_category="Anonymizers",
+                total_domains=6,
+                submit_count=3,
+            )
+        )
+        assert result.confirmed
+        assert result.blocked_submitted == 3
+        assert result.blocked_control == 0
+
+    def test_identification_runs_on_custom_world(self):
+        scenario = (
+            minimal_builder()
+            .product("Websense")
+            .deploy("Websense", "examplenet", blocked=["Proxy Avoidance"])
+            .build()
+        )
+        from repro.core.identify import IdentificationPipeline
+        from repro.geo.cymru import WhoisService
+        from repro.geo.maxmind import GeoDatabase
+        from repro.scan.banner import scan_world
+        from repro.scan.shodan import ShodanIndex
+        from repro.scan.whatweb import WhatWebEngine, world_probe
+
+        world = scenario.world
+        pipeline = IdentificationPipeline(
+            ShodanIndex(scan_world(world)),
+            WhatWebEngine(world_probe(world)),
+            GeoDatabase.build_from_world(world),
+            WhoisService.build_from_world(world),
+            cctlds=("xx", "ca"),
+        )
+        report = pipeline.run(["Websense"])
+        assert report.countries("Websense") == {"xx"}
+
+    def test_netalyzr_reference_installed(self):
+        scenario = minimal_builder().build()
+        from repro.measure.netalyzr import detect_proxy
+
+        report = detect_proxy(scenario.world.vantage("examplenet"))
+        assert not report.proxy_detected

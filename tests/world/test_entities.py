@@ -1,0 +1,132 @@
+"""Unit tests for world entities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.http import HttpRequest, ok_response
+from repro.net.ip import Ipv4Address, Ipv4Prefix
+from repro.net.url import Url
+from repro.world.content import ContentClass
+from repro.world.entities import (
+    AutonomousSystem,
+    Country,
+    Host,
+    InterceptAction,
+    InterceptKind,
+    ISP,
+    Organization,
+    OrgKind,
+    WebSite,
+)
+
+
+class DescribeCountry:
+    def test_valid(self):
+        assert Country("ae", "United Arab Emirates").code == "ae"
+
+    @pytest.mark.parametrize("bad", ["AE", "a", "uae", "A1"[:1]])
+    def test_rejects_bad_codes(self, bad):
+        with pytest.raises(ValueError):
+            Country(bad, "x")
+
+
+class DescribeAutonomousSystem:
+    def _as(self, asn=64500):
+        org = Organization("Org", OrgKind.ISP, Country("tl", "Testland"))
+        return AutonomousSystem(asn, "TEST-AS", org, [Ipv4Prefix.parse("20.0.0.0/16")])
+
+    def test_owns(self):
+        autonomous_system = self._as()
+        assert autonomous_system.owns(Ipv4Address.parse("20.0.1.2"))
+        assert not autonomous_system.owns(Ipv4Address.parse("21.0.0.1"))
+
+    def test_country_passthrough(self):
+        assert self._as().country.code == "tl"
+
+    def test_rejects_bad_asn(self):
+        with pytest.raises(ValueError):
+            self._as(asn=0)
+
+    def test_hashable_by_asn(self):
+        assert len({self._as(), self._as()}) == 1
+
+
+class DescribeInterceptAction:
+    def test_respond_requires_response(self):
+        with pytest.raises(ValueError):
+            InterceptAction(InterceptKind.RESPOND)
+
+    def test_passthrough_factory(self):
+        assert InterceptAction.passthrough().kind is InterceptKind.PASS
+
+    def test_respond_with_response(self):
+        action = InterceptAction(InterceptKind.RESPOND, ok_response("x", ""))
+        assert action.response is not None
+
+
+class DescribeHost:
+    def test_service_dispatch_by_port(self):
+        host = Host(Ipv4Address.parse("20.0.0.1"))
+        host.add_service(80, lambda _req: ok_response("web", ""))
+        host.add_service(8080, lambda _req: ok_response("admin", ""))
+        web = host.serve(HttpRequest.get(Url.parse("http://20.0.0.1/")))
+        admin = host.serve(HttpRequest.get(Url.parse("http://20.0.0.1:8080/")))
+        assert web.html_title() == "web"
+        assert admin.html_title() == "admin"
+
+    def test_unknown_port_is_404(self):
+        host = Host(Ipv4Address.parse("20.0.0.1"))
+        assert host.serve(HttpRequest.get(Url.parse("http://20.0.0.1:9/"))).status == 404
+
+    def test_rejects_bad_port(self):
+        host = Host(Ipv4Address.parse("20.0.0.1"))
+        with pytest.raises(ValueError):
+            host.add_service(0, lambda _r: ok_response("", ""))
+        with pytest.raises(ValueError):
+            host.add_service(70000, lambda _r: ok_response("", ""))
+
+    def test_open_ports_sorted(self):
+        host = Host(Ipv4Address.parse("20.0.0.1"))
+        host.add_service(8080, lambda _r: ok_response("", ""))
+        host.add_service(80, lambda _r: ok_response("", ""))
+        assert host.open_ports() == [80, 8080]
+
+
+class DescribeWebSite:
+    def _site(self):
+        return WebSite(
+            "example.com", ContentClass.NEWS, Ipv4Address.parse("20.0.0.9")
+        )
+
+    def test_default_index_page(self):
+        site = self._site()
+        response = site.app(HttpRequest.get(Url.parse("http://example.com/")))
+        assert response.status == 200
+        assert "example.com" in response.body
+
+    def test_add_page_requires_absolute_path(self):
+        with pytest.raises(ValueError):
+            self._site().add_page("relative", ok_response("", ""))
+
+    def test_unknown_path_404(self):
+        site = self._site()
+        response = site.app(HttpRequest.get(Url.parse("http://example.com/nope")))
+        assert response.status == 404
+
+    def test_as_host_serves_both_schemes(self):
+        host = self._site().as_host()
+        assert set(host.open_ports()) == {80, 443}
+        assert host.hostname == "example.com"
+
+
+class DescribeISP:
+    def test_client_ip_inside_prefix(self):
+        org = Organization("Org", OrgKind.ISP, Country("tl", "Testland"))
+        autonomous_system = AutonomousSystem(
+            64500, "TEST", org, [Ipv4Prefix.parse("20.0.0.0/16")]
+        )
+        isp = ISP("test", autonomous_system, Ipv4Prefix.parse("20.0.0.0/16"))
+        assert isp.client_ip(10) in Ipv4Prefix.parse("20.0.0.0/16")
+        assert isp.asn == 64500
+        assert "AS 64500" in str(isp)

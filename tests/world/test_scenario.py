@@ -1,0 +1,139 @@
+"""Invariants of the built IMC'13 scenario (ground-truth world)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.paper_data import PAPER_TABLE3
+from repro.net.url import Url
+from repro.products.netsweeper import CATEGORY_TEST_HOST
+from repro.world.content import ContentClass
+from repro.world.scenario import (
+    YEMEN_CUSTOM_CLASSES,
+    YEMEN_NETSWEEPER_CATEGORIES,
+    build_scenario,
+)
+
+
+class DescribeScenarioStructure:
+    def test_case_study_isps_have_published_asns(self, scenario):
+        expected = {row.isp_key: row.asn for row in PAPER_TABLE3}
+        for isp_key, asn in expected.items():
+            assert scenario.world.isps[isp_key].asn == asn
+
+    def test_start_date(self, scenario):
+        assert str(scenario.world.now) >= "2012-08-01"
+
+    def test_all_four_vendors_built(self, scenario):
+        assert set(scenario.products) == {
+            "Blue Coat", "McAfee SmartFilter", "Netsweeper", "Websense",
+        }
+
+    def test_vendor_databases_seeded(self, scenario):
+        for product in scenario.products.values():
+            assert len(product.database) > 200, product.vendor
+
+    def test_vendor_infrastructure_registered(self, scenario):
+        zone = scenario.world.zone
+        assert CATEGORY_TEST_HOST in zone
+        assert "www.cfauth.com" in zone
+
+    def test_denypagetests_serves_all_categories(self, scenario):
+        lab = scenario.world.lab_vantage()
+        for number in (1, 23, 46, 66):
+            result = lab.fetch(
+                Url.parse(f"http://{CATEGORY_TEST_HOST}/category/catno/{number}")
+            )
+            assert result.ok and result.status == 200
+
+    def test_etisalat_is_stacked(self, scenario):
+        box = scenario.deployments["etisalat-stack"]
+        assert box.appliance.vendor == "Blue Coat"
+        assert box.engine.vendor == "McAfee SmartFilter"
+
+    def test_saudi_does_not_block_proxy_category(self, scenario):
+        """§4.3 Challenge 1: proxy sites reachable in Saudi Arabia."""
+        for key in ("bayanat-smartfilter", "nournet-smartfilter"):
+            policy = scenario.deployments[key].policy
+            assert "anonymizers" not in policy.blocked_categories
+            assert "pornography" in policy.blocked_categories
+
+    def test_yemen_policy_matches_probe_findings(self, scenario):
+        policy = scenario.deployments["yemennet-netsweeper"].policy
+        assert policy.blocked_categories == frozenset(
+            name.lower() for name in YEMEN_NETSWEEPER_CATEGORIES
+        )
+
+    def test_yemen_custom_list_covers_political_content(self, scenario):
+        policy = scenario.deployments["yemennet-netsweeper"].policy
+        assert policy.custom_blocked_hosts
+        world = scenario.world
+        for host in list(policy.custom_blocked_hosts)[:10]:
+            assert world.websites[host].content_class in YEMEN_CUSTOM_CLASSES
+
+    def test_yemen_has_license_pressure(self, scenario):
+        assert scenario.deployments["yemennet-netsweeper"].license is not None
+
+    def test_hidden_smartfilter_region(self, scenario):
+        for key in ("ir-isp", "bh-isp", "om-isp", "tn-isp"):
+            box = scenario.deployments[f"{key}-smartfilter-hidden"]
+            assert not box.externally_visible
+            assert box.world_host is not None and box.world_host.internal_only
+
+    def test_stale_websense_is_disabled_and_frozen(self, scenario):
+        box = scenario.deployments["yemennet-websense-stale"]
+        assert not box.enabled
+        assert not box.subscription.active
+
+    def test_oracles(self, scenario):
+        domain = next(iter(scenario.world.websites))
+        assert scenario.content_oracle(domain) is not None
+        assert scenario.content_oracle("not-registered.example") is None
+        assert scenario.hosting_oracle(domain) is not None
+        assert scenario.hosting_oracle("not-registered.example") is None
+
+    def test_deterministic_construction(self):
+        a = build_scenario(seed=99)
+        b = build_scenario(seed=99)
+        assert sorted(a.world.websites) == sorted(b.world.websites)
+        assert sorted(a.deployments) == sorted(b.deployments)
+        assert len(a.smartfilter.database) == len(b.smartfilter.database)
+
+
+class DescribeScenarioBehaviour:
+    def test_unfiltered_isp_passes_everything(self, scenario):
+        world = scenario.world
+        vantage = world.vantage("de-isp")
+        porn = next(
+            d for d in sorted(world.websites)
+            if world.websites[d].content_class is ContentClass.PORNOGRAPHY
+        )
+        assert vantage.fetch(Url.for_host(porn)).status == 200
+
+    def test_bayanat_blocks_categorized_porn(self, scenario):
+        world = scenario.world
+        vantage = world.vantage("bayanat")
+        now = world.now
+        hit = False
+        for domain in sorted(world.websites):
+            site = world.websites[domain]
+            if site.content_class is not ContentClass.PORNOGRAPHY:
+                continue
+            if scenario.smartfilter.database.knows(domain, now):
+                result = vantage.fetch(Url.for_host(domain))
+                assert result.status == 403
+                hit = True
+                break
+        assert hit
+
+    def test_noise_hosts_exist_and_answer(self, scenario):
+        world = scenario.world
+        noise = [h for h in world.hosts.values() if "noise" in h.tags]
+        assert len(noise) >= 4
+        lab = world.lab_vantage()
+        for host in noise:
+            port = host.open_ports()[0]
+            result = lab.fetch(
+                Url.parse(f"http://{host.ip}:{port}/"), follow_redirects=False
+            )
+            assert result.response is not None

@@ -1,0 +1,74 @@
+"""Scenario construction under non-default configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.world.scenario import ScenarioConfig, build_scenario
+
+
+class DescribeScenarioConfig:
+    def test_population_size_respected(self):
+        small = build_scenario(
+            seed=5, config=ScenarioConfig(population_size=200)
+        )
+        large = build_scenario(
+            seed=5, config=ScenarioConfig(population_size=800)
+        )
+        assert len(large.world.websites) > len(small.world.websites) + 400
+
+    def test_vendor_coverage_zero_empties_seeded_db(self):
+        scenario = build_scenario(
+            seed=5,
+            config=ScenarioConfig(
+                population_size=200,
+                vendor_db_coverage={
+                    "Blue Coat": 0.0,
+                    "McAfee SmartFilter": 0.0,
+                    "Netsweeper": 0.0,
+                    "Websense": 0.0,
+                },
+            ),
+        )
+        for product in scenario.products.values():
+            assert len(product.database) == 0, product.vendor
+
+    def test_netsweeper_queue_range_configured(self):
+        scenario = build_scenario(
+            seed=5,
+            config=ScenarioConfig(
+                population_size=200, netsweeper_queue_days=(1.0, 2.0)
+            ),
+        )
+        netsweeper = scenario.netsweeper
+        assert netsweeper._queue_min_days == 1.0
+        assert netsweeper._queue_max_days == 2.0
+
+    def test_license_config_applied(self):
+        scenario = build_scenario(
+            seed=5,
+            config=ScenarioConfig(
+                population_size=200,
+                yemen_license_seats=10,
+                yemen_license_mean=100.0,
+                yemen_license_stddev=1.0,
+            ),
+        )
+        license_model = scenario.deployments["yemennet-netsweeper"].license
+        assert license_model is not None
+        assert license_model.seats == 10
+        # Permanent overflow: YemenNet effectively unfiltered.
+        assert license_model.overflow_probability() > 0.99
+
+    def test_start_date_configurable(self):
+        scenario = build_scenario(
+            seed=5,
+            config=ScenarioConfig(population_size=200, start_date=(2013, 1, 1)),
+        )
+        assert str(scenario.world.now) == "2013-01-01"
+
+    def test_default_config_values_documented(self):
+        config = ScenarioConfig()
+        assert config.population_size == 1600
+        assert config.netsweeper_queue_days == (5.0, 10.0)
+        assert config.netsweeper_accept_rate == 0.90

@@ -1,0 +1,26 @@
+"""Sanity tests for the domain word lists."""
+
+from __future__ import annotations
+
+from repro.world.words import SYLLABLES, WORDS_A, WORDS_B
+
+
+class DescribeWordLists:
+    def test_no_duplicates_within_lists(self):
+        assert len(set(WORDS_A)) == len(WORDS_A)
+        assert len(set(WORDS_B)) == len(WORDS_B)
+        assert len(set(SYLLABLES)) == len(SYLLABLES)
+
+    def test_all_lowercase_alpha(self):
+        for word in WORDS_A + WORDS_B + SYLLABLES:
+            assert word.isalpha() and word.islower(), word
+
+    def test_enough_combinations_for_case_studies(self):
+        # Ten case studies x up to 12 domains each, plus monitoring
+        # rounds: need a comfortably large two-word space.
+        assert len(WORDS_A) * len(WORDS_B) > 4000
+
+    def test_dns_safe_lengths(self):
+        for a in WORDS_A:
+            for b in (WORDS_B[0], WORDS_B[-1]):
+                assert len(a + b) <= 63  # single DNS label limit
