@@ -30,7 +30,8 @@ from repro.core.confirm import (
 )
 from repro.core.characterize import ContentCharacterization
 from repro.core.identify import IdentificationPipeline, IdentificationReport
-from repro.core.pipeline import FullStudy, StudyReport
+from repro.core.pipeline import FullStudy, StudyReport, run_full_study
+from repro.exec import Executor, MemoCache, Metrics, StudyCaches
 from repro.world.builder import CustomScenario, WorldBuilder
 from repro.world.scenario import (
     DEFAULT_SEED,
@@ -49,16 +50,21 @@ __all__ = [
     "ContentCharacterization",
     "CustomScenario",
     "DEFAULT_SEED",
+    "Executor",
     "WorldBuilder",
     "FullStudy",
     "IdentificationPipeline",
     "IdentificationReport",
+    "MemoCache",
+    "Metrics",
     "Scenario",
     "ScenarioConfig",
+    "StudyCaches",
     "StudyReport",
     "Vantage",
     "World",
     "__version__",
     "build_scenario",
     "run_category_probe",
+    "run_full_study",
 ]

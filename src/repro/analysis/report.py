@@ -16,10 +16,17 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a circular import at runtime
     from repro.core.pipeline import StudyReport
+    from repro.exec.cache import StudyCaches
+    from repro.exec.metrics import Metrics
 
 
 def write_markdown_report(report: "StudyReport", *, seed: Optional[int] = None) -> str:
-    """Render the full campaign as a self-contained markdown document."""
+    """Render the full campaign as a self-contained markdown document.
+
+    Deliberately excludes execution metrics: the document is a function
+    of the scenario alone and stays byte-identical at any worker count.
+    Use :func:`write_execution_summary` for the run-shape appendix.
+    """
     seed_line = f"Scenario seed: `{seed}`.\n" if seed is not None else ""
     identification = report.identification
     sections = [
@@ -69,4 +76,19 @@ def write_markdown_report(report: "StudyReport", *, seed: Optional[int] = None) 
         + ".",
         "",
     ]
+    return "\n".join(sections)
+
+
+def write_execution_summary(
+    metrics: "Metrics", caches: Optional["StudyCaches"] = None
+) -> str:
+    """Render how a run executed (timings, fan-out, cache traffic).
+
+    Kept separate from :func:`write_markdown_report` because timings are
+    not deterministic; callers opt in via ``repro study --metrics``.
+    """
+    sections = ["## Execution summary", ""]
+    sections += ["```", metrics.summary(), "```", ""]
+    if caches is not None:
+        sections += ["```", "\n".join(caches.summary_lines()), "```", ""]
     return "\n".join(sections)

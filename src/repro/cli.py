@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.report import write_markdown_report
+from repro.analysis.report import write_execution_summary, write_markdown_report
 from repro.analysis.tables import (
     render_category_probe,
     render_figure1,
@@ -49,6 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--json", dest="json_output",
         help="also export the raw results as JSON to this file",
+    )
+    study.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel campaign workers (default 1; results are "
+        "byte-identical at any worker count)",
+    )
+    study.add_argument(
+        "--latency", type=float, default=0.0, metavar="SECONDS",
+        help="simulated field-link RTT per request (default 0; this is "
+        "the cost --workers amortizes)",
+    )
+    study.add_argument(
+        "--metrics", action="store_true",
+        help="print the execution summary (timings, fan-out, caches)",
     )
 
     identify = commands.add_parser("identify", help="run §3 identification")
@@ -84,8 +98,17 @@ def _cmd_study(args) -> int:
     from repro.analysis.export import to_json
     from repro.analysis.validation import validate_report
 
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.latency < 0:
+        print("--latency must be >= 0", file=sys.stderr)
+        return 2
     scenario = build_scenario(seed=args.seed)
-    report = FullStudy(scenario).run()
+    study = FullStudy(
+        scenario, workers=args.workers, link_latency=args.latency
+    )
+    report = study.run()
     document = write_markdown_report(report, seed=args.seed)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -97,6 +120,8 @@ def _cmd_study(args) -> int:
         with open(args.json_output, "w", encoding="utf-8") as handle:
             handle.write(to_json(report))
         print(f"raw results written to {args.json_output}")
+    if args.metrics:
+        print(write_execution_summary(study.metrics, study.caches))
     print(validate_report(report).summary())
     return 0
 

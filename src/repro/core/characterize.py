@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.exec.executor import Executor
 from repro.measure.blockpage_detect import BlockPageDetector
 from repro.measure.client import MeasurementClient, UrlTest
 from repro.measure.testlists import (
@@ -84,11 +85,15 @@ class ContentCharacterization:
         detector: Optional[BlockPageDetector] = None,
         per_category_global: int = 3,
         per_category_local: int = 2,
+        executor: Optional[Executor] = None,
+        link_latency: float = 0.0,
     ) -> None:
         self._world = world
         self._detector = detector or BlockPageDetector()
         self._per_global = per_category_global
         self._per_local = per_category_local
+        self._executor = executor
+        self._link_latency = link_latency
 
     def run(
         self,
@@ -112,7 +117,11 @@ class ContentCharacterization:
                 per_category=self._per_local,
             )
         client = MeasurementClient(
-            world.vantage(isp_name), world.lab_vantage(), self._detector
+            world.vantage(isp_name),
+            world.lab_vantage(),
+            self._detector,
+            executor=self._executor,
+            link_latency=self._link_latency,
         )
         result = CharacterizationResult(
             isp_name=isp_name,
@@ -121,16 +130,20 @@ class ContentCharacterization:
             product_name=product_name,
             measured_at=world.now,
         )
-        for test_list in (global_list, local_list):
-            for entry in test_list.entries:
-                test = client.test_url(entry.url)
-                result.tests.append(test)
-                stats = result.stats.setdefault(
-                    entry.category.name, CategoryBlockStats(entry.category)
-                )
-                stats.tested += 1
-                if test.blocked:
-                    stats.blocked += 1
-                    vendor = test.vendor or "unattributed"
-                    stats.vendors[vendor] = stats.vendors.get(vendor, 0) + 1
+        entries = [
+            entry
+            for test_list in (global_list, local_list)
+            for entry in test_list.entries
+        ]
+        run = client.run_list([entry.url for entry in entries])
+        for entry, test in zip(entries, run.tests):
+            result.tests.append(test)
+            stats = result.stats.setdefault(
+                entry.category.name, CategoryBlockStats(entry.category)
+            )
+            stats.tested += 1
+            if test.blocked:
+                stats.blocked += 1
+                vendor = test.vendor or "unattributed"
+                stats.vendors[vendor] = stats.vendors.get(vendor, 0) + 1
         return result

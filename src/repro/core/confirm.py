@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.exec.executor import Executor
 from repro.measure.blockpage_detect import BlockPageDetector
 from repro.measure.client import MeasurementClient
 from repro.measure.compare import Verdict
@@ -162,18 +163,24 @@ class ConfirmationStudy:
         *,
         submitter: SubmitterIdentity = DEFAULT_SUBMITTER,
         detector: Optional[BlockPageDetector] = None,
+        executor: Optional[Executor] = None,
+        link_latency: float = 0.0,
     ) -> None:
         self._world = world
         self._product = product
         self._hosting_asn = hosting_asn
         self._submitter = submitter
         self._detector = detector or BlockPageDetector()
+        self._executor = executor
+        self._link_latency = link_latency
 
     def _client(self, isp_name: str) -> MeasurementClient:
         return MeasurementClient(
             self._world.vantage(isp_name),
             self._world.lab_vantage(),
             self._detector,
+            executor=self._executor,
+            link_latency=self._link_latency,
         )
 
     def run(self, config: ConfirmationConfig) -> ConfirmationResult:
@@ -280,25 +287,35 @@ def run_category_probe(
     taxonomy: Taxonomy = NETSWEEPER_TAXONOMY,
     *,
     detector: Optional[BlockPageDetector] = None,
+    executor: Optional[Executor] = None,
+    link_latency: float = 0.0,
 ) -> CategoryProbeResult:
     """Fetch each denypagetests category URL from the field vantage.
 
     A category counts as blocked when its test page yields a block-page
     verdict in the field while the lab sees the vendor's plain test page.
+    The per-category fetches are independent, so they run through the
+    executor's URL fan-out; results come back in taxonomy order.
     """
     client = MeasurementClient(
         world.vantage(isp_name),
         world.lab_vantage(),
         detector or BlockPageDetector(),
+        executor=executor,
+        link_latency=link_latency,
     )
-    blocked: List[VendorCategory] = []
-    for category in taxonomy.categories:
-        url = Url.parse(
+    urls = [
+        Url.parse(
             f"http://{CATEGORY_TEST_HOST}/category/catno/{category.number}"
         )
-        test = client.test_url(url)
-        if test.comparison.verdict is Verdict.BLOCKED_BLOCKPAGE:
-            blocked.append(category)
+        for category in taxonomy.categories
+    ]
+    run = client.run_list(urls)
+    blocked: List[VendorCategory] = [
+        category
+        for category, test in zip(taxonomy.categories, run.tests)
+        if test.comparison.verdict is Verdict.BLOCKED_BLOCKPAGE
+    ]
     return CategoryProbeResult(
         isp_name=isp_name,
         probed_at=world.now,

@@ -12,13 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.exec.cache import StudyCaches
+from repro.exec.executor import Executor
 from repro.geo.cymru import WhoisService
 from repro.geo.maxmind import GeoDatabase
 from repro.net.ip import Ipv4Address
 from repro.net.url import COUNTRY_CODE_TLDS
-from repro.scan.shodan import ShodanIndex
+from repro.scan.shodan import ShodanIndex, ShodanQueryLog
 from repro.scan.signatures import PRODUCT_NAMES, SHODAN_KEYWORDS, Evidence
-from repro.scan.whatweb import WhatWebEngine
+from repro.scan.whatweb import WhatWebEngine, WhatWebReport
 from repro.world.entities import OrgKind
 
 
@@ -101,12 +103,23 @@ class IdentificationPipeline:
         whois: WhoisService,
         *,
         cctlds: Optional[Sequence[str]] = None,
+        executor: Optional[Executor] = None,
+        caches: Optional[StudyCaches] = None,
     ) -> None:
         self._shodan = shodan
         self._whatweb = whatweb
         self._geo = geo
         self._whois = whois
         self._cctlds = sorted(cctlds if cctlds is not None else COUNTRY_CODE_TLDS)
+        self._executor = executor
+        # Geo and whois lookups repeat per candidate (and the banner
+        # index re-geolocates the same IPs); memoize when caches given.
+        if caches is not None:
+            self._geo_lookup = caches.wrap_geo(geo.country_code)
+            self._whois_lookup = caches.wrap_asn(whois.lookup)
+        else:
+            self._geo_lookup = geo.country_code
+            self._whois_lookup = whois.lookup
 
     @classmethod
     def from_census(
@@ -126,26 +139,70 @@ class IdentificationPipeline:
         return cls(index, whatweb, geo, whois, cctlds=[])
 
     def locate(self, products: Sequence[str] = PRODUCT_NAMES) -> List[Candidate]:
-        """Keyword × ccTLD search: deliberately not conservative."""
+        """Keyword × ccTLD search: deliberately not conservative.
+
+        Each (product, keyword) expansion is an independent read-only
+        query batch, so they fan out across workers. Every task records
+        into a private query log; logs and hits merge back in submission
+        order, keeping both the candidate list and the query accounting
+        identical at any worker count.
+        """
+        jobs = [
+            (product, keyword)
+            for product in products
+            for keyword in SHODAN_KEYWORDS[product]
+        ]
+
+        def run_query(job: Tuple[str, str]):
+            product, keyword = job
+            task_log = ShodanQueryLog()
+            hits = self._shodan.search_expanded(
+                keyword, self._cctlds, log=task_log
+            )
+            return product, keyword, hits, task_log.entries
+
+        executor = self._executor
+        if executor is None or executor.workers == 1:
+            batches = [run_query(job) for job in jobs]
+        else:
+            batches = executor.map(run_query, jobs, label="locate")
+
         by_key: Dict[Tuple[int, str], Candidate] = {}
-        for product in products:
-            for keyword in SHODAN_KEYWORDS[product]:
-                for record in self._shodan.search_expanded(keyword, self._cctlds):
-                    key = (record.ip.value, product)
-                    candidate = by_key.get(key)
-                    if candidate is None:
-                        candidate = Candidate(record.ip, product)
-                        by_key[key] = candidate
-                    if keyword not in candidate.matched_queries:
-                        candidate.matched_queries.append(keyword)
+        for product, keyword, hits, log_entries in batches:
+            for query, count in log_entries:
+                self._shodan.log.record(query, count)
+            for record in hits:
+                key = (record.ip.value, product)
+                candidate = by_key.get(key)
+                if candidate is None:
+                    candidate = Candidate(record.ip, product)
+                    by_key[key] = candidate
+                if keyword not in candidate.matched_queries:
+                    candidate.matched_queries.append(keyword)
         return list(by_key.values())
 
     def validate(self, candidates: Sequence[Candidate]) -> IdentificationReport:
-        """WhatWeb validation plus geo/whois mapping."""
+        """WhatWeb validation plus geo/whois mapping.
+
+        Probing and the lookups are read-only, so candidates validate in
+        parallel; the accept/reject bookkeeping runs afterwards in
+        candidate order so the report is scheduling-independent.
+        """
+
+        def probe(candidate: Candidate) -> WhatWebReport:
+            return self._whatweb.identify(candidate.ip)
+
+        executor = self._executor
+        if executor is None or executor.workers == 1:
+            whatweb_reports = [probe(c) for c in candidates]
+        else:
+            whatweb_reports = executor.map(
+                probe, candidates, label="validate"
+            )
+
         report = IdentificationReport(candidates=list(candidates))
         validated_ips: Set[Tuple[int, str]] = set()
-        for candidate in candidates:
-            whatweb_report = self._whatweb.identify(candidate.ip)
+        for candidate, whatweb_report in zip(candidates, whatweb_reports):
             match = next(
                 (
                     m
@@ -161,12 +218,12 @@ class IdentificationPipeline:
             if key in validated_ips:
                 continue
             validated_ips.add(key)
-            whois_record = self._whois.lookup(candidate.ip)
+            whois_record = self._whois_lookup(candidate.ip)
             report.installations.append(
                 Installation(
                     ip=candidate.ip,
                     product=candidate.product,
-                    country_code=self._geo.country_code(candidate.ip) or "",
+                    country_code=self._geo_lookup(candidate.ip) or "",
                     asn=whois_record.asn if whois_record else None,
                     as_name=whois_record.as_name if whois_record else "",
                     org_name=whois_record.org_name if whois_record else "",

@@ -22,6 +22,9 @@ from repro.core.confirm import (
     run_category_probe,
 )
 from repro.core.identify import IdentificationPipeline, IdentificationReport
+from repro.exec.cache import StudyCaches
+from repro.exec.executor import Executor
+from repro.exec.metrics import Metrics
 from repro.geo.cymru import WhoisService
 from repro.geo.maxmind import GeoDatabase
 from repro.scan.banner import scan_world
@@ -29,7 +32,7 @@ from repro.scan.shodan import ShodanIndex
 from repro.scan.whatweb import WhatWebEngine, world_probe
 from repro.world.clock import SimTime
 from repro.world.content import ContentClass
-from repro.world.scenario import Scenario
+from repro.world.scenario import DEFAULT_SEED, Scenario, build_scenario
 
 _CATEGORY_CONTENT: Dict[str, ContentClass] = {
     "Proxy Avoidance": ContentClass.PROXY_ANONYMIZER,
@@ -101,7 +104,16 @@ class StudyReport:
 
 
 class FullStudy:
-    """Drives the complete reproduction against one scenario."""
+    """Drives the complete reproduction against one scenario.
+
+    ``workers`` fans the independent parts of each stage (Shodan query
+    expansions, WhatWeb probes, banner grabs, URL batches) across a
+    thread pool; ``link_latency`` models the per-request field RTT that
+    parallelism amortizes. Results are byte-identical at any worker
+    count: world-mutating fetches commit in submission order and all
+    merges are submission-ordered (see docs/methodology.md, "Execution
+    model").
+    """
 
     def __init__(
         self,
@@ -109,32 +121,71 @@ class FullStudy:
         *,
         shodan_coverage: float = 1.0,
         geo_error_rate: float = 0.0,
+        workers: int = 1,
+        link_latency: float = 0.0,
+        metrics: Optional[Metrics] = None,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if link_latency < 0:
+            raise ValueError("link_latency must be >= 0")
         self._scenario = scenario
         self._shodan_coverage = shodan_coverage
         self._geo_error_rate = geo_error_rate
+        self._link_latency = link_latency
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.executor = Executor(
+            workers=workers, metrics=self.metrics, name="study"
+        )
+        self.caches = StudyCaches()
+        scenario.world.enable_dns_cache(self.caches.dns)
 
     # ------------------------------------------------------------- stages
     def run_identification(self) -> IdentificationReport:
         """§3: scan → index → keyword x ccTLD → WhatWeb → geo/whois."""
         world = self._scenario.world
-        records = scan_world(world, coverage=self._shodan_coverage)
-        geo_rng = None
-        if self._geo_error_rate:
-            from repro.world.rng import derive_rng
+        with self.metrics.timer("stage.identify"):
+            records = scan_world(
+                world,
+                coverage=self._shodan_coverage,
+                executor=self.executor,
+                probe_latency=self._link_latency,
+            )
+            geo_rng = None
+            if self._geo_error_rate:
+                from repro.world.rng import derive_rng
 
-            geo_rng = derive_rng(world.seed, "geo-errors")
-        geo = GeoDatabase.build_from_world(
-            world, error_rate=self._geo_error_rate, rng=geo_rng
-        )
-        shodan = ShodanIndex(records, geolocate=geo.country_code)
-        whatweb = WhatWebEngine(world_probe(world))
-        whois = WhoisService.build_from_world(world)
-        pipeline = IdentificationPipeline(shodan, whatweb, geo, whois)
-        return pipeline.run()
+                geo_rng = derive_rng(world.seed, "geo-errors")
+            geo = GeoDatabase.build_from_world(
+                world, error_rate=self._geo_error_rate, rng=geo_rng
+            )
+            # The banner index geolocates every record up front; routing
+            # it through the shared cache turns the §3 candidate
+            # re-lookups into hits.
+            shodan = ShodanIndex(
+                records,
+                geolocate=self.caches.wrap_geo(geo.country_code),
+                query_cache=self.caches.banner,
+            )
+            whatweb = WhatWebEngine(world_probe(world))
+            whois = WhoisService.build_from_world(world)
+            pipeline = IdentificationPipeline(
+                shodan,
+                whatweb,
+                geo,
+                whois,
+                executor=self.executor,
+                caches=self.caches,
+            )
+            return pipeline.run()
 
     def run_confirmations(self) -> Tuple[List[ConfirmationResult], CategoryProbeResult]:
-        """§4: replay the Table 3 case studies chronologically."""
+        """§4: replay the Table 3 case studies chronologically.
+
+        The schedule itself stays sequential — every case study advances
+        the shared clock — but each study's URL batches fan out through
+        the executor.
+        """
         scenario = self._scenario
         world = scenario.world
         schedule: List[Tuple[SimTime, Optional[Table3Row]]] = [
@@ -148,48 +199,97 @@ class FullStudy:
 
         results: List[ConfirmationResult] = []
         probe: Optional[CategoryProbeResult] = None
-        for when, row in schedule:
-            if world.now < when:
-                world.clock.advance_to(when)
-            if row is None:
-                probe = run_category_probe(world, "yemennet")
-                continue
-            study = ConfirmationStudy(
-                world,
-                scenario.products[row.product],
-                scenario.hosting_asns[0],
-            )
-            results.append(study.run(config_for_row(row)))
+        with self.metrics.timer("stage.confirm"):
+            for when, row in schedule:
+                if world.now < when:
+                    world.clock.advance_to(when)
+                if row is None:
+                    probe = run_category_probe(
+                        world,
+                        "yemennet",
+                        executor=self.executor,
+                        link_latency=self._link_latency,
+                    )
+                    continue
+                study = ConfirmationStudy(
+                    world,
+                    scenario.products[row.product],
+                    scenario.hosting_asns[0],
+                    executor=self.executor,
+                    link_latency=self._link_latency,
+                )
+                results.append(study.run(config_for_row(row)))
         assert probe is not None
         return results, probe
 
     def run_characterizations(self) -> Dict[str, CharacterizationResult]:
-        """§5: test lists in each confirmed ISP (within 30 days)."""
+        """§5: test lists in each confirmed ISP (within 30 days).
+
+        Runs stay in pair order (filter RNG state is shared between
+        deployments of one product) while each run's URL list fans out.
+        """
         scenario = self._scenario
         world = scenario.world
-        characterization = ContentCharacterization(world)
+        characterization = ContentCharacterization(
+            world,
+            executor=self.executor,
+            link_latency=self._link_latency,
+        )
         pairs = (
             ("etisalat", "McAfee SmartFilter"),
             ("du", "Netsweeper"),
             ("yemennet", "Netsweeper"),
             ("ooredoo", "Netsweeper"),
         )
-        return {
-            isp: characterization.run(isp, product)
-            for isp, product in pairs
-        }
+        with self.metrics.timer("stage.characterize"):
+            return {
+                isp: characterization.run(isp, product)
+                for isp, product in pairs
+            }
 
     def run(self) -> StudyReport:
         """The full campaign in paper order."""
-        identification = self.run_identification()
-        confirmations, probe = self.run_confirmations()
-        characterizations = self.run_characterizations()
+        with self.metrics.timer("study"):
+            identification = self.run_identification()
+            confirmations, probe = self.run_confirmations()
+            characterizations = self.run_characterizations()
+        for cache in self.caches.all():
+            stats = cache.stats
+            self.metrics.incr(f"cache.{cache.name}.hits", stats.hits)
+            self.metrics.incr(f"cache.{cache.name}.misses", stats.misses)
         return StudyReport(
             identification=identification,
             confirmations=confirmations,
             category_probe=probe,
             characterizations=characterizations,
         )
+
+
+def run_full_study(
+    seed: int = DEFAULT_SEED,
+    *,
+    workers: int = 1,
+    link_latency: float = 0.0,
+    metrics: Optional[Metrics] = None,
+    shodan_coverage: float = 1.0,
+    geo_error_rate: float = 0.0,
+) -> StudyReport:
+    """Build the scenario for ``seed`` and run the whole campaign.
+
+    The report is a pure function of ``seed`` and the scenario knobs:
+    ``workers``/``link_latency``/``metrics`` change only wall-clock and
+    instrumentation, never the result.
+    """
+    scenario = build_scenario(seed=seed)
+    study = FullStudy(
+        scenario,
+        shodan_coverage=shodan_coverage,
+        geo_error_rate=geo_error_rate,
+        workers=workers,
+        link_latency=link_latency,
+        metrics=metrics,
+    )
+    return study.run()
 
 
 def _row_order(row: Optional[Table3Row]) -> int:

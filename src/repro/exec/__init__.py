@@ -1,0 +1,49 @@
+"""repro.exec — deterministic parallel execution substrate.
+
+The paper's scalability argument (§6.1/§7) is that confirmation
+campaigns in different ISPs run *concurrently*: wall clock is the max of
+the per-ISP costs, not the sum (:mod:`repro.core.scale` already models
+this). This package makes that concurrency real for the reproduction
+while keeping its defining property — every run is a pure function of
+(seed, config) — intact:
+
+- :mod:`repro.exec.executor` — a thread-pool executor whose fan-out APIs
+  merge results in a stable, submission-ordered (seed-independent) way,
+  with per-task retry/timeout semantics, plus a :class:`Sequencer`
+  turnstile that forces side-effectful simulation steps to commit in
+  submission order so parallel runs stay byte-identical to sequential
+  ones.
+- :mod:`repro.exec.cache` — thread-safe memoization for the hot lookup
+  paths (MaxMind geo, Team Cymru ASN, DNS resolution, Shodan banner
+  queries) with hit/miss counters and explicit invalidation.
+- :mod:`repro.exec.metrics` — counters, timers and per-stage summaries
+  surfaced through the CLI and :mod:`repro.analysis.report`.
+"""
+
+from repro.exec.cache import CacheStats, CachedFunction, MemoCache, StudyCaches
+from repro.exec.executor import (
+    Campaign,
+    CampaignOutcome,
+    Executor,
+    RetryPolicy,
+    Sequencer,
+    TaskFailure,
+    TaskTimeout,
+)
+from repro.exec.metrics import Metrics, TimerStats
+
+__all__ = [
+    "CacheStats",
+    "CachedFunction",
+    "Campaign",
+    "CampaignOutcome",
+    "Executor",
+    "MemoCache",
+    "Metrics",
+    "RetryPolicy",
+    "Sequencer",
+    "StudyCaches",
+    "TaskFailure",
+    "TaskTimeout",
+    "TimerStats",
+]

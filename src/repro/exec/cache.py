@@ -1,0 +1,171 @@
+"""Memoization caches for the hot lookup paths.
+
+The identification pipeline hammers a handful of pure lookups: MaxMind
+country mapping (once per banner record *and* once per candidate), Team
+Cymru whois, DNS resolution (every fetch hop re-resolves its hostname),
+and Shodan banner queries. All are deterministic functions of their
+input for a fixed world state, so memoizing them is semantics-preserving
+— provided invalidation is explicit where the world does change (domain
+registration and teardown during §4 campaigns re-point DNS).
+
+Caches are thread-safe so the parallel executor can share them across
+workers, and every cache keeps hit/miss/invalidation counters that
+surface in the execution summary.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generic, Hashable, List, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Traffic counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MemoCache(Generic[K, V]):
+    """A thread-safe memo table with explicit invalidation.
+
+    Failures are never cached: a compute function that raises leaves the
+    cache untouched, so transient faults cannot poison later lookups.
+    """
+
+    def __init__(self, name: str = "cache") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._data: Dict[K, V] = {}
+        self._stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    # ------------------------------------------------------------- access
+    def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self._stats.hits += 1
+                return value  # type: ignore[return-value]
+            self._stats.misses += 1
+        # Compute outside the lock: lookups against the world can be
+        # slow, and a raising compute must not poison the cache. Two
+        # racing threads may both compute; both write the same value
+        # (the functions memoized here are deterministic), so the race
+        # is benign.
+        value = compute()
+        with self._lock:
+            self._data[key] = value
+        return value
+
+    def peek(self, key: K) -> Optional[V]:
+        """The cached value, or None — never counts as a hit or miss."""
+        with self._lock:
+            return self._data.get(key)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._data
+
+    # ------------------------------------------------------- invalidation
+    def invalidate(self, key: K) -> bool:
+        """Drop one entry; True when something was actually dropped."""
+        with self._lock:
+            present = self._data.pop(key, _MISSING) is not _MISSING
+            if present:
+                self._stats.invalidations += 1
+            return present
+
+    def clear(self) -> int:
+        """Drop everything; returns how many entries were dropped."""
+        with self._lock:
+            dropped = len(self._data)
+            self._data.clear()
+            self._stats.invalidations += dropped
+            return dropped
+
+    # -------------------------------------------------------------- stats
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                self._stats.hits,
+                self._stats.misses,
+                self._stats.invalidations,
+            )
+
+
+class CachedFunction(Generic[K, V]):
+    """A single-argument function memoized through a :class:`MemoCache`."""
+
+    def __init__(self, fn: Callable[[K], V], cache: MemoCache[K, V]) -> None:
+        self._fn = fn
+        self.cache = cache
+
+    def __call__(self, key: K) -> V:
+        return self.cache.get_or_compute(key, lambda: self._fn(key))
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+
+class StudyCaches:
+    """The bundle of lookup caches one study run shares across stages."""
+
+    def __init__(self) -> None:
+        self.geo: MemoCache = MemoCache("geo")
+        self.asn: MemoCache = MemoCache("asn")
+        self.dns: MemoCache = MemoCache("dns")
+        self.banner: MemoCache = MemoCache("banner")
+
+    def all(self) -> List[MemoCache]:
+        return [self.geo, self.asn, self.dns, self.banner]
+
+    def wrap_geo(self, fn: Callable[[Any], Any]) -> CachedFunction:
+        return CachedFunction(fn, self.geo)
+
+    def wrap_asn(self, fn: Callable[[Any], Any]) -> CachedFunction:
+        return CachedFunction(fn, self.asn)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            cache.name: {
+                "entries": len(cache),
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "invalidations": cache.stats.invalidations,
+                "hit_rate": round(cache.stats.hit_rate, 4),
+            }
+            for cache in self.all()
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = ["lookup caches:"]
+        for name, row in self.summary().items():
+            lines.append(
+                f"  {name:8s} {int(row['entries']):6d} entries  "
+                f"{int(row['hits']):6d} hits  {int(row['misses']):6d} misses  "
+                f"{int(row['invalidations']):4d} invalidated  "
+                f"hit-rate {row['hit_rate']:.0%}"
+            )
+        return lines

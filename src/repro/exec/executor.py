@@ -1,0 +1,365 @@
+"""Deterministic parallel executor.
+
+The reproduction must stay a pure function of (seed, config), yet the
+measurement stages — banner scans over every host, keyword × ccTLD
+queries, WhatWeb validation probes, per-URL field/lab fetch pairs —
+are embarrassingly parallel. The executor reconciles the two:
+
+- **Stable merges.** :meth:`Executor.map` always returns results in
+  submission order regardless of completion order, and
+  :meth:`Executor.run_campaigns` merges campaign outcomes by submission
+  order (or an explicit key), never by which thread finished first.
+- **Ordered side effects.** Simulation steps that mutate shared world
+  state (a fetch through a stateful middlebox consumes RNG draws and
+  feeds product queues) are wrapped in a :class:`Sequencer` turnstile:
+  threads may overlap freely in their effect-free phases (modelled
+  network waits, lab fetches, response comparison) but commit their
+  mutating step strictly in submission order, so the world evolves
+  exactly as it would under ``workers=1``.
+- **Fault semantics.** Each task gets a :class:`RetryPolicy`; a task
+  that keeps failing raises (or is collected as) a :class:`TaskFailure`
+  without disturbing sibling results, and every retry/failure/timeout is
+  visible in :class:`~repro.exec.metrics.Metrics`.
+
+``workers=1`` bypasses the pool entirely and runs tasks inline, which is
+both the default and the reference behaviour the parallel paths must
+reproduce byte for byte.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.exec.metrics import Metrics
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: ``on_error`` modes for the fan-out APIs.
+RAISE = "raise"
+COLLECT = "collect"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times a failing task is re-run before giving up."""
+
+    attempts: int = 1
+    backoff_seconds: float = 0.0
+    retry_on: Tuple[type, ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+
+
+#: The no-retry default.
+NO_RETRY = RetryPolicy()
+
+
+class TaskFailure(RuntimeError):
+    """A task exhausted its retry budget.
+
+    Carries enough context to report the failure without losing sibling
+    results: the task label, its submission index, how many attempts
+    ran, and the final underlying exception (also set as ``__cause__``).
+    """
+
+    def __init__(
+        self, label: str, index: int, attempts: int, cause: BaseException
+    ) -> None:
+        super().__init__(
+            f"task {label}[{index}] failed after {attempts} attempt(s): "
+            f"{cause!r}"
+        )
+        self.label = label
+        self.index = index
+        self.attempts = attempts
+        self.cause = cause
+        self.__cause__ = cause
+
+
+class TaskTimeout(TaskFailure):
+    """A task exceeded its per-task wall-clock budget."""
+
+    def __init__(self, label: str, index: int, timeout: float) -> None:
+        cause = TimeoutError(f"exceeded {timeout:.3f}s")
+        super().__init__(label, index, 1, cause)
+        self.timeout = timeout
+
+
+class Sequencer:
+    """A turnstile handing out turns in strict submission order.
+
+    Threads call ``with sequencer.turn(index):`` around their mutating
+    step; the block runs only once every lower index has completed its
+    own block. Effect-free work before/after the block overlaps freely.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+        self._condition = threading.Condition()
+
+    @contextmanager
+    def turn(self, index: int) -> Iterator[None]:
+        with self._condition:
+            while self._next != index:
+                self._condition.wait()
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._next = index + 1
+                self._condition.notify_all()
+
+    @property
+    def completed(self) -> int:
+        """How many turns have fully completed."""
+        with self._condition:
+            return self._next
+
+
+@dataclass
+class Campaign:
+    """One independently runnable unit of campaign work.
+
+    The paper's motivating case: a §4 confirmation campaign in one ISP.
+    ``key`` names the campaign for merging and metrics; ``run`` does the
+    work.
+    """
+
+    key: str
+    run: Callable[[], Any]
+
+
+@dataclass
+class CampaignOutcome:
+    """What one campaign produced (or how it failed)."""
+
+    key: str
+    result: Any = None
+    error: Optional[TaskFailure] = None
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class Executor:
+    """Thread-pool fan-out with deterministic, submission-ordered merges."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        metrics: Optional[Metrics] = None,
+        name: str = "exec",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.name = name
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    # ------------------------------------------------------------ internals
+    def _run_once(
+        self,
+        fn: Callable[[T], R],
+        item: T,
+        index: int,
+        label: str,
+        retry: RetryPolicy,
+    ) -> Tuple[R, int]:
+        """Run one task with retries; returns (result, attempts_used)."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(item), attempt
+            except retry.retry_on as exc:
+                if attempt >= retry.attempts:
+                    self.metrics.incr(f"{label}.failures")
+                    raise TaskFailure(label, index, attempt, exc) from exc
+                self.metrics.incr(f"{label}.retries")
+                if retry.backoff_seconds:
+                    time.sleep(retry.backoff_seconds * attempt)
+
+    # ------------------------------------------------------------- fan-out
+    def map_unordered(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        label: str = "task",
+        retry: RetryPolicy = NO_RETRY,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(index, outcome)`` pairs as tasks complete.
+
+        ``outcome`` is the task's return value or a :class:`TaskFailure`
+        (including :class:`TaskTimeout`); the caller decides what to do
+        with failures. With ``workers=1`` tasks run inline in submission
+        order, making this the sequential reference behaviour.
+        """
+        pending = list(items)
+        self.metrics.incr(f"{label}.tasks", len(pending))
+        if self.workers == 1 or len(pending) <= 1:
+            for index, item in enumerate(pending):
+                started = time.perf_counter()
+                try:
+                    result, _attempts = self._run_once(
+                        fn, item, index, label, retry
+                    )
+                except TaskFailure as failure:
+                    yield index, failure
+                    continue
+                elapsed = time.perf_counter() - started
+                if timeout is not None and elapsed > timeout:
+                    # Best effort in inline mode: the work already ran,
+                    # but the budget violation must still surface.
+                    self.metrics.incr(f"{label}.timeouts")
+                    yield index, TaskTimeout(label, index, timeout)
+                else:
+                    yield index, result
+            return
+
+        pool_size = min(self.workers, len(pending))
+        with ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix=f"{self.name}-{label}"
+        ) as pool:
+            futures = {
+                pool.submit(self._run_once, fn, item, index, label, retry): index
+                for index, item in enumerate(pending)
+            }
+            deadline = (
+                time.perf_counter() + timeout if timeout is not None else None
+            )
+            outstanding = set(futures)
+            while outstanding:
+                budget = None
+                if deadline is not None:
+                    budget = max(0.0, deadline - time.perf_counter())
+                done, outstanding = wait(
+                    outstanding, timeout=budget, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Per-batch budget exhausted: everything still
+                    # outstanding times out. Threads cannot be killed;
+                    # the futures are abandoned but their effects are
+                    # bounded by the Sequencer discipline of callers.
+                    for future in outstanding:
+                        future.cancel()
+                        index = futures[future]
+                        self.metrics.incr(f"{label}.timeouts")
+                        yield index, TaskTimeout(label, index, timeout or 0.0)
+                    return
+                for future in done:
+                    index = futures[future]
+                    try:
+                        result, _attempts = future.result()
+                    except TaskFailure as failure:
+                        yield index, failure
+                    else:
+                        yield index, result
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        label: str = "task",
+        retry: RetryPolicy = NO_RETRY,
+        timeout: Optional[float] = None,
+        on_error: str = RAISE,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item; results in submission order.
+
+        ``on_error="raise"`` re-raises the lowest-index failure once all
+        tasks have settled (sibling results are never corrupted by a
+        failing task). ``on_error="collect"`` leaves each failure in its
+        result slot as a :class:`TaskFailure` for the caller to inspect.
+        """
+        if on_error not in (RAISE, COLLECT):
+            raise ValueError(f"unknown on_error mode {on_error!r}")
+        pending = list(items)
+        slots: List[Any] = [None] * len(pending)
+        with self.metrics.timer(label):
+            for index, outcome in self.map_unordered(
+                fn, pending, label=label, retry=retry, timeout=timeout
+            ):
+                slots[index] = outcome
+        if on_error == RAISE:
+            for outcome in slots:
+                if isinstance(outcome, TaskFailure):
+                    raise outcome
+        return slots
+
+    def run_campaigns(
+        self,
+        campaigns: Sequence[Campaign],
+        *,
+        label: str = "campaign",
+        retry: RetryPolicy = NO_RETRY,
+        timeout: Optional[float] = None,
+        key: Optional[Callable[[CampaignOutcome], Any]] = None,
+    ) -> List[CampaignOutcome]:
+        """Run independent campaigns concurrently; merge deterministically.
+
+        Mirrors §6.1: campaigns in different ISPs overlap, wall clock is
+        the max rather than the sum. Outcomes come back in submission
+        order by default (or sorted by ``key``) — never in completion
+        order — so downstream reports are identical at any worker count.
+        Failures are collected per campaign, not raised: one ISP's dead
+        vantage must not abort the other ISPs' campaigns.
+        """
+
+        def run_one(campaign: Campaign) -> Tuple[Any, float]:
+            started = time.perf_counter()
+            result = campaign.run()
+            return result, time.perf_counter() - started
+
+        slots = self.map(
+            run_one,
+            campaigns,
+            label=label,
+            retry=retry,
+            timeout=timeout,
+            on_error=COLLECT,
+        )
+        outcomes: List[CampaignOutcome] = []
+        for campaign, outcome in zip(campaigns, slots):
+            if isinstance(outcome, TaskFailure):
+                outcomes.append(
+                    CampaignOutcome(
+                        campaign.key, error=outcome, attempts=outcome.attempts
+                    )
+                )
+            else:
+                result, elapsed = outcome
+                outcomes.append(
+                    CampaignOutcome(
+                        campaign.key, result=result, elapsed_seconds=elapsed
+                    )
+                )
+        if key is not None:
+            outcomes.sort(key=key)
+        return outcomes

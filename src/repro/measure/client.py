@@ -9,9 +9,11 @@ Web page accesses in the field and lab are compared."
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.exec.executor import Executor, Sequencer
 from repro.measure.blockpage_detect import BlockPageDetector
 from repro.measure.compare import Comparison, Verdict, compare
 from repro.net.fetch import FetchResult
@@ -78,28 +80,50 @@ class MeasurementRun:
 
 
 class MeasurementClient:
-    """Dual field/lab fetcher producing per-URL verdicts."""
+    """Dual field/lab fetcher producing per-URL verdicts.
+
+    ``link_latency`` models the real network round trip a field fetch
+    costs (the dominant wall-clock term of an in-country campaign); the
+    simulated fetch itself is effectively instant. ``executor`` enables
+    per-URL fan-out: the latency waits overlap across workers while a
+    :class:`~repro.exec.executor.Sequencer` commits the field fetches —
+    the only steps that can touch stateful middleboxes — in strict
+    submission order, so results are byte-identical to a sequential run.
+    """
 
     def __init__(
         self,
         field_vantage: Vantage,
         lab_vantage: Vantage,
         detector: Optional[BlockPageDetector] = None,
+        *,
+        executor: Optional[Executor] = None,
+        link_latency: float = 0.0,
     ) -> None:
         if field_vantage.is_lab:
             raise ValueError("field vantage must sit inside a measured ISP")
         if not lab_vantage.is_lab:
             raise ValueError("lab vantage must be the unfiltered lab network")
+        if link_latency < 0:
+            raise ValueError("link_latency must be >= 0")
         self._field = field_vantage
         self._lab = lab_vantage
         self._detector = detector or BlockPageDetector()
+        self._executor = executor
+        self._link_latency = link_latency
 
     @property
     def field_vantage(self) -> Vantage:
         return self._field
 
+    def _wait_for_link(self) -> None:
+        """Pay the field round-trip cost (a real wall-clock wait)."""
+        if self._link_latency:
+            time.sleep(self._link_latency)
+
     def test_url(self, url: Url) -> UrlTest:
         """Fetch one URL from both vantages and compare."""
+        self._wait_for_link()
         field_result = self._field.fetch(url)
         lab_result = self._lab.fetch(url)
         comparison = compare(field_result, lab_result, self._detector)
@@ -113,7 +137,35 @@ class MeasurementClient:
 
     def run_list(self, urls: Iterable[Url]) -> MeasurementRun:
         """Test a URL list; §4.1 keeps these short for manual analysis."""
+        targets = list(urls)
         run = MeasurementRun(self._field.location)
-        for url in urls:
-            run.tests.append(self.test_url(url))
+        executor = self._executor
+        if executor is None or executor.workers == 1 or len(targets) <= 1:
+            for url in targets:
+                run.tests.append(self.test_url(url))
+            return run
+
+        # Parallel path: overlap the network waits, serialize the
+        # world-mutating field fetches in submission order. The lab
+        # fetch and the comparison are effect-free and run unordered.
+        sequencer = Sequencer()
+
+        def task(job: Tuple[int, Url]) -> UrlTest:
+            index, url = job
+            self._wait_for_link()
+            with sequencer.turn(index):
+                field_result = self._field.fetch(url)
+            lab_result = self._lab.fetch(url)
+            comparison = compare(field_result, lab_result, self._detector)
+            return UrlTest(
+                url,
+                field_result,
+                lab_result,
+                comparison,
+                self._field.world.now,
+            )
+
+        run.tests = executor.map(
+            task, list(enumerate(targets)), label="measure"
+        )
         return run

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exec.executor import Campaign, Executor
 from repro.net.http import Headers, HttpRequest, HttpResponse, html_page
 from repro.net.url import Url
 from repro.world.content import ContentClass
@@ -145,7 +146,29 @@ def detect_proxy(vantage: Vantage, *, scheme: str = "http") -> ProxyDetectionRep
 
 
 def survey_isps(
-    world: World, isp_names: Sequence[str]
+    world: World,
+    isp_names: Sequence[str],
+    *,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, ProxyDetectionReport]:
-    """Run proxy detection from a vantage in each named ISP."""
-    return {name: detect_proxy(world.vantage(name)) for name in isp_names}
+    """Run proxy detection from a vantage in each named ISP.
+
+    Each ISP's reference fetch is an independent campaign, so they fan
+    out across workers; the report dict keeps the caller's ISP order
+    regardless of completion order.
+    """
+    if executor is None or executor.workers == 1:
+        return {name: detect_proxy(world.vantage(name)) for name in isp_names}
+
+    def make_campaign(name: str) -> Campaign:
+        return Campaign(key=name, run=lambda: detect_proxy(world.vantage(name)))
+
+    outcomes = executor.run_campaigns(
+        [make_campaign(name) for name in isp_names], label="netalyzr"
+    )
+    reports: Dict[str, ProxyDetectionReport] = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise outcome.error
+        reports[outcome.key] = outcome.result
+    return reports

@@ -9,9 +9,11 @@ full crawl.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.exec.executor import Executor
 from repro.net.fetch import FetchOutcome
 from repro.net.ip import Ipv4Address
 from repro.net.url import Url
@@ -99,25 +101,44 @@ def scan_world(
     *,
     coverage: float = 1.0,
     coverage_salt: str = "scan",
+    executor: Optional[Executor] = None,
+    probe_latency: float = 0.0,
 ) -> List[BannerRecord]:
     """Banner-grab every visible service in the world.
 
     ``coverage`` < 1 models a scanner that has only indexed part of the
     address space (Shodan's view is always partial); inclusion is a
     deterministic hash of (salt, ip) so repeated scans agree.
+
+    Probing is read-only against the world, so ``executor`` fans the
+    scan out over target hosts; per-host batches merge back in address
+    order, keeping the record list identical at any worker count.
+    ``probe_latency`` models the per-host network round trip.
     """
     if not 0.0 <= coverage <= 1.0:
         raise ValueError("coverage must be within [0, 1]")
-    records: List[BannerRecord] = []
+    targets: List[Ipv4Address] = []
     for ip_value in sorted(world.hosts):
         ip = Ipv4Address(ip_value)
         if coverage < 1.0 and not _covered(ip, coverage, coverage_salt):
             continue
+        targets.append(ip)
+
+    def scan_host(ip: Ipv4Address) -> List[BannerRecord]:
+        if probe_latency:
+            time.sleep(probe_latency)
+        found: List[BannerRecord] = []
         for port in ports:
             record = grab_banner(world, ip, port)
             if record is not None:
-                records.append(record)
-    return records
+                found.append(record)
+        return found
+
+    if executor is None or executor.workers == 1:
+        batches = [scan_host(ip) for ip in targets]
+    else:
+        batches = executor.map(scan_host, targets, label="scan")
+    return [record for batch in batches for record in batch]
 
 
 def _covered(ip: Ipv4Address, coverage: float, salt: str) -> bool:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.exec.cache import MemoCache
 from repro.net.ip import Ipv4Address
 from repro.scan.banner import BannerRecord
 
@@ -45,10 +46,17 @@ class ShodanIndex:
         *,
         result_cap: int = DEFAULT_RESULT_CAP,
         geolocate: Optional[Callable[[Ipv4Address], Optional[str]]] = None,
+        query_cache: Optional[MemoCache] = None,
     ) -> None:
         """``geolocate`` overrides each record's country tag (e.g. with a
         MaxMind-style database including its errors); records the
-        function cannot place keep their original tag."""
+        function cannot place keep their original tag.
+
+        ``query_cache`` memoizes whole query result lists. A cache hit
+        models *not issuing the API query again*, so it is answered
+        without touching the query log — the paper counts queries
+        actually sent to the service.
+        """
         self._records: List[BannerRecord] = []
         for record in records:
             if geolocate is not None:
@@ -60,6 +68,7 @@ class ShodanIndex:
             raise ValueError("result_cap must be positive")
         self.result_cap = result_cap
         self.log = ShodanQueryLog()
+        self._query_cache = query_cache
 
     def __len__(self) -> int:
         return len(self._records)
@@ -68,14 +77,35 @@ class ShodanIndex:
     def records(self) -> List[BannerRecord]:
         return list(self._records)
 
-    def search(self, query: str) -> List[BannerRecord]:
+    def search(
+        self, query: str, *, log: Optional[ShodanQueryLog] = None
+    ) -> List[BannerRecord]:
         """Run one query; results are capped at ``result_cap``.
 
         Tokens: ``country:xx`` filters by country tag; ``port:N`` by
         port; every other token must appear as a substring of the
         banner. Quoted phrases ("mcafee web gateway") match as one
         token.
+
+        ``log`` overrides the index-wide query log — parallel callers
+        record into private logs and merge them back in task order so
+        the combined log is independent of scheduling.
         """
+        target_log = log if log is not None else self.log
+        if self._query_cache is not None:
+            if query in self._query_cache:
+                # Served from cache: no query reaches the service, so
+                # nothing is logged.
+                return list(self._query_cache.get_or_compute(query, list))
+            hits = self._execute(query)
+            self._query_cache.get_or_compute(query, lambda: hits)
+            target_log.record(query, len(hits))
+            return list(hits)
+        hits = self._execute(query)
+        target_log.record(query, len(hits))
+        return hits
+
+    def _execute(self, query: str) -> List[BannerRecord]:
         tokens = _tokenize(query)
         hits: List[BannerRecord] = []
         for record in self._records:
@@ -83,11 +113,14 @@ class ShodanIndex:
                 hits.append(record)
                 if len(hits) >= self.result_cap:
                     break
-        self.log.record(query, len(hits))
         return hits
 
     def search_expanded(
-        self, keyword: str, country_codes: Sequence[str]
+        self,
+        keyword: str,
+        country_codes: Sequence[str],
+        *,
+        log: Optional[ShodanQueryLog] = None,
     ) -> List[BannerRecord]:
         """The paper's keyword x ccTLD expansion (§3.1).
 
@@ -99,7 +132,7 @@ class ShodanIndex:
         for query in [keyword] + [
             f"{keyword} country:{code}" for code in country_codes
         ]:
-            for record in self.search(query):
+            for record in self.search(query, log=log):
                 key = (record.ip.value, record.port)
                 if key not in seen:
                     seen.add(key)

@@ -10,6 +10,7 @@ product signature; a host may legitimately match several products
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -79,6 +80,9 @@ class WhatWebEngine:
         self._signatures = dict(signatures or WHATWEB_SIGNATURES)
         self._probe_plan = list(probe_plan)
         self.probe_count = 0
+        # identify() runs concurrently under the parallel executor; the
+        # probe counter must not lose increments to racing threads.
+        self._count_lock = threading.Lock()
 
     def add_signature(self, product: str, signature: SignatureFn) -> None:
         """Register a custom signature (the paper created several)."""
@@ -88,7 +92,8 @@ class WhatWebEngine:
         """Probe one IP and apply every signature."""
         observations: List[ProbeObservation] = []
         for port, path in self._probe_plan:
-            self.probe_count += 1
+            with self._count_lock:
+                self.probe_count += 1
             response = self._probe(ip, port, path)
             observations.append(ProbeObservation(port, path, response))
         report = WhatWebReport(ip, observations)

@@ -55,6 +55,17 @@ class World:
         self._pools: Dict[int, AddressPool] = {}
         self._prefix_owners = PrefixTable()
         self.lab_country: Optional[Country] = None
+        self._dns_cache = None  # Optional[repro.exec.cache.MemoCache]
+
+    def enable_dns_cache(self, cache) -> None:
+        """Memoize authoritative DNS answers through ``cache``.
+
+        ISP-level poisoning/refusal is checked before the cache, so a
+        censored resolver never pollutes (or reads) the shared answers.
+        Entries are invalidated whenever a host (de)registers, which is
+        how §4 campaign domains appear and disappear.
+        """
+        self._dns_cache = cache
 
     # ----------------------------------------------------------- registry
     def add_country(self, code: str, name: str, region: str = "") -> Country:
@@ -112,12 +123,18 @@ class World:
         self.hosts[host.ip.value] = host
         if host.hostname:
             self.zone.register(host.hostname, host.ip)
+            self._invalidate_dns(host.hostname)
         return host
 
     def remove_host(self, ip: Ipv4Address) -> None:
         host = self.hosts.pop(ip.value, None)
         if host is not None and host.hostname:
             self.zone.unregister(host.hostname)
+            self._invalidate_dns(host.hostname)
+
+    def _invalidate_dns(self, hostname: str) -> None:
+        if self._dns_cache is not None:
+            self._dns_cache.invalidate(hostname.lower().rstrip("."))
 
     def host_at(self, ip: Ipv4Address) -> Optional[Host]:
         return self.hosts.get(ip.value)
@@ -183,11 +200,19 @@ class World:
     def _resolve(self, isp: Optional[ISP], hostname: str) -> Ipv4Address:
         if _is_ip_literal(hostname):
             return Ipv4Address.parse(hostname)
-        resolver = Resolver(self.zone)
-        if isp is not None:
+        key = hostname.lower().rstrip(".")
+        if isp is not None and (isp.dns_poisoned or isp.dns_refused):
+            resolver = Resolver(self.zone)
             resolver.poisoned.update(isp.dns_poisoned)
             resolver.refused.update(isp.dns_refused)
-        return resolver.resolve(hostname)
+            return resolver.resolve(hostname)
+        if self._dns_cache is not None:
+            # NxDomain is never cached: a later registration must be
+            # seen immediately.
+            return self._dns_cache.get_or_compute(
+                key, lambda: self.zone.resolve(hostname)
+            )
+        return self.zone.resolve(hostname)
 
     def fetch(
         self,

@@ -34,16 +34,17 @@ class DescribeGrid:
         lines = text.splitlines()
         # header + divider + one line per row
         assert len(lines) == 2 + len(rows)
-        # Every separator column lines up with the header's.
-        header_line = lines[0]
+        # The divider's "+" marks each true column boundary (cell text
+        # may itself contain "|", so the header line can't be trusted
+        # to locate separators).
+        divider = lines[1]
         separator_positions = [
-            index
-            for index, char in enumerate(header_line)
-            if header_line[index:index + 3] == " | "
+            index for index, char in enumerate(divider) if char == "+"
         ]
-        for line in lines[2:]:
+        assert len(separator_positions) == len(header) - 1
+        for line in (lines[0], *lines[2:]):
             for position in separator_positions:
-                assert line[position:position + 3] == " | "
+                assert line[position - 1:position + 2] == " | "
 
     @given(st.lists(_CELL, min_size=1, max_size=4))
     def test_empty_rows_render_header_only(self, header):

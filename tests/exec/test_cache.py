@@ -1,0 +1,150 @@
+"""Memo-cache correctness: transparency, counters, invalidation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.cache import CachedFunction, MemoCache, StudyCaches
+from repro.exec.executor import Executor
+
+
+class Counting:
+    """A pure function that counts how often it actually computes."""
+
+    def __init__(self, fn):
+        self._fn = fn
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def __call__(self, key):
+        with self._lock:
+            self.calls += 1
+        return self._fn(key)
+
+
+class DescribeTransparency:
+    @settings(max_examples=30, deadline=None)
+    @given(keys=st.lists(st.integers(-100, 100), max_size=50))
+    def test_memoized_results_equal_uncached(self, keys):
+        cache = MemoCache("t")
+        cached = CachedFunction(lambda k: (k, k * 3), cache)
+        assert [cached(k) for k in keys] == [(k, k * 3) for k in keys]
+
+    def test_compute_runs_once_per_key(self):
+        fn = Counting(lambda k: k + 1)
+        cached = CachedFunction(fn, MemoCache())
+        for _ in range(5):
+            assert cached(10) == 11
+        assert fn.calls == 1
+        assert cached(20) == 21
+        assert fn.calls == 2
+
+    def test_none_values_are_cached(self):
+        # Geo lookups legitimately return None for unlocatable IPs; a
+        # None result must hit the cache, not recompute forever.
+        fn = Counting(lambda k: None)
+        cached = CachedFunction(fn, MemoCache())
+        assert cached("x") is None
+        assert cached("x") is None
+        assert fn.calls == 1
+
+    def test_parallel_lookups_agree_with_sequential(self):
+        fn = Counting(lambda k: k * k)
+        cached = CachedFunction(fn, MemoCache())
+        keys = [i % 7 for i in range(200)]
+        results = Executor(workers=6).map(cached, keys)
+        assert results == [k * k for k in keys]
+        # Racing threads may double-compute the same key benignly, but
+        # never more than once per (key, worker).
+        assert fn.calls <= 7 * 6
+
+
+class DescribeCounters:
+    def test_hits_and_misses_are_accurate(self):
+        cache = MemoCache("geo")
+        for key in ("a", "b", "a", "a", "c", "b"):
+            cache.get_or_compute(key, lambda key=key: key.upper())
+        stats = cache.stats
+        assert stats.misses == 3
+        assert stats.hits == 3
+        assert stats.lookups == 6
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_peek_and_contains_do_not_count(self):
+        cache = MemoCache()
+        cache.get_or_compute("k", lambda: 1)
+        assert cache.peek("k") == 1
+        assert cache.peek("missing") is None
+        assert "k" in cache
+        assert "missing" not in cache
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (0, 1)
+
+    def test_failed_compute_is_not_cached_and_not_a_hit_later(self):
+        cache = MemoCache()
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", self._boom)
+        assert "k" not in cache
+        assert cache.get_or_compute("k", lambda: 42) == 42
+        stats = cache.stats
+        assert stats.misses == 2
+        assert stats.hits == 0
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("lookup service down")
+
+
+class DescribeInvalidation:
+    def test_invalidate_forces_recompute(self):
+        fn = Counting(lambda k: k)
+        cache = MemoCache()
+        cached = CachedFunction(fn, cache)
+        cached("host")
+        assert cache.invalidate("host") is True
+        cached("host")
+        assert fn.calls == 2
+        assert cache.stats.invalidations == 1
+
+    def test_invalidating_missing_key_is_a_noop(self):
+        cache = MemoCache()
+        assert cache.invalidate("ghost") is False
+        assert cache.stats.invalidations == 0
+
+    def test_clear_reports_dropped_count(self):
+        cache = MemoCache()
+        for key in range(4):
+            cache.get_or_compute(key, lambda key=key: key)
+        assert cache.clear() == 4
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 4
+
+
+class DescribeStudyCaches:
+    def test_bundle_names_and_summary(self):
+        caches = StudyCaches()
+        assert [c.name for c in caches.all()] == [
+            "geo", "asn", "dns", "banner",
+        ]
+        caches.geo.get_or_compute("1.2.3.4", lambda: "sa")
+        caches.geo.get_or_compute("1.2.3.4", lambda: "sa")
+        summary = caches.summary()
+        assert summary["geo"]["hits"] == 1
+        assert summary["geo"]["misses"] == 1
+        assert summary["geo"]["hit_rate"] == pytest.approx(0.5)
+        assert summary["dns"]["entries"] == 0
+        assert len(caches.summary_lines()) == 5
+
+    def test_wrappers_route_through_their_cache(self):
+        caches = StudyCaches()
+        geo = caches.wrap_geo(lambda ip: "ye")
+        asn = caches.wrap_asn(lambda ip: 12486)
+        assert geo("a") == "ye"
+        assert asn("a") == 12486
+        assert caches.geo.stats.misses == 1
+        assert caches.asn.stats.misses == 1
+        assert caches.dns.stats.lookups == 0

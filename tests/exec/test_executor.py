@@ -1,0 +1,254 @@
+"""The executor's determinism contract, as properties.
+
+Whatever the worker count, ``Executor.map`` must be indistinguishable
+from a list comprehension, the :class:`Sequencer` must commit turns in
+submission order, and failures must stay contained to their own slot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.executor import (
+    Campaign,
+    Executor,
+    NO_RETRY,
+    RetryPolicy,
+    Sequencer,
+    TaskFailure,
+    TaskTimeout,
+)
+from repro.exec.metrics import Metrics
+
+
+class Flaky:
+    """Raises ``failures_before_success`` times per item, then succeeds."""
+
+    def __init__(self, failures_before_success: int) -> None:
+        self._budget = failures_before_success
+        self._lock = threading.Lock()
+        self._attempts: dict = {}
+
+    def __call__(self, item):
+        with self._lock:
+            seen = self._attempts.get(item, 0)
+            self._attempts[item] = seen + 1
+        if seen < self._budget:
+            raise ConnectionError(f"transient fault on {item!r}")
+        return item * 2
+
+
+class DescribeMapEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        items=st.lists(st.integers(-1000, 1000), max_size=40),
+        workers=st.integers(1, 8),
+    )
+    def test_map_is_a_list_comprehension(self, items, workers):
+        executor = Executor(workers=workers)
+        assert executor.map(lambda x: x * x - 1, items) == [
+            x * x - 1 for x in items
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(items=st.lists(st.text(max_size=8), min_size=1, max_size=20))
+    def test_order_is_submission_not_completion(self, items):
+        # Earlier items sleep longer, so completion order is reversed
+        # relative to submission order unless the merge re-sorts.
+        executor = Executor(workers=4)
+        n = len(items)
+
+        def tag(pair):
+            index, value = pair
+            time.sleep(0.002 * (n - index))
+            return (index, value.upper())
+
+        result = executor.map(tag, list(enumerate(items)))
+        assert result == [(i, v.upper()) for i, v in enumerate(items)]
+
+    def test_map_unordered_yields_every_index_once(self):
+        executor = Executor(workers=6)
+        seen = sorted(
+            index for index, _ in executor.map_unordered(abs, range(50))
+        )
+        assert seen == list(range(50))
+
+    def test_counts_tasks_in_metrics(self):
+        metrics = Metrics()
+        executor = Executor(workers=2, metrics=metrics)
+        executor.map(abs, range(7), label="probe")
+        assert metrics.count("probe.tasks") == 7
+
+
+class DescribeSequencer:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 30), workers=st.integers(2, 8))
+    def test_commits_in_submission_order(self, n, workers):
+        sequencer = Sequencer()
+        committed = []
+
+        def task(index):
+            # Jittered arrival: later tasks often reach the turnstile
+            # first and must wait.
+            time.sleep(0.001 * ((index * 7) % 3))
+            with sequencer.turn(index):
+                committed.append(index)
+            return index
+
+        Executor(workers=workers).map(task, range(n))
+        assert committed == list(range(n))
+        assert sequencer.completed == n
+
+
+class DescribeRetries:
+    def test_transient_faults_retried_to_success(self):
+        metrics = Metrics()
+        executor = Executor(workers=3, metrics=metrics)
+        flaky = Flaky(failures_before_success=2)
+        policy = RetryPolicy(attempts=3, retry_on=(ConnectionError,))
+        result = executor.map(flaky, [1, 2, 3], label="net", retry=policy)
+        assert result == [2, 4, 6]
+        assert metrics.count("net.retries") == 6  # 2 per item
+        assert metrics.count("net.failures") == 0
+
+    def test_exhausted_budget_raises_task_failure(self):
+        executor = Executor(workers=1)
+        flaky = Flaky(failures_before_success=5)
+        policy = RetryPolicy(attempts=2, retry_on=(ConnectionError,))
+        with pytest.raises(TaskFailure) as excinfo:
+            executor.map(flaky, [9], label="net", retry=policy)
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.cause, ConnectionError)
+
+    def test_unmatched_exception_type_is_not_retried(self):
+        executor = Executor(workers=1)
+        calls = []
+
+        def bad(item):
+            calls.append(item)
+            raise ValueError("not transient")
+
+        policy = RetryPolicy(attempts=5, retry_on=(ConnectionError,))
+        with pytest.raises(ValueError):
+            executor.map(bad, [1], retry=policy)
+        assert calls == [1]
+
+    def test_retry_policy_validates(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=-1.0)
+
+
+class DescribeFailureContainment:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        items=st.lists(st.integers(-50, 50), min_size=1, max_size=25),
+        workers=st.integers(1, 6),
+    )
+    def test_collect_keeps_siblings_intact(self, items, workers):
+        executor = Executor(workers=workers)
+
+        def fussy(x):
+            if x % 3 == 0:
+                raise RuntimeError(f"refusing {x}")
+            return x + 100
+
+        slots = executor.map(fussy, items, on_error="collect")
+        for item, slot in zip(items, slots):
+            if item % 3 == 0:
+                assert isinstance(slot, TaskFailure)
+            else:
+                assert slot == item + 100
+
+    def test_raise_mode_raises_lowest_index_failure(self):
+        executor = Executor(workers=4)
+
+        def fussy(x):
+            if x in (2, 5):
+                raise RuntimeError(f"refusing {x}")
+            return x
+
+        with pytest.raises(TaskFailure) as excinfo:
+            executor.map(fussy, range(8), label="fussy")
+        assert excinfo.value.index == 2
+
+    def test_unknown_on_error_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Executor().map(abs, [1], on_error="ignore")
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            Executor(workers=0)
+
+
+class DescribeTimeouts:
+    def test_parallel_timeout_yields_task_timeout(self):
+        metrics = Metrics()
+        executor = Executor(workers=2, metrics=metrics)
+
+        def slow(x):
+            if x == 1:
+                time.sleep(0.5)
+            return x
+
+        slots = executor.map(
+            slow, [0, 1], label="slow", timeout=0.1, on_error="collect"
+        )
+        assert slots[0] == 0
+        assert isinstance(slots[1], TaskTimeout)
+        assert metrics.count("slow.timeouts") == 1
+
+    def test_inline_timeout_is_best_effort(self):
+        executor = Executor(workers=1)
+        slots = executor.map(
+            lambda x: time.sleep(0.05) or x,
+            [7],
+            timeout=0.01,
+            on_error="collect",
+        )
+        assert isinstance(slots[0], TaskTimeout)
+
+
+class DescribeCampaigns:
+    def test_outcomes_keep_submission_order(self):
+        executor = Executor(workers=4)
+        campaigns = [
+            Campaign(key=name, run=lambda name=name: name.upper())
+            for name in ("gamma", "alpha", "beta")
+        ]
+        outcomes = executor.run_campaigns(campaigns)
+        assert [o.key for o in outcomes] == ["gamma", "alpha", "beta"]
+        assert [o.result for o in outcomes] == ["GAMMA", "ALPHA", "BETA"]
+        assert all(o.ok for o in outcomes)
+
+    def test_explicit_key_sorts_outcomes(self):
+        executor = Executor(workers=2)
+        campaigns = [
+            Campaign(key=name, run=lambda name=name: name)
+            for name in ("zeta", "eta", "theta")
+        ]
+        outcomes = executor.run_campaigns(campaigns, key=lambda o: o.key)
+        assert [o.key for o in outcomes] == ["eta", "theta", "zeta"]
+
+    def test_one_dead_campaign_does_not_abort_the_rest(self):
+        executor = Executor(workers=3)
+
+        def die():
+            raise OSError("vantage unreachable")
+
+        campaigns = [
+            Campaign(key="ok-1", run=lambda: 1),
+            Campaign(key="dead", run=die),
+            Campaign(key="ok-2", run=lambda: 2),
+        ]
+        outcomes = executor.run_campaigns(campaigns)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].error is not None
+        assert isinstance(outcomes[1].error.cause, OSError)
+        assert [outcomes[0].result, outcomes[2].result] == [1, 2]

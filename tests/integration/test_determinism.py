@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro import FullStudy, build_scenario
+from repro import FullStudy, Metrics, build_scenario, run_full_study
+from repro.analysis.export import to_json
+from repro.analysis.report import write_markdown_report
 
 
 def _fingerprint(seed: int):
@@ -59,3 +61,36 @@ class DescribeDeterminism:
         b = FullStudy(build_scenario(seed=55)).run_identification()
         assert a.country_map() == b.country_map()
         assert len(a.installations) == len(b.installations)
+
+
+class DescribeWorkerCountInvariance:
+    """The executor contract: workers change wall clock, never results."""
+
+    def test_full_study_byte_identical_at_any_worker_count(self):
+        metrics = Metrics()
+        sequential = run_full_study(workers=1)
+        parallel = run_full_study(workers=8, metrics=metrics)
+        assert write_markdown_report(
+            sequential, seed=2013
+        ) == write_markdown_report(parallel, seed=2013)
+        assert to_json(sequential) == to_json(parallel)
+        # The parallel run really did fan out (not silently inline).
+        assert metrics.count("measure.tasks") > 0
+        assert metrics.count("scan.tasks") > 0
+        assert metrics.count("locate.tasks") > 0
+        assert metrics.count("validate.tasks") > 0
+
+    def test_identification_invariant_under_workers(self):
+        def country_map(workers):
+            study = FullStudy(build_scenario(seed=91), workers=workers)
+            report = study.run_identification()
+            return (
+                report.country_map(),
+                report.queries_issued,
+                [
+                    (str(i.ip), i.product, i.country_code, i.asn)
+                    for i in report.installations
+                ],
+            )
+
+        assert country_map(1) == country_map(5)

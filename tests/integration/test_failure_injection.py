@@ -168,6 +168,110 @@ class DescribeInfrastructureFailures:
         assert report.candidates == []
 
 
+class DescribeExecutorFaults:
+    """Fault injection at the fan-out layer: retries, containment,
+    and the world-facing cache invalidation path."""
+
+    def test_flaky_probe_retried_to_success_and_counted(self):
+        from repro.exec.executor import Executor, RetryPolicy
+        from repro.exec.metrics import Metrics
+
+        world = make_mini_world()
+        fail_once = {"budget": 2}
+
+        def probe(name):
+            if fail_once["budget"] > 0:
+                fail_once["budget"] -= 1
+                raise ConnectionError("probe link flapped")
+            return world.isps[name].asn
+
+        metrics = Metrics()
+        executor = Executor(workers=1, metrics=metrics)
+        policy = RetryPolicy(attempts=3, retry_on=(ConnectionError,))
+        result = executor.map(
+            probe, ["testnet", "testnet"], label="flaky", retry=policy
+        )
+        assert result == [65001, 65001]
+        assert metrics.count("flaky.retries") == 2
+        assert metrics.count("flaky.failures") == 0
+
+    def test_one_dead_vantage_leaves_sibling_surveys_intact(self):
+        from repro.exec.executor import Campaign, Executor
+        from repro.measure.netalyzr import detect_proxy, install_reference_server
+
+        world, _product = filtered_world()
+        install_reference_server(world, 65002)
+
+        def dead():
+            raise OSError("no route to vantage")
+
+        executor = Executor(workers=2, metrics=None)
+        outcomes = executor.run_campaigns(
+            [
+                Campaign("testnet", lambda: detect_proxy(world.vantage("testnet"))),
+                Campaign("down-isp", dead),
+            ]
+        )
+        assert outcomes[0].ok
+        assert outcomes[0].result.proxy_detected
+        assert not outcomes[1].ok
+        assert "no route" in str(outcomes[1].error.cause)
+        assert executor.metrics.count("campaign.failures") == 1
+
+    def test_exhausted_retries_surface_in_metrics_not_siblings(self):
+        from repro.exec.executor import Executor, RetryPolicy, TaskFailure
+        from repro.exec.metrics import Metrics
+
+        metrics = Metrics()
+        executor = Executor(workers=3, metrics=metrics)
+
+        def probe(ip):
+            if ip == "203.0.113.9":
+                raise ConnectionError("host always down")
+            return f"banner:{ip}"
+
+        slots = executor.map(
+            probe,
+            ["203.0.113.8", "203.0.113.9", "203.0.113.10"],
+            label="grab",
+            retry=RetryPolicy(attempts=2, retry_on=(ConnectionError,)),
+            on_error="collect",
+        )
+        assert slots[0] == "banner:203.0.113.8"
+        assert isinstance(slots[1], TaskFailure)
+        assert slots[1].attempts == 2
+        assert slots[2] == "banner:203.0.113.10"
+        assert metrics.count("grab.retries") == 1
+        assert metrics.count("grab.failures") == 1
+        assert metrics.count("grab.tasks") == 3
+
+    def test_dns_cache_invalidation_tracks_campaign_domains(self):
+        """§4 campaign domains register and tear down mid-study; a
+        cached resolver must never serve a stale answer."""
+        from repro.exec.cache import MemoCache
+        from repro.net.errors import NxDomain
+
+        world = make_mini_world()
+        cache = MemoCache("dns")
+        world.enable_dns_cache(cache)
+        client = MeasurementClient(world.vantage("testnet"), world.lab_vantage())
+
+        url = Url.parse("http://daily-news.example.com/")
+        assert client.test_url(url).comparison.verdict is Verdict.ACCESSIBLE
+        assert cache.stats.misses >= 1
+
+        # Teardown must evict, not serve the dead IP from cache.
+        world.unregister_website("daily-news.example.com")
+        assert cache.stats.invalidations >= 1
+        assert client.test_url(url).comparison.verdict is Verdict.SITE_DOWN
+
+        # NxDomain was not cached: re-registration is visible at once.
+        world.register_website(
+            "daily-news.example.com", ContentClass.NEWS, 65002
+        )
+        assert client.test_url(url).comparison.verdict is Verdict.ACCESSIBLE
+
+
 class DescribeClockMisuse:
     def test_study_refuses_time_travel(self, mini_world):
         mini_world.advance_days(10)
