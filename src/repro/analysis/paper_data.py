@@ -12,11 +12,13 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.measure.testlists import Table4Column
-
-BLUE_COAT = "Blue Coat"
-SMARTFILTER = "McAfee SmartFilter"
-NETSWEEPER = "Netsweeper"
-WEBSENSE = "Websense"
+from repro.products.registry import (
+    BLUE_COAT,
+    NETSWEEPER,
+    SMARTFILTER,
+    WEBSENSE,
+    default_registry,
+)
 
 
 @dataclass(frozen=True)
@@ -27,31 +29,18 @@ class Table1Row:
     previously_observed: Tuple[str, ...]
 
 
-PAPER_TABLE1: Sequence[Table1Row] = (
+#: Table 1 is the one published table whose cells are vendor *facts*
+#: (headquarters, product line, previously observed countries) rather
+#: than measurement results, so it is derived from the registry specs —
+#: the registry is the single source of vendor knowledge.
+PAPER_TABLE1: Sequence[Table1Row] = tuple(
     Table1Row(
-        BLUE_COAT,
-        "Sunnyvale, CA, USA",
-        "Web proxy (ProxySG) and URL Filter (Web Filter)",
-        ("kw", "mm", "eg", "qa", "sa", "sy", "ae"),
-    ),
-    Table1Row(
-        SMARTFILTER,
-        "Santa Clara, CA, USA",
-        "Filtering of Web content for enterprises",
-        ("kw", "bh", "ir", "sa", "om", "tn", "ae"),
-    ),
-    Table1Row(
-        NETSWEEPER,
-        "Guelph, ON, Canada",
-        "Netsweeper Content Filtering",
-        ("qa", "ae", "ye"),
-    ),
-    Table1Row(
-        WEBSENSE,
-        "San Diego, CA, USA",
-        "Web proxy gateways including corporate data leakage monitoring",
-        ("ye",),
-    ),
+        spec.name,
+        spec.headquarters,
+        spec.description,
+        tuple(spec.previously_observed),
+    )
+    for spec in default_registry().defaults()
 )
 
 

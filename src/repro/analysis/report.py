@@ -12,6 +12,7 @@ from repro.analysis.tables import (
     render_table3,
     render_table4,
 )
+from repro.products.registry import NETSWEEPER
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a circular import at runtime
@@ -40,7 +41,7 @@ def write_markdown_report(report: "StudyReport", *, seed: Optional[int] = None) 
         "```", render_table1(), "```",
         "",
         "## Table 2 — Identification methodology",
-        "```", render_table2(), "```",
+        "```", render_table2(identification.products or None), "```",
         "",
         "## Figure 1 — Locations of URL filter installations",
         "```", render_figure1(identification), "```",
@@ -57,7 +58,7 @@ def write_markdown_report(report: "StudyReport", *, seed: Optional[int] = None) 
     ]
     if report.category_probe is not None:
         sections += [
-            "## Netsweeper category probe (YemenNet)",
+            f"## {NETSWEEPER} category probe (YemenNet)",
             "```", render_category_probe(report.category_probe), "```",
             "",
         ]

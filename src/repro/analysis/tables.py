@@ -22,7 +22,7 @@ from repro.core.characterize import CharacterizationResult
 from repro.core.confirm import CategoryProbeResult, ConfirmationResult
 from repro.core.identify import IdentificationReport
 from repro.measure.testlists import Table4Column
-from repro.scan.signatures import PRODUCT_NAMES, SHODAN_KEYWORDS
+from repro.products.registry import NETSWEEPER, default_registry
 
 
 def _grid(rows: Sequence[Sequence[str]], header: Sequence[str]) -> str:
@@ -59,17 +59,15 @@ def render_table1() -> str:
     )
 
 
-def render_table2() -> str:
-    """Table 2: identification keywords and validation signatures."""
-    signature_notes = {
-        "Blue Coat": "ProxySG headers or Location contains www.cfauth.com",
-        "McAfee SmartFilter": "Via-Proxy header or title contains 'McAfee Web Gateway'",
-        "Netsweeper": "Netsweeper branding or /webadmin/deny redirect",
-        "Websense": "redirect to port 15871 with ws-session, or Websense server banner",
-    }
+def render_table2(products: Optional[Sequence[str]] = None) -> str:
+    """Table 2: identification keywords and validation signatures.
+
+    Keywords and signature notes come straight off the registry specs;
+    ``products`` restricts the rows (default: the paper's four vendors).
+    """
     rows = [
-        (product, ", ".join(SHODAN_KEYWORDS[product]), signature_notes[product])
-        for product in PRODUCT_NAMES
+        (spec.name, ", ".join(spec.shodan_keywords), spec.signature_note)
+        for spec in default_registry().resolve(products)
     ]
     return _grid(rows, ("Product", "Shodan keywords", "WhatWeb signature"))
 
@@ -77,9 +75,12 @@ def render_table2() -> str:
 def render_figure1(report: IdentificationReport) -> str:
     """Figure 1: countries per product, measured vs paper."""
     rows = []
-    for product in PRODUCT_NAMES:
+    product_names = report.products or default_registry().default_names()
+    for product in product_names:
         measured = sorted(code.upper() for code in report.countries(product))
-        expected = sorted(code.upper() for code in PAPER_FIGURE1[product])
+        expected = sorted(
+            code.upper() for code in PAPER_FIGURE1.get(product, frozenset())
+        )
         rows.append(
             (
                 product,
@@ -190,7 +191,7 @@ def render_category_probe(probe: CategoryProbeResult) -> str:
     ]
     status = "match" if measured == expected else "DIFFERS"
     return (
-        _grid(rows, ("Netsweeper category", "Measured", "Paper"))
+        _grid(rows, (f"{NETSWEEPER} category", "Measured", "Paper"))
         + f"\n({probe.tested} categories probed; {status})"
     )
 

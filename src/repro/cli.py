@@ -28,6 +28,7 @@ from repro.analysis.paper_data import PAPER_TABLE3
 from repro.core.confirm import ConfirmationStudy, run_category_probe
 from repro.core.pipeline import FullStudy, config_for_row
 from repro.measure.netalyzr import survey_isps
+from repro.products.registry import NETSWEEPER, default_registry
 from repro.world.scenario import DEFAULT_SEED, build_scenario
 
 
@@ -64,11 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the execution summary (timings, fan-out, caches)",
     )
+    study.add_argument(
+        "--products", action="append", metavar="NAME",
+        help="repeatable: restrict the study to these registered "
+        "products (default: the paper's four vendors)",
+    )
 
     identify = commands.add_parser("identify", help="run §3 identification")
     identify.add_argument(
         "--coverage", type=float, default=1.0,
         help="scanner coverage fraction (default 1.0)",
+    )
+    identify.add_argument(
+        "--products", action="append", metavar="NAME",
+        help="repeatable: restrict identification to these registered "
+        "products (default: the paper's four vendors)",
     )
 
     confirm = commands.add_parser("confirm", help="run one §4 case study")
@@ -80,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     probe = commands.add_parser(
-        "probe", help="run the Netsweeper category probe (§4.4)"
+        "probe", help=f"run the {NETSWEEPER} category probe (§4.4)"
     )
     probe.add_argument("--isp", required=True)
 
@@ -94,6 +105,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validated_products(args) -> Optional[List[str]]:
+    """Check a --products selection against the registry (exit 2 style)."""
+    selection = getattr(args, "products", None)
+    if not selection:
+        return None
+    registry = default_registry()
+    unknown = [name for name in selection if name not in registry]
+    if unknown:
+        print(
+            f"unknown products {unknown}; registered: "
+            f"{', '.join(registry.names())}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return list(selection)
+
+
 def _cmd_study(args) -> int:
     from repro.analysis.export import to_json
     from repro.analysis.validation import validate_report
@@ -104,9 +132,13 @@ def _cmd_study(args) -> int:
     if args.latency < 0:
         print("--latency must be >= 0", file=sys.stderr)
         return 2
+    products = _validated_products(args)
     scenario = build_scenario(seed=args.seed)
     study = FullStudy(
-        scenario, workers=args.workers, link_latency=args.latency
+        scenario,
+        products=products,
+        workers=args.workers,
+        link_latency=args.latency,
     )
     report = study.run()
     document = write_markdown_report(report, seed=args.seed)
@@ -127,9 +159,10 @@ def _cmd_study(args) -> int:
 
 
 def _cmd_identify(args) -> int:
+    products = _validated_products(args)
     scenario = build_scenario(seed=args.seed)
     report = FullStudy(
-        scenario, shodan_coverage=args.coverage
+        scenario, products=products, shodan_coverage=args.coverage
     ).run_identification()
     print(render_figure1(report))
     print(

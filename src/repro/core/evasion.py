@@ -23,15 +23,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.middlebox.filter_box import FilterMiddlebox
 from repro.net.http import Headers, HttpRequest, HttpResponse
 from repro.products.base import SIGNATURE_HEADER_NAMES
+from repro.products.registry import default_registry
 from repro.world.entities import Host, ServiceApp
 
-#: Strings scrubbed from bodies/titles when a vendor masks a product.
-BRAND_TOKENS: Dict[str, Sequence[str]] = {
-    "Blue Coat": ("blue coat", "bluecoat", "proxysg", "cfauth", "bcsi"),
-    "McAfee SmartFilter": ("mcafee web gateway", "mcafee", "mwg", "smartfilter"),
-    "Netsweeper": ("netsweeper",),
-    "Websense": ("websense",),
-}
+#: Strings scrubbed from bodies/titles when a vendor masks a product
+#: (each spec's ``scrub_tokens``).
+BRAND_TOKENS: Dict[str, Sequence[str]] = default_registry().scrub_tokens()
 
 _NEUTRAL = "gateway"
 

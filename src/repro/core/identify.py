@@ -18,8 +18,9 @@ from repro.geo.cymru import WhoisService
 from repro.geo.maxmind import GeoDatabase
 from repro.net.ip import Ipv4Address
 from repro.net.url import COUNTRY_CODE_TLDS
+from repro.products.registry import default_registry
+from repro.products.signatures import Evidence
 from repro.scan.shodan import ShodanIndex, ShodanQueryLog
-from repro.scan.signatures import PRODUCT_NAMES, SHODAN_KEYWORDS, Evidence
 from repro.scan.whatweb import WhatWebEngine, WhatWebReport
 from repro.world.entities import OrgKind
 
@@ -55,6 +56,9 @@ class IdentificationReport:
     installations: List[Installation] = field(default_factory=list)
     rejected: List[Candidate] = field(default_factory=list)
     queries_issued: int = 0
+    #: The product selection this report covers (registry defaults if
+    #: the pipeline was run without an explicit selection).
+    products: Tuple[str, ...] = ()
 
     def countries(self, product: str) -> Set[str]:
         """Figure 1: countries where ``product`` installations were found."""
@@ -65,7 +69,8 @@ class IdentificationReport:
         }
 
     def country_map(self) -> Dict[str, Set[str]]:
-        return {product: self.countries(product) for product in PRODUCT_NAMES}
+        names = self.products or default_registry().default_names()
+        return {product: self.countries(product) for product in names}
 
     def by_product(self, product: str) -> List[Installation]:
         return [i for i in self.installations if i.product == product]
@@ -138,19 +143,23 @@ class IdentificationPipeline:
         )
         return cls(index, whatweb, geo, whois, cctlds=[])
 
-    def locate(self, products: Sequence[str] = PRODUCT_NAMES) -> List[Candidate]:
+    def locate(
+        self, products: Optional[Sequence[str]] = None
+    ) -> List[Candidate]:
         """Keyword × ccTLD search: deliberately not conservative.
 
+        ``products`` selects registry specs (None → paper defaults).
         Each (product, keyword) expansion is an independent read-only
         query batch, so they fan out across workers. Every task records
         into a private query log; logs and hits merge back in submission
         order, keeping both the candidate list and the query accounting
         identical at any worker count.
         """
+        keywords = default_registry().shodan_keywords(products)
         jobs = [
             (product, keyword)
-            for product in products
-            for keyword in SHODAN_KEYWORDS[product]
+            for product, product_keywords in keywords.items()
+            for keyword in product_keywords
         ]
 
         def run_query(job: Tuple[str, str]):
@@ -234,6 +243,11 @@ class IdentificationPipeline:
         report.queries_issued = self._shodan.log.query_count
         return report
 
-    def run(self, products: Sequence[str] = PRODUCT_NAMES) -> IdentificationReport:
-        """The full §3.1 pipeline."""
-        return self.validate(self.locate(products))
+    def run(
+        self, products: Optional[Sequence[str]] = None
+    ) -> IdentificationReport:
+        """The full §3.1 pipeline for a product selection (None → defaults)."""
+        specs = default_registry().resolve(products)
+        report = self.validate(self.locate(products))
+        report.products = tuple(spec.name for spec in specs)
+        return report

@@ -22,21 +22,17 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.measure.client import MeasurementClient
 from repro.net.fetch import FetchResult
 from repro.net.url import Url
+from repro.products.registry import default_registry
 from repro.world.content import ContentClass
 from repro.world.clock import SimTime
 from repro.world.world import World
 
 #: Brand strings a human analyst recognizes on a block page. Deliberately
 #: branding-only: no structural knowledge (ports, deny paths) — that is
-#: exactly what the §3 signatures add.
-BRAND_MARKS: Sequence[Tuple[str, str]] = (
-    ("blue coat", "Blue Coat"),
-    ("proxysg", "Blue Coat"),
-    ("mcafee", "McAfee SmartFilter"),
-    ("smartfilter", "McAfee SmartFilter"),
-    ("netsweeper", "Netsweeper"),
-    ("websense", "Websense"),
-)
+#: exactly what the §3 signatures add. Drawn from every registered
+#: product (the analyst recognizes any vendor's logo, not just the
+#: paper's four).
+BRAND_MARKS: Sequence[Tuple[str, str]] = default_registry().brand_marks()
 
 
 @dataclass

@@ -10,7 +10,7 @@ confirmation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.paper_data import PAPER_TABLE3, Table3Row
 from repro.core.characterize import CharacterizationResult, ContentCharacterization
@@ -27,6 +27,7 @@ from repro.exec.executor import Executor
 from repro.exec.metrics import Metrics
 from repro.geo.cymru import WhoisService
 from repro.geo.maxmind import GeoDatabase
+from repro.products.registry import NETSWEEPER, SMARTFILTER, default_registry
 from repro.scan.banner import scan_world
 from repro.scan.shodan import ShodanIndex
 from repro.scan.whatweb import WhatWebEngine, world_probe
@@ -41,29 +42,26 @@ _CATEGORY_CONTENT: Dict[str, ContentClass] = {
     "Pornography": ContentClass.ADULT_IMAGES,
 }
 
-#: Vendor form category requested per Table 3 "Category" label.
-_REQUESTED_CATEGORY: Dict[Tuple[str, str], Optional[str]] = {
-    ("Blue Coat", "Proxy Avoidance"): "Proxy Avoidance",
-    ("McAfee SmartFilter", "Anonymizers"): "Anonymizers",
-    ("McAfee SmartFilter", "Pornography"): "Pornography",
-    # Netsweeper's test-a-site form takes no category (§4.4).
-    ("Netsweeper", "Proxy anonymizer"): None,
-}
-
 
 def config_for_row(row: Table3Row) -> ConfirmationConfig:
-    """Derive the §4 experiment parameters for one published case."""
-    is_netsweeper = row.product == "Netsweeper"
+    """Derive the §4 experiment parameters for one published case.
+
+    The vendor-specific knobs — which form category to request and
+    whether accessibility can be pre-validated (§4.4: Netsweeper queues
+    accesses) — come off the product's registry spec.
+    """
+    spec = default_registry().get(row.product)
+    content_class = _CATEGORY_CONTENT[row.category]
     is_yemen = row.isp_key == "yemennet"
     return ConfirmationConfig(
         product_name=row.product,
         isp_name=row.isp_key,
-        content_class=_CATEGORY_CONTENT[row.category],
+        content_class=content_class,
         category_label=row.category,
-        requested_category=_REQUESTED_CATEGORY[(row.product, row.category)],
+        requested_category=spec.category_requests.get(content_class),
         total_domains=row.total,
         submit_count=row.submitted,
-        pre_validate=not is_netsweeper,  # §4.4: Netsweeper queues accesses
+        pre_validate=spec.pre_validate,
         retest_rounds=3 if is_yemen else 1,  # §4.4: inconsistent blocking
     )
 
@@ -119,6 +117,7 @@ class FullStudy:
         self,
         scenario: Scenario,
         *,
+        products: Optional[Sequence[str]] = None,
         shodan_coverage: float = 1.0,
         geo_error_rate: float = 0.0,
         workers: int = 1,
@@ -130,6 +129,15 @@ class FullStudy:
         if link_latency < 0:
             raise ValueError("link_latency must be >= 0")
         self._scenario = scenario
+        # Resolve eagerly so unknown product names fail fast; None keeps
+        # the paper's default selection (the 2013 four).
+        self._products: Optional[Tuple[str, ...]] = (
+            None
+            if products is None
+            else tuple(
+                spec.name for spec in default_registry().resolve(products)
+            )
+        )
         self._shodan_coverage = shodan_coverage
         self._geo_error_rate = geo_error_rate
         self._link_latency = link_latency
@@ -144,9 +152,11 @@ class FullStudy:
     def run_identification(self) -> IdentificationReport:
         """§3: scan → index → keyword x ccTLD → WhatWeb → geo/whois."""
         world = self._scenario.world
+        registry = default_registry()
         with self.metrics.timer("stage.identify"):
             records = scan_world(
                 world,
+                registry.scan_ports(self._products),
                 coverage=self._shodan_coverage,
                 executor=self.executor,
                 probe_latency=self._link_latency,
@@ -167,7 +177,11 @@ class FullStudy:
                 geolocate=self.caches.wrap_geo(geo.country_code),
                 query_cache=self.caches.banner,
             )
-            whatweb = WhatWebEngine(world_probe(world))
+            whatweb = WhatWebEngine(
+                world_probe(world),
+                signatures=registry.whatweb_signatures(self._products),
+                probe_plan=registry.probe_plan(self._products),
+            )
             whois = WhoisService.build_from_world(world)
             pipeline = IdentificationPipeline(
                 shodan,
@@ -177,24 +191,31 @@ class FullStudy:
                 executor=self.executor,
                 caches=self.caches,
             )
-            return pipeline.run()
+            return pipeline.run(self._products)
 
-    def run_confirmations(self) -> Tuple[List[ConfirmationResult], CategoryProbeResult]:
+    def run_confirmations(
+        self,
+    ) -> Tuple[List[ConfirmationResult], Optional[CategoryProbeResult]]:
         """§4: replay the Table 3 case studies chronologically.
 
         The schedule itself stays sequential — every case study advances
         the shared clock — but each study's URL batches fan out through
-        the executor.
+        the executor. With a product selection, only that selection's
+        published rows are replayed; the §4.4 category probe runs only
+        when Netsweeper is part of the study.
         """
         scenario = self._scenario
         world = scenario.world
+        selection = self._products or default_registry().default_names()
         schedule: List[Tuple[SimTime, Optional[Table3Row]]] = [
             (SimTime.from_date(row.date[0], row.date[1], 10), row)
             for row in PAPER_TABLE3
+            if row.product in selection
         ]
-        # The YemenNet category probe ran in January 2013 (§4.4).
-        probe_time = SimTime.from_date(2013, 1, 15)
-        schedule.append((probe_time, None))
+        if NETSWEEPER in selection:
+            # The YemenNet category probe ran in January 2013 (§4.4).
+            probe_time = SimTime.from_date(2013, 1, 15)
+            schedule.append((probe_time, None))
         schedule.sort(key=lambda item: (item[0], _row_order(item[1])))
 
         results: List[ConfirmationResult] = []
@@ -219,7 +240,8 @@ class FullStudy:
                     link_latency=self._link_latency,
                 )
                 results.append(study.run(config_for_row(row)))
-        assert probe is not None
+        if NETSWEEPER in selection:
+            assert probe is not None
         return results, probe
 
     def run_characterizations(self) -> Dict[str, CharacterizationResult]:
@@ -235,11 +257,16 @@ class FullStudy:
             executor=self.executor,
             link_latency=self._link_latency,
         )
-        pairs = (
-            ("etisalat", "McAfee SmartFilter"),
-            ("du", "Netsweeper"),
-            ("yemennet", "Netsweeper"),
-            ("ooredoo", "Netsweeper"),
+        selection = self._products or default_registry().default_names()
+        pairs = tuple(
+            (isp, product)
+            for isp, product in (
+                ("etisalat", SMARTFILTER),
+                ("du", NETSWEEPER),
+                ("yemennet", NETSWEEPER),
+                ("ooredoo", NETSWEEPER),
+            )
+            if product in selection
         )
         with self.metrics.timer("stage.characterize"):
             return {
@@ -268,6 +295,7 @@ class FullStudy:
 def run_full_study(
     seed: int = DEFAULT_SEED,
     *,
+    products: Optional[Sequence[str]] = None,
     workers: int = 1,
     link_latency: float = 0.0,
     metrics: Optional[Metrics] = None,
@@ -276,13 +304,14 @@ def run_full_study(
 ) -> StudyReport:
     """Build the scenario for ``seed`` and run the whole campaign.
 
-    The report is a pure function of ``seed`` and the scenario knobs:
-    ``workers``/``link_latency``/``metrics`` change only wall-clock and
-    instrumentation, never the result.
+    The report is a pure function of ``seed``, ``products`` and the
+    scenario knobs: ``workers``/``link_latency``/``metrics`` change only
+    wall-clock and instrumentation, never the result.
     """
     scenario = build_scenario(seed=seed)
     study = FullStudy(
         scenario,
+        products=products,
         shodan_coverage=shodan_coverage,
         geo_error_rate=geo_error_rate,
         workers=workers,

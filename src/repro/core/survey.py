@@ -18,45 +18,40 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.confirm import ConfirmationConfig, ConfirmationResult, ConfirmationStudy
 from repro.core.identify import IdentificationReport
 from repro.products.base import UrlFilterProduct
-from repro.products.netsweeper import Netsweeper
+from repro.products.registry import default_registry
 from repro.world.content import ContentClass
 from repro.world.world import World
 
+
+def _ladder() -> Sequence[Tuple[ContentClass, Dict[str, Optional[str]]]]:
+    registry = default_registry()
+    return tuple(
+        (
+            content_class,
+            {
+                spec.name: spec.category_requests.get(content_class)
+                for spec in registry.all()
+            },
+        )
+        for content_class in (
+            ContentClass.PROXY_ANONYMIZER,
+            ContentClass.ADULT_IMAGES,
+            ContentClass.PORNOGRAPHY,
+        )
+    )
+
+
 #: The category ladder: content classes tried per target, in order, with
-#: the vendor category name to request per product. Proxy content first
-#: (the most commonly blocked class in the paper's case studies), then
-#: adult content (the Saudi lesson of §4.3: proxies accessible, porn not).
+#: the vendor category name to request per product (from each spec's
+#: ``category_requests``; None where the vendor's form takes no
+#: category, like Netsweeper's test-a-site). Proxy content first (the
+#: most commonly blocked class in the paper's case studies), then adult
+#: content (the Saudi lesson of §4.3: proxies accessible, porn not) —
+#: vendors categorize a bare adult image differently from a porn site,
+#: and operators may block one and not the other, so both rungs are
+#: needed.
 CATEGORY_LADDER: Sequence[Tuple[ContentClass, Dict[str, Optional[str]]]] = (
-    (
-        ContentClass.PROXY_ANONYMIZER,
-        {
-            "Blue Coat": "Proxy Avoidance",
-            "McAfee SmartFilter": "Anonymizers",
-            "Netsweeper": None,  # test-a-site takes no category
-            "Websense": "Proxy Avoidance",
-        },
-    ),
-    (
-        ContentClass.ADULT_IMAGES,
-        {
-            "Blue Coat": "Pornography",
-            "McAfee SmartFilter": "Pornography",
-            "Netsweeper": None,
-            "Websense": "Adult Content",
-        },
-    ),
-    # Vendors categorize a bare adult image differently from a porn
-    # site (Netsweeper: "Adult Images" vs "Pornography"); operators may
-    # block one and not the other, so both rungs are needed.
-    (
-        ContentClass.PORNOGRAPHY,
-        {
-            "Blue Coat": "Pornography",
-            "McAfee SmartFilter": "Pornography",
-            "Netsweeper": None,
-            "Websense": "Sex",
-        },
-    ),
+    _ladder()
 )
 
 
@@ -195,7 +190,7 @@ class GlobalSurvey:
         content_class: ContentClass,
         request_map: Dict[str, Optional[str]],
     ) -> ConfirmationConfig:
-        is_netsweeper = isinstance(product, Netsweeper)
+        spec = default_registry().find(target.product_name)
         label = (
             content_class.value.replace("_", " ").title()
         )
@@ -207,7 +202,7 @@ class GlobalSurvey:
             requested_category=request_map.get(target.product_name),
             total_domains=8,
             submit_count=4,
-            pre_validate=not is_netsweeper,
+            pre_validate=spec.pre_validate if spec else True,
         )
 
 

@@ -2,65 +2,39 @@
 
 §5: "Manual analysis identified regular expressions corresponding to the
 vendors' block pages and automated analysis identified all URLs which
-matched a given block page regular expression." The corpus below covers
-both branded and structural signals, so detection degrades gracefully as
-vendors strip branding (§2.2) — the structural patterns (deny-page
-paths, the 15871 port, cfauth redirects) survive cosmetic changes, and
-full header stripping defeats attribution without hiding the *fact* of
-blocking (an unexplained 403/redirect still differs from the lab view).
+matched a given block page regular expression." The corpus is built from
+the product registry's per-spec patterns and covers both branded and
+structural signals, so detection degrades gracefully as vendors strip
+branding (§2.2) — the structural patterns (deny-page paths, the 15871
+port, cfauth redirects) survive cosmetic changes, and full header
+stripping defeats attribution without hiding the *fact* of blocking (an
+unexplained 403/redirect still differs from the lab view).
+
+The vendor-name constants (``BLUE_COAT`` …) are deprecated here; import
+them from :mod:`repro.products.registry` instead.
 """
 
 from __future__ import annotations
 
-import re
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Pattern, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.net.fetch import FetchResult
+from repro.products import registry as _registry
+from repro.products.registry import (
+    CompiledBlockPattern as BlockPagePattern,
+    default_registry,
+)
 
-BLUE_COAT = "Blue Coat"
-SMARTFILTER = "McAfee SmartFilter"
-NETSWEEPER = "Netsweeper"
-WEBSENSE = "Websense"
-
-
-@dataclass(frozen=True)
-class BlockPagePattern:
-    """One regex attributed to one vendor's block flow."""
-
-    vendor: str
-    pattern: Pattern
-    scope: str  # "headers" | "body" | "any"
-    branded: bool  # True when the pattern relies on vendor branding
-
-
-def _compile(vendor: str, regex: str, scope: str, branded: bool) -> BlockPagePattern:
-    return BlockPagePattern(vendor, re.compile(regex, re.IGNORECASE), scope, branded)
-
-
-#: Patterns target block-page *content* and deny-redirect structure.
-#: Generic proxy residue (Via / Via-Proxy headers) is deliberately NOT
-#: block evidence: proxy appliances stamp those on every forwarded
-#: response, censored or not (that residue is what the Netalyzr-style
+#: The §5 regex corpus for the paper's default products.  Patterns
+#: target block-page *content* and deny-redirect structure.  Generic
+#: proxy residue (Via / Via-Proxy headers) is deliberately NOT block
+#: evidence: proxy appliances stamp those on every forwarded response,
+#: censored or not (that residue is what the Netalyzr-style
 #: fingerprinting in :mod:`repro.measure.netalyzr` reads instead).
 DEFAULT_PATTERNS: Sequence[BlockPagePattern] = (
-    # Blue Coat
-    _compile(BLUE_COAT, r"www\.cfauth\.com", "any", False),
-    _compile(BLUE_COAT, r"cfru=", "any", False),
-    _compile(BLUE_COAT, r"blue ?coat", "body", True),
-    _compile(BLUE_COAT, r"proxysg", "body", True),
-    _compile(BLUE_COAT, r"content categorization", "body", False),
-    # McAfee SmartFilter / Web Gateway
-    _compile(SMARTFILTER, r"mcafee web gateway", "body", True),
-    _compile(SMARTFILTER, r"<h1>\s*URL Blocked\s*</h1>", "body", False),
-    # Netsweeper
-    _compile(NETSWEEPER, r"webadmin/deny", "any", False),
-    _compile(NETSWEEPER, r"netsweeper", "body", True),
-    _compile(NETSWEEPER, r"Web Page Blocked", "body", False),
-    # Websense
-    _compile(WEBSENSE, r"blockpage\.cgi", "any", False),
-    _compile(WEBSENSE, r"ws-session", "any", False),
-    _compile(WEBSENSE, r"websense", "body", True),
+    default_registry().block_page_patterns()
 )
 
 
@@ -79,6 +53,13 @@ class BlockPageDetector:
         self, patterns: Sequence[BlockPagePattern] = DEFAULT_PATTERNS
     ) -> None:
         self._patterns = list(patterns)
+
+    @classmethod
+    def for_products(
+        cls, products: Optional[Sequence[str]] = None
+    ) -> "BlockPageDetector":
+        """A detector over the registry corpus for a product selection."""
+        return cls(default_registry().block_page_patterns(products))
 
     def without_branded_patterns(self) -> "BlockPageDetector":
         """A detector limited to structural signals (evasion studies)."""
@@ -126,5 +107,27 @@ class BlockPageDetector:
                     )
         if not votes:
             return None
-        best_vendor = max(votes, key=lambda v: len(set(votes[v])))
+        # Most distinct patterns wins; ties break lexicographically by
+        # vendor name so the verdict never depends on corpus order.
+        best_vendor = min(votes, key=lambda v: (-len(set(votes[v])), v))
         return Detection(best_vendor, sorted(set(votes[best_vendor])))
+
+
+_DEPRECATED_CONSTANTS = {
+    "BLUE_COAT": _registry.BLUE_COAT,
+    "SMARTFILTER": _registry.SMARTFILTER,
+    "NETSWEEPER": _registry.NETSWEEPER,
+    "WEBSENSE": _registry.WEBSENSE,
+}
+
+
+def __getattr__(name: str) -> str:
+    if name in _DEPRECATED_CONSTANTS:
+        warnings.warn(
+            f"repro.measure.blockpage_detect.{name} is deprecated; import "
+            "it from repro.products.registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEPRECATED_CONSTANTS[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,20 +20,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.exec.executor import Campaign, Executor
 from repro.net.http import Headers, HttpRequest, HttpResponse, html_page
 from repro.net.url import Url
+from repro.products.registry import default_registry
 from repro.world.content import ContentClass
 from repro.world.entities import Host
 from repro.world.world import Vantage, World
 
 REFERENCE_HOST = "aperture.netalyzr-reference.example"
 
-#: Headers a reference fetch should never gain in transit; each maps the
-#: residue substring to the product it attributes.
+#: Headers a reference fetch should never gain in transit; each maps a
+#: residue substring to the product it attributes (each registered
+#: spec's ``residue_tokens``).
 RESIDUE_ATTRIBUTION: Sequence[Tuple[str, str]] = (
-    ("blue coat", "Blue Coat"),
-    ("proxysg", "Blue Coat"),
-    ("mcafee", "McAfee SmartFilter"),
-    ("websense", "Websense"),
-    ("netsweeper", "Netsweeper"),
+    default_registry().residue_attribution()
 )
 
 _TRANSIT_HEADERS = ("via", "via-proxy", "x-cache", "proxy-agent")

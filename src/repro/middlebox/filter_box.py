@@ -28,6 +28,7 @@ from repro.products.base import (
 )
 from repro.products.database import DatabaseSubscription
 from repro.products.licensing import LicenseModel
+from repro.products.registry import default_registry
 from repro.middlebox.policy import BlockMode, CUSTOM_CATEGORY, FilterPolicy
 from repro.world.clock import SimTime
 from repro.world.entities import Host, InterceptAction, InterceptKind
@@ -99,9 +100,9 @@ class FilterMiddlebox:
         return InterceptAction.passthrough()
 
     def _is_probe(self, url) -> bool:
-        from repro.products.netsweeper import CATEGORY_TEST_HOST, Netsweeper
-
-        return isinstance(self.engine, Netsweeper) and url.host == CATEGORY_TEST_HOST
+        assert self.engine is not None
+        test_host = self.engine.category_test_host
+        return test_host is not None and url.host == test_host
 
     def _block(self, request: HttpRequest, category) -> InterceptAction:
         mode = self.policy.block_mode
@@ -118,26 +119,21 @@ class FilterMiddlebox:
         return InterceptAction(InterceptKind.RESPOND, response)
 
     # ----------------------------------------------------------- annotate
-    #: Via-style headers a proxy appliance stamps onto forwarded
-    #: responses; keyed by appliance vendor. This is the on-wire residue
-    #: Netalyzr-style fingerprinting (§1, §7) picks up.
-    _PROXY_ANNOTATIONS = {
-        "Blue Coat": ("Via", "1.1 proxysg (Blue Coat ProxySG)"),
-        "McAfee SmartFilter": ("Via-Proxy", "McAfee Web Gateway 7.1.0.2"),
-        "Websense": ("Via", "1.1 wcg (Websense Content Gateway)"),
-    }
-
     def annotate_response(
         self, request: HttpRequest, response: HttpResponse
     ) -> HttpResponse:
         """Stamp forwarded responses the way a proxy appliance would.
 
-        Masked deployments (§6.1) stamp a generic token instead — a
-        proxy is still detectable, but not attributable.
+        Each spec's ``proxy_annotation`` is the Via-style header its
+        appliance adds to everything it forwards — the on-wire residue
+        Netalyzr-style fingerprinting (§1, §7) picks up. Masked
+        deployments (§6.1) stamp a generic token instead — a proxy is
+        still detectable, but not attributable.
         """
         if not self.enabled or self._is_self_traffic(request):
             return response
-        annotation = self._PROXY_ANNOTATIONS.get(self.appliance.vendor)
+        annotations = default_registry().proxy_annotations()
+        annotation = annotations.get(self.appliance.vendor)
         if annotation is None:
             return response
         headers = response.headers.copy()

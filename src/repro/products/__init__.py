@@ -19,6 +19,29 @@ from repro.products.categories import (
 )
 from repro.products.database import DatabaseSubscription, DbEntry, UrlDatabase
 from repro.products.licensing import LicenseModel, always_active
+from repro.products.registry import (
+    BLUE_COAT,
+    FORTIGUARD,
+    NETSWEEPER,
+    REGISTRY,
+    SMARTFILTER,
+    WEBSENSE,
+    BlockPatternSpec,
+    ProductRegistry,
+    ProductSpec,
+    default_registry,
+    iter_specs,
+)
+from repro.products.signatures import (
+    Evidence,
+    ProbeObservation,
+    SignatureFn,
+    body_contains,
+    header_contains,
+    header_present,
+    location_matches,
+    title_contains,
+)
 from repro.products.netsweeper import (
     ADMIN_PORT as NETSWEEPER_ADMIN_PORT,
     CATEGORY_TEST_HOST,
@@ -41,21 +64,32 @@ from repro.products.websense import (
 
 __all__ = [
     "BLUECOAT_TAXONOMY",
+    "BLUE_COAT",
     "BlockPageConfig",
+    "BlockPatternSpec",
     "BlueCoatProxySG",
     "CATEGORY_TEST_HOST",
     "CFAUTH_HOST",
     "DatabaseSubscription",
     "DbEntry",
     "DeploymentContext",
+    "Evidence",
+    "FORTIGUARD",
     "LicenseModel",
     "McAfeeSmartFilter",
+    "NETSWEEPER",
     "NETSWEEPER_ADMIN_PORT",
     "NETSWEEPER_TAXONOMY",
     "Netsweeper",
+    "ProbeObservation",
+    "ProductRegistry",
+    "ProductSpec",
+    "REGISTRY",
     "ReviewPolicy",
     "SIGNATURE_HEADER_NAMES",
+    "SMARTFILTER",
     "SMARTFILTER_TAXONOMY",
+    "SignatureFn",
     "Submission",
     "SubmissionPortal",
     "SubmissionStatus",
@@ -65,13 +99,21 @@ __all__ = [
     "UrlDatabase",
     "UrlFilterProduct",
     "VendorCategory",
+    "WEBSENSE",
     "WEBSENSE_BLOCKPAGE_PORT",
     "WEBSENSE_TAXONOMY",
     "Websense",
     "always_active",
+    "body_contains",
+    "default_registry",
+    "header_contains",
+    "header_present",
+    "iter_specs",
+    "location_matches",
     "make_bluecoat",
     "make_netsweeper",
     "make_smartfilter",
     "make_websense",
     "strip_signature_headers",
+    "title_contains",
 ]

@@ -78,6 +78,11 @@ class UrlFilterProduct(abc.ABC):
     #: Vendor display name; overridden by subclasses.
     vendor: str = "abstract"
 
+    #: Vendor-operated category-test host, if the product has one (§4.4:
+    #: Netsweeper's denypagetests). Deployments can be configured not to
+    #: honor probes against it.
+    category_test_host: Optional[str] = None
+
     def __init__(
         self,
         taxonomy: Taxonomy,

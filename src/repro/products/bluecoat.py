@@ -13,6 +13,8 @@ from __future__ import annotations
 import base64
 from typing import Dict
 
+from typing import List
+
 from repro.net.http import (
     Headers,
     HttpRequest,
@@ -22,6 +24,19 @@ from repro.net.http import (
 )
 from repro.products.base import BlockPageConfig, DeploymentContext, UrlFilterProduct
 from repro.products.categories import BLUECOAT_TAXONOMY, VendorCategory
+from repro.products.registry import (
+    BLUE_COAT,
+    REGISTRY,
+    BlockPatternSpec,
+    ProductSpec,
+)
+from repro.products.signatures import (
+    Evidence,
+    ProbeObservation,
+    header_contains,
+    location_matches,
+)
+from repro.world.content import ContentClass
 from repro.world.entities import ServiceApp
 
 CFAUTH_HOST = "www.cfauth.com"
@@ -141,3 +156,52 @@ class BlueCoatProxySG(UrlFilterProduct):
 def make_bluecoat(*args, **kwargs) -> BlueCoatProxySG:
     """Construct a Blue Coat vendor instance with the standard taxonomy."""
     return BlueCoatProxySG(BLUECOAT_TAXONOMY, *args, **kwargs)
+
+
+def bluecoat_signature(observations: List[ProbeObservation]) -> List[Evidence]:
+    """Built-in ProxySG detection OR a Location containing www.cfauth.com."""
+    evidence: List[Evidence] = []
+    for header in ("Server", "Via", "WWW-Authenticate"):
+        evidence.extend(header_contains(observations, header, "proxysg"))
+        evidence.extend(header_contains(observations, header, "blue coat"))
+    evidence.extend(
+        location_matches(
+            observations, lambda loc: "www.cfauth.com" in loc.lower(), "cfauth"
+        )
+    )
+    return evidence
+
+
+SPEC = REGISTRY.register(
+    ProductSpec(
+        name=BLUE_COAT,
+        slug="bluecoat",
+        order=10,
+        paper_default=True,
+        shodan_keywords=("proxysg", "cfru="),
+        signature=bluecoat_signature,
+        signature_note="ProxySG headers or Location contains www.cfauth.com",
+        probe_endpoints=((8080, "/"),),
+        block_patterns=(
+            BlockPatternSpec(r"www\.cfauth\.com", "any", False),
+            BlockPatternSpec(r"cfru=", "any", False),
+            BlockPatternSpec(r"blue ?coat", "body", True),
+            BlockPatternSpec(r"proxysg", "body", True),
+            BlockPatternSpec(r"content categorization", "body", False),
+        ),
+        factory=make_bluecoat,
+        taxonomy=BLUECOAT_TAXONOMY,
+        category_requests={
+            ContentClass.PROXY_ANONYMIZER: "Proxy Avoidance",
+            ContentClass.ADULT_IMAGES: "Pornography",
+            ContentClass.PORNOGRAPHY: "Pornography",
+        },
+        brand_marks=("blue coat", "proxysg"),
+        scrub_tokens=("blue coat", "bluecoat", "proxysg", "cfauth", "bcsi"),
+        residue_tokens=("blue coat", "proxysg"),
+        proxy_annotation=("Via", "1.1 proxysg (Blue Coat ProxySG)"),
+        headquarters="Sunnyvale, CA, USA",
+        description="Web proxy (ProxySG) and URL Filter (Web Filter)",
+        previously_observed=("kw", "mm", "eg", "qa", "sa", "sy", "ae"),
+    )
+)

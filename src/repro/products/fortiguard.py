@@ -1,0 +1,249 @@
+"""FortiGuard (Fortinet FortiGate) model — the registry's fifth product.
+
+Not part of the IMC'13 study: FortiGate UTM appliances with FortiGuard
+Web Filtering are the vendor the India measurement studies document
+("Where The Light Gets In", "How India Censors the Web"), observed
+serving inline HTTP 200 block pages titled "Web Filter Violation". The
+module exists to prove the registry architecture — everything the
+pipeline needs (Table 2-style keywords and signature, §5 block-page
+regexes, taxonomy, factory) is defined here and registered below;
+nothing outside this file mentions the vendor.
+
+``paper_default`` is False, so the paper reproduction is untouched:
+the spec only participates when selected explicitly (``--products
+FortiGuard`` or a custom-built world).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.http import Headers, HttpRequest, HttpResponse, html_page, ok_response
+from repro.products.base import DeploymentContext, UrlFilterProduct
+from repro.products.categories import Taxonomy, VendorCategory
+from repro.products.registry import (
+    FORTIGUARD,
+    REGISTRY,
+    BlockPatternSpec,
+    ProductSpec,
+)
+from repro.products.signatures import (
+    Evidence,
+    ProbeObservation,
+    body_contains,
+    header_contains,
+    title_contains,
+)
+from repro.world.content import ContentClass
+from repro.world.entities import ServiceApp
+
+ADMIN_PORT = 10443
+RATING_HOST = "www.fortiguard.com"
+
+_CATEGORY_NAMES = [
+    "Proxy Avoidance",
+    "Pornography",
+    "Nudity and Risque",
+    "Dating",
+    "Gambling",
+    "Drug Abuse",
+    "Alcohol",
+    "Extremist Groups",
+    "Weapons (Sales)",
+    "Phishing",
+    "Malicious Websites",
+    "Political Organizations",
+    "Alternative Beliefs",
+    "Global Religion",
+    "News and Media",
+    "Social Networking",
+    "Web-based Email",
+    "Search Engines and Portals",
+    "Translation",
+    "Shopping",
+    "Sports",
+    "Entertainment",
+    "Education",
+    "Government and Legal Organizations",
+    "Health and Wellness",
+    "Information Technology",
+    "Discrimination",
+    "Lingerie and Swimsuit",
+    "Homosexuality",
+    "Web Hosting",
+]
+
+FORTIGUARD_TAXONOMY = Taxonomy(
+    "FortiGuard",
+    [VendorCategory(i + 1, name) for i, name in enumerate(_CATEGORY_NAMES)],
+    {
+        ContentClass.PROXY_ANONYMIZER: "Proxy Avoidance",
+        ContentClass.VPN_TOOLS: "Proxy Avoidance",
+        ContentClass.PORNOGRAPHY: "Pornography",
+        ContentClass.ADULT_IMAGES: "Nudity and Risque",
+        ContentClass.DATING: "Dating",
+        ContentClass.LGBT: "Homosexuality",
+        ContentClass.GAMBLING: "Gambling",
+        ContentClass.ALCOHOL_DRUGS: "Drug Abuse",
+        ContentClass.PHISHING: "Phishing",
+        ContentClass.MALWARE: "Malicious Websites",
+        ContentClass.MILITANT: "Extremist Groups",
+        ContentClass.WEAPONS: "Weapons (Sales)",
+        ContentClass.POLITICAL_OPPOSITION: "Political Organizations",
+        ContentClass.POLITICAL_REFORM: "Political Organizations",
+        ContentClass.HUMAN_RIGHTS: "Political Organizations",
+        ContentClass.MEDIA_FREEDOM: "News and Media",
+        ContentClass.INDEPENDENT_MEDIA: "News and Media",
+        ContentClass.RELIGIOUS_CRITICISM: "Alternative Beliefs",
+        ContentClass.MINORITY_RELIGION: "Alternative Beliefs",
+        ContentClass.MINORITY_GROUPS: "Discrimination",
+        ContentClass.WOMENS_RIGHTS: "Political Organizations",
+        ContentClass.SOCIAL_MEDIA: "Social Networking",
+        ContentClass.SEARCH_ENGINE: "Search Engines and Portals",
+        ContentClass.EMAIL_PROVIDER: "Web-based Email",
+        ContentClass.TRANSLATION: "Translation",
+        ContentClass.NEWS: "News and Media",
+        ContentClass.SHOPPING: "Shopping",
+        ContentClass.SPORTS: "Sports",
+        ContentClass.ENTERTAINMENT: "Entertainment",
+        ContentClass.EDUCATION: "Education",
+        ContentClass.GOVERNMENT: "Government and Legal Organizations",
+        ContentClass.HEALTH: "Health and Wellness",
+        ContentClass.TECHNOLOGY: "Information Technology",
+        ContentClass.RELIGION_MAINSTREAM: "Global Religion",
+        ContentClass.HOSTING_SERVICE: "Web Hosting",
+    },
+)
+
+
+class FortiGuard(UrlFilterProduct):
+    """Vendor-side FortiGuard: database + FortiGate inline block surface."""
+
+    vendor = "FortiGuard"
+
+    def block_response(
+        self,
+        request: HttpRequest,
+        category: VendorCategory,
+        context: DeploymentContext,
+    ) -> HttpResponse:
+        config = context.config
+        branded = config.show_branding
+        title = "Web Filter Violation" if branded else "Access Blocked"
+        message = config.custom_message or (
+            "You have tried to access a web page which is in violation "
+            "of your internet usage policy."
+        )
+        category_line = f"<p>Category: {category.name}</p>" if branded else ""
+        footer = (
+            "<p><small>Powered by FortiGuard Web Filtering &mdash; "
+            "Fortinet Inc.</small></p>"
+            if branded
+            else ""
+        )
+        headers = Headers()
+        headers.set("Server", "FortiGate")
+        headers.set("Content-Type", "text/html; charset=utf-8")
+        return HttpResponse(
+            200,
+            headers,
+            html_page(
+                title,
+                f"<h1>Web Page Blocked!</h1><p>{message}</p>"
+                f"{category_line}<p>URL: {request.url}</p>{footer}",
+            ),
+        )
+
+    def admin_apps(self, context: DeploymentContext) -> Dict[int, ServiceApp]:
+        def login(request: HttpRequest) -> HttpResponse:
+            headers = Headers()
+            headers.set("Server", "FortiGate")
+            headers.set("Content-Type", "text/html; charset=utf-8")
+            return HttpResponse(
+                200,
+                headers,
+                html_page(
+                    "FortiGate",
+                    "<h1>FortiGate Administrative Console</h1>"
+                    "<p>FortiGuard Web Filtering is licensed on this "
+                    "unit.</p>",
+                ),
+            )
+
+        return {80: login, ADMIN_PORT: login}
+
+    def infrastructure_apps(self) -> Dict[str, ServiceApp]:
+        taxonomy = self.taxonomy
+
+        def rating_lookup(request: HttpRequest) -> HttpResponse:
+            rows = "".join(
+                f"<li>{c.number}: {c.name}</li>" for c in taxonomy.categories
+            )
+            return ok_response(
+                "FortiGuard Web Filter Lookup",
+                "<h1>FortiGuard Labs web filter lookup</h1>"
+                f"<ul>{rows}</ul>",
+                server="FortiGuard",
+            )
+
+        return {RATING_HOST: rating_lookup}
+
+
+def make_fortiguard(*args, **kwargs) -> FortiGuard:
+    """Construct a FortiGuard vendor instance with the standard taxonomy."""
+    return FortiGuard(FORTIGUARD_TAXONOMY, *args, **kwargs)
+
+
+def fortiguard_signature(observations: List[ProbeObservation]) -> List[Evidence]:
+    """A FortiGate server banner or FortiGuard block-page branding.
+
+    Deliberately narrower than ``body contains "fortiguard"``: the
+    vendor's own rating portal (www.fortiguard.com) mentions the brand
+    everywhere, and a signature that matched it would mislocate the
+    vendor's hosting country as an installation.
+    """
+    evidence = header_contains(observations, "Server", "fortigate")
+    evidence.extend(title_contains(observations, "web filter violation"))
+    evidence.extend(
+        body_contains(observations, "fortiguard web filtering is licensed")
+    )
+    return evidence
+
+
+SPEC = REGISTRY.register(
+    ProductSpec(
+        name=FORTIGUARD,
+        slug="fortiguard",
+        order=50,
+        paper_default=False,  # not part of the IMC'13 reproduction
+        shodan_keywords=("fortigate", "fortiguard"),
+        signature=fortiguard_signature,
+        signature_note=(
+            "FortiGate server banner or 'Web Filter Violation' block page"
+        ),
+        probe_endpoints=((ADMIN_PORT, "/"),),
+        block_patterns=(
+            BlockPatternSpec(r"fortiguard", "body", True),
+            BlockPatternSpec(r"fortinet", "body", True),
+            # Structural: the policy-violation phrasing survives branding
+            # removal.  NOTE the unbranded page still says "Web Page
+            # Blocked!", which collides with Netsweeper's structural
+            # pattern — the detector's lexicographic tie-break covers it.
+            BlockPatternSpec(r"internet usage policy", "body", False),
+        ),
+        factory=make_fortiguard,
+        taxonomy=FORTIGUARD_TAXONOMY,
+        category_requests={
+            ContentClass.PROXY_ANONYMIZER: "Proxy Avoidance",
+            ContentClass.ADULT_IMAGES: "Nudity and Risque",
+            ContentClass.PORNOGRAPHY: "Pornography",
+        },
+        brand_marks=("fortiguard", "fortinet"),
+        scrub_tokens=("fortiguard", "fortinet", "fortigate"),
+        residue_tokens=("fortiguard",),
+        proxy_annotation=None,
+        headquarters="Sunnyvale, CA, USA",
+        description="FortiGate UTM appliances with FortiGuard Web Filtering",
+        previously_observed=("in",),
+    )
+)

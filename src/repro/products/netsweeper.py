@@ -28,6 +28,19 @@ from repro.net.url import Url
 from repro.products.base import DeploymentContext, UrlFilterProduct
 from repro.products.categories import NETSWEEPER_TAXONOMY, VendorCategory
 from repro.products.database import DatabaseSubscription
+from repro.products.registry import (
+    NETSWEEPER,
+    REGISTRY,
+    BlockPatternSpec,
+    ProductSpec,
+)
+from repro.products.signatures import (
+    Evidence,
+    ProbeObservation,
+    body_contains,
+    location_matches,
+    title_contains,
+)
 from repro.products.submission import ContentOracle, HostingOracle, ReviewPolicy
 from repro.world.clock import SimTime
 from repro.world.entities import ServiceApp
@@ -49,6 +62,7 @@ class Netsweeper(UrlFilterProduct):
     """Vendor-side Netsweeper: database, test-a-site portal, access queue."""
 
     vendor = "Netsweeper"
+    category_test_host = CATEGORY_TEST_HOST
 
     def __init__(
         self,
@@ -235,3 +249,59 @@ class Netsweeper(UrlFilterProduct):
 def make_netsweeper(*args, **kwargs) -> Netsweeper:
     """Construct a Netsweeper vendor instance (taxonomy is built in)."""
     return Netsweeper(*args, **kwargs)
+
+
+def netsweeper_signature(observations: List[ProbeObservation]) -> List[Evidence]:
+    """Built-in detection: Netsweeper branding or the deny-page path.
+
+    A bare ``/webadmin/`` redirect is NOT sufficient — plenty of router
+    consoles use that path (the keyword search will surface them as
+    candidates); validation demands Netsweeper-specific markers.
+    """
+    evidence = body_contains(observations, "netsweeper")
+    evidence.extend(title_contains(observations, "netsweeper"))
+    evidence.extend(
+        location_matches(
+            observations,
+            lambda loc: "/webadmin/deny" in loc.lower(),
+            "deny-path",
+        )
+    )
+    return evidence
+
+
+SPEC = REGISTRY.register(
+    ProductSpec(
+        name=NETSWEEPER,
+        slug="netsweeper",
+        order=30,
+        paper_default=True,
+        shodan_keywords=(
+            "netsweeper",
+            "webadmin",
+            "webadmin/deny",
+            "8080/webadmin/",
+        ),
+        signature=netsweeper_signature,
+        signature_note="Netsweeper branding or /webadmin/deny redirect",
+        probe_endpoints=((ADMIN_PORT, "/"), (ADMIN_PORT, "/webadmin/")),
+        block_patterns=(
+            BlockPatternSpec(r"webadmin/deny", "any", False),
+            BlockPatternSpec(r"netsweeper", "body", True),
+            BlockPatternSpec(r"Web Page Blocked", "body", False),
+        ),
+        factory=make_netsweeper,
+        taxonomy=NETSWEEPER_TAXONOMY,
+        # The test-a-site form takes no category field (§4.4), and the
+        # access queue means submissions cannot be pre-validated.
+        category_requests={},
+        pre_validate=False,
+        brand_marks=("netsweeper",),
+        scrub_tokens=("netsweeper",),
+        residue_tokens=("netsweeper",),
+        proxy_annotation=None,
+        headquarters="Guelph, ON, Canada",
+        description="Netsweeper Content Filtering",
+        previously_observed=("qa", "ae", "ye"),
+    )
+)

@@ -1,0 +1,105 @@
+"""Signature primitives shared by every product's identification surface.
+
+A product spec (see :mod:`repro.products.registry`) carries a *signature
+function*: given the WhatWeb probe observations for one host, return the
+evidence that this vendor's product is running there. The types and
+matcher helpers live here — next to the products, below the scanning
+layer — so a vendor module can define its whole identification surface
+without importing :mod:`repro.scan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.net.http import HttpResponse
+
+
+@dataclass
+class ProbeObservation:
+    """One WhatWeb probe: the response (if any) at (port, path)."""
+
+    port: int
+    path: str
+    response: Optional[HttpResponse]
+
+
+@dataclass
+class Evidence:
+    """Why a signature matched: the observation kind and the detail."""
+
+    kind: str  # header | title | body | location | realm
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+SignatureFn = Callable[[List[ProbeObservation]], List[Evidence]]
+
+
+def header_contains(
+    observations: List[ProbeObservation], header: str, needle: str
+) -> List[Evidence]:
+    evidence = []
+    for obs in observations:
+        if obs.response is None:
+            continue
+        for value in obs.response.headers.get_all(header):
+            if needle.lower() in value.lower():
+                evidence.append(Evidence("header", f"{header}: {value}"))
+    return evidence
+
+
+def header_present(
+    observations: List[ProbeObservation], header: str
+) -> List[Evidence]:
+    evidence = []
+    for obs in observations:
+        if obs.response is None:
+            continue
+        value = obs.response.headers.get(header)
+        if value is not None:
+            evidence.append(Evidence("header", f"{header}: {value}"))
+    return evidence
+
+
+def title_contains(
+    observations: List[ProbeObservation], needle: str
+) -> List[Evidence]:
+    evidence = []
+    for obs in observations:
+        if obs.response is None:
+            continue
+        title = obs.response.html_title() or ""
+        if needle.lower() in title.lower():
+            evidence.append(Evidence("title", title))
+    return evidence
+
+
+def body_contains(
+    observations: List[ProbeObservation], needle: str
+) -> List[Evidence]:
+    evidence = []
+    for obs in observations:
+        if obs.response is None:
+            continue
+        if needle.lower() in obs.response.body.lower():
+            evidence.append(Evidence("body", needle))
+    return evidence
+
+
+def location_matches(
+    observations: List[ProbeObservation],
+    predicate: Callable[[str], bool],
+    label: str,
+) -> List[Evidence]:
+    evidence = []
+    for obs in observations:
+        if obs.response is None:
+            continue
+        location = obs.response.location
+        if location and predicate(location):
+            evidence.append(Evidence("location", f"{label}: {location}"))
+    return evidence

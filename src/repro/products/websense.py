@@ -11,11 +11,24 @@ attached at the middlebox layer.
 from __future__ import annotations
 
 import itertools
-from typing import Dict
+from typing import Dict, List
 
 from repro.net.http import Headers, HttpRequest, HttpResponse, html_page
 from repro.products.base import DeploymentContext, UrlFilterProduct
 from repro.products.categories import WEBSENSE_TAXONOMY, VendorCategory
+from repro.products.registry import (
+    REGISTRY,
+    WEBSENSE,
+    BlockPatternSpec,
+    ProductSpec,
+)
+from repro.products.signatures import (
+    Evidence,
+    ProbeObservation,
+    header_contains,
+    location_matches,
+)
+from repro.world.content import ContentClass
 from repro.world.entities import ServiceApp
 
 BLOCKPAGE_PORT = 15871
@@ -110,3 +123,52 @@ class Websense(UrlFilterProduct):
 def make_websense(*args, **kwargs) -> Websense:
     """Construct a Websense vendor instance with the standard taxonomy."""
     return Websense(*args, **kwargs)
+
+
+def websense_signature(observations: List[ProbeObservation]) -> List[Evidence]:
+    """A redirect to port 15871 with ws-session, or a Websense server banner."""
+    evidence = location_matches(
+        observations,
+        lambda loc: ":15871" in loc and "ws-session" in loc.lower(),
+        "blockpage",
+    )
+    evidence.extend(header_contains(observations, "Server", "websense"))
+    return evidence
+
+
+SPEC = REGISTRY.register(
+    ProductSpec(
+        name=WEBSENSE,
+        slug="websense",
+        order=40,
+        paper_default=True,
+        shodan_keywords=("blockpage.cgi", '"gateway websense"'),
+        signature=websense_signature,
+        signature_note=(
+            "redirect to port 15871 with ws-session, or Websense server banner"
+        ),
+        probe_endpoints=(
+            (BLOCKPAGE_PORT, "/"),
+            (BLOCKPAGE_PORT, "/cgi-bin/blockpage.cgi"),
+        ),
+        block_patterns=(
+            BlockPatternSpec(r"blockpage\.cgi", "any", False),
+            BlockPatternSpec(r"ws-session", "any", False),
+            BlockPatternSpec(r"websense", "body", True),
+        ),
+        factory=make_websense,
+        taxonomy=WEBSENSE_TAXONOMY,
+        category_requests={
+            ContentClass.PROXY_ANONYMIZER: "Proxy Avoidance",
+            ContentClass.ADULT_IMAGES: "Adult Content",
+            ContentClass.PORNOGRAPHY: "Sex",
+        },
+        brand_marks=("websense",),
+        scrub_tokens=("websense",),
+        residue_tokens=("websense",),
+        proxy_annotation=("Via", "1.1 wcg (Websense Content Gateway)"),
+        headquarters="San Diego, CA, USA",
+        description="Web proxy gateways including corporate data leakage monitoring",
+        previously_observed=("ye",),
+    )
+)

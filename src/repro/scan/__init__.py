@@ -8,16 +8,18 @@ from repro.scan.banner import (
 )
 from repro.scan.census import CensusDataset, run_census
 from repro.scan.shodan import DEFAULT_RESULT_CAP, ShodanIndex, ShodanQueryLog
-from repro.scan.signatures import (
+from repro.products.registry import (
     BLUE_COAT,
+    NETSWEEPER,
+    SMARTFILTER,
+    WEBSENSE,
+)
+from repro.scan.signatures import (
     DEFAULT_PROBE_PLAN,
     Evidence,
-    NETSWEEPER,
     PRODUCT_NAMES,
     ProbeObservation,
     SHODAN_KEYWORDS,
-    SMARTFILTER,
-    WEBSENSE,
     WHATWEB_SIGNATURES,
 )
 from repro.scan.whatweb import (

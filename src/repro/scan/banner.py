@@ -17,12 +17,14 @@ from repro.exec.executor import Executor
 from repro.net.fetch import FetchOutcome
 from repro.net.ip import Ipv4Address
 from repro.net.url import Url
+from repro.products.registry import default_registry
 from repro.world.clock import SimTime
 from repro.world.world import World
 
-#: Ports a Shodan-style scanner probes. 15871 is Websense's block-page
-#: port; 8080 carries both Netsweeper's webadmin and ProxySG consoles.
-DEFAULT_SCAN_PORTS: Sequence[int] = (80, 443, 8080, 8443, 3128, 9090, 15871)
+#: Ports a Shodan-style scanner probes: the common web set plus every
+#: default product's distinctive ports (block-page services, webadmin
+#: consoles) from the registry.
+DEFAULT_SCAN_PORTS: Sequence[int] = default_registry().scan_ports()
 
 
 @dataclass

@@ -1,191 +1,79 @@
 """Table 2: the identification keywords and validation signatures.
 
-Two artifacts per product:
+Everything here is derived from the product registry
+(:mod:`repro.products.registry`); this module remains as the scanning
+layer's view of Table 2 and as a compatibility surface for older
+imports.  Two artifacts per product:
 
 - **Shodan keywords** — the strings searched (with ccTLD expansion) to
   locate candidate installations. Deliberately *not conservative*
   (§3.1): false positives are expected and weeded out by validation.
 - **WhatWeb signature** — the rule the validation engine applies against
   live probes of a candidate IP.
+
+The vendor-name constants (``BLUE_COAT`` …) are deprecated here; import
+them from :mod:`repro.products.registry` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from typing import Dict, List, Sequence
 
-from repro.net.http import HttpResponse
+from repro.products.bluecoat import bluecoat_signature
+from repro.products.netsweeper import netsweeper_signature
+from repro.products import registry as _registry
+from repro.products.registry import default_registry
+from repro.products.signatures import (
+    Evidence,
+    ProbeObservation,
+    SignatureFn,
+)
+from repro.products.smartfilter import smartfilter_signature
+from repro.products.websense import websense_signature
 
-BLUE_COAT = "Blue Coat"
-SMARTFILTER = "McAfee SmartFilter"
-NETSWEEPER = "Netsweeper"
-WEBSENSE = "Websense"
+__all__ = [
+    "DEFAULT_PROBE_PLAN",
+    "Evidence",
+    "PRODUCT_NAMES",
+    "ProbeObservation",
+    "SHODAN_KEYWORDS",
+    "SignatureFn",
+    "WHATWEB_SIGNATURES",
+    "bluecoat_signature",
+    "netsweeper_signature",
+    "smartfilter_signature",
+    "websense_signature",
+]
 
-PRODUCT_NAMES: Sequence[str] = (BLUE_COAT, SMARTFILTER, NETSWEEPER, WEBSENSE)
+_REGISTRY = default_registry()
+
+PRODUCT_NAMES: Sequence[str] = _REGISTRY.default_names()
 
 #: Table 2, column "Shodan keywords".
-SHODAN_KEYWORDS: Dict[str, List[str]] = {
-    BLUE_COAT: ["proxysg", "cfru="],
-    SMARTFILTER: ['"mcafee web gateway"', '"url blocked"'],
-    NETSWEEPER: ["netsweeper", "webadmin", "webadmin/deny", "8080/webadmin/"],
-    WEBSENSE: ["blockpage.cgi", '"gateway websense"'],
-}
-
-
-@dataclass
-class ProbeObservation:
-    """One WhatWeb probe: the response (if any) at (port, path)."""
-
-    port: int
-    path: str
-    response: Optional[HttpResponse]
-
-
-@dataclass
-class Evidence:
-    """Why a signature matched: the observation kind and the detail."""
-
-    kind: str  # header | title | body | location | realm
-    detail: str
-
-    def __str__(self) -> str:
-        return f"{self.kind}: {self.detail}"
-
-
-SignatureFn = Callable[[List[ProbeObservation]], List[Evidence]]
-
-
-def _header_contains(
-    observations: List[ProbeObservation], header: str, needle: str
-) -> List[Evidence]:
-    evidence = []
-    for obs in observations:
-        if obs.response is None:
-            continue
-        for value in obs.response.headers.get_all(header):
-            if needle.lower() in value.lower():
-                evidence.append(Evidence("header", f"{header}: {value}"))
-    return evidence
-
-
-def _header_present(
-    observations: List[ProbeObservation], header: str
-) -> List[Evidence]:
-    evidence = []
-    for obs in observations:
-        if obs.response is None:
-            continue
-        value = obs.response.headers.get(header)
-        if value is not None:
-            evidence.append(Evidence("header", f"{header}: {value}"))
-    return evidence
-
-
-def _title_contains(
-    observations: List[ProbeObservation], needle: str
-) -> List[Evidence]:
-    evidence = []
-    for obs in observations:
-        if obs.response is None:
-            continue
-        title = obs.response.html_title() or ""
-        if needle.lower() in title.lower():
-            evidence.append(Evidence("title", title))
-    return evidence
-
-
-def _body_contains(
-    observations: List[ProbeObservation], needle: str
-) -> List[Evidence]:
-    evidence = []
-    for obs in observations:
-        if obs.response is None:
-            continue
-        if needle.lower() in obs.response.body.lower():
-            evidence.append(Evidence("body", needle))
-    return evidence
-
-
-def _location_matches(
-    observations: List[ProbeObservation], predicate: Callable[[str], bool], label: str
-) -> List[Evidence]:
-    evidence = []
-    for obs in observations:
-        if obs.response is None:
-            continue
-        location = obs.response.location
-        if location and predicate(location):
-            evidence.append(Evidence("location", f"{label}: {location}"))
-    return evidence
-
-
-def bluecoat_signature(observations: List[ProbeObservation]) -> List[Evidence]:
-    """Built-in ProxySG detection OR a Location containing www.cfauth.com."""
-    evidence: List[Evidence] = []
-    for header in ("Server", "Via", "WWW-Authenticate"):
-        evidence.extend(_header_contains(observations, header, "proxysg"))
-        evidence.extend(_header_contains(observations, header, "blue coat"))
-    evidence.extend(
-        _location_matches(
-            observations, lambda loc: "www.cfauth.com" in loc.lower(), "cfauth"
-        )
-    )
-    return evidence
-
-
-def smartfilter_signature(observations: List[ProbeObservation]) -> List[Evidence]:
-    """A Via-Proxy header OR an HTML title containing McAfee Web Gateway."""
-    evidence = _header_present(observations, "Via-Proxy")
-    evidence.extend(_title_contains(observations, "mcafee web gateway"))
-    return evidence
-
-
-def netsweeper_signature(observations: List[ProbeObservation]) -> List[Evidence]:
-    """Built-in detection: Netsweeper branding or the deny-page path.
-
-    A bare ``/webadmin/`` redirect is NOT sufficient — plenty of router
-    consoles use that path (the keyword search will surface them as
-    candidates); validation demands Netsweeper-specific markers.
-    """
-    evidence = _body_contains(observations, "netsweeper")
-    evidence.extend(_title_contains(observations, "netsweeper"))
-    evidence.extend(
-        _location_matches(
-            observations,
-            lambda loc: "/webadmin/deny" in loc.lower(),
-            "deny-path",
-        )
-    )
-    return evidence
-
-
-def websense_signature(observations: List[ProbeObservation]) -> List[Evidence]:
-    """A redirect to port 15871 with ws-session, or a Websense server banner."""
-    evidence = _location_matches(
-        observations,
-        lambda loc: ":15871" in loc and "ws-session" in loc.lower(),
-        "blockpage",
-    )
-    evidence.extend(_header_contains(observations, "Server", "websense"))
-    return evidence
-
+SHODAN_KEYWORDS: Dict[str, List[str]] = _REGISTRY.shodan_keywords()
 
 #: Table 2, column "WhatWeb signature".
-WHATWEB_SIGNATURES: Dict[str, SignatureFn] = {
-    BLUE_COAT: bluecoat_signature,
-    SMARTFILTER: smartfilter_signature,
-    NETSWEEPER: netsweeper_signature,
-    WEBSENSE: websense_signature,
-}
+WHATWEB_SIGNATURES: Dict[str, SignatureFn] = _REGISTRY.whatweb_signatures()
 
 #: Probe plan: the (port, path) pairs WhatWeb requests on a candidate IP.
-DEFAULT_PROBE_PLAN: Sequence = (
-    (80, "/"),
-    (443, "/"),
-    (8080, "/"),
-    (8080, "/webadmin/"),
-    (9090, "/"),
-    (15871, "/"),
-    (15871, "/cgi-bin/blockpage.cgi"),
-    (3128, "/"),
-)
+DEFAULT_PROBE_PLAN: Sequence = _REGISTRY.probe_plan()
+
+_DEPRECATED_CONSTANTS = {
+    "BLUE_COAT": _registry.BLUE_COAT,
+    "SMARTFILTER": _registry.SMARTFILTER,
+    "NETSWEEPER": _registry.NETSWEEPER,
+    "WEBSENSE": _registry.WEBSENSE,
+}
+
+
+def __getattr__(name: str) -> str:
+    if name in _DEPRECATED_CONSTANTS:
+        warnings.warn(
+            f"repro.scan.signatures.{name} is deprecated; import it from "
+            "repro.products.registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEPRECATED_CONSTANTS[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,7 +20,6 @@ from repro.world.population import (
     PopulationConfig,
     populate,
 )
-from repro.world.builder import CustomScenario, WorldBuilder
 from repro.world.rng import (
     derive_rng,
     derive_seed,
@@ -29,6 +28,19 @@ from repro.world.rng import (
     weighted_choice,
 )
 from repro.world.world import MAX_REDIRECTS, Vantage, World
+
+
+def __getattr__(name: str):
+    # The builder pulls in repro.middlebox (deployments), whose modules
+    # import repro.products, whose base classes import this package —
+    # importing it lazily keeps repro.world importable from either side
+    # of that cycle.
+    if name in ("CustomScenario", "WorldBuilder"):
+        from repro.world import builder
+
+        return getattr(builder, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AutonomousSystem",

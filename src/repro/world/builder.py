@@ -26,7 +26,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.middlebox.deploy import deploy as _deploy
 from repro.middlebox.deploy import register_vendor_infrastructure
@@ -34,24 +34,14 @@ from repro.middlebox.filter_box import FilterMiddlebox
 from repro.middlebox.policy import FilterPolicy
 from repro.net.ip import Ipv4Prefix, PrefixPool
 from repro.products.base import UrlFilterProduct
-from repro.products.bluecoat import make_bluecoat
 from repro.products.licensing import LicenseModel
-from repro.products.netsweeper import make_netsweeper
-from repro.products.smartfilter import make_smartfilter
+from repro.products.registry import default_registry
 from repro.products.submission import ReviewPolicy
-from repro.products.websense import make_websense
 from repro.world.content import ContentClass
 from repro.world.entities import OrgKind
 from repro.world.population import PopulationConfig, populate
 from repro.world.rng import derive_rng
 from repro.world.world import World
-
-_PRODUCT_FACTORIES: Dict[str, Callable] = {
-    "Blue Coat": make_bluecoat,
-    "McAfee SmartFilter": make_smartfilter,
-    "Netsweeper": make_netsweeper,
-    "Websense": make_websense,
-}
 
 
 @dataclass
@@ -151,10 +141,11 @@ class WorldBuilder:
         review_policy: Optional[ReviewPolicy] = None,
         db_coverage: float = 0.9,
     ) -> "WorldBuilder":
-        if vendor not in _PRODUCT_FACTORIES:
+        registry = default_registry()
+        if vendor not in registry:
             raise KeyError(
                 f"unknown vendor {vendor!r}; choose from "
-                f"{sorted(_PRODUCT_FACTORIES)}"
+                f"{sorted(registry.names())}"
             )
         self._product_specs.append(
             (vendor, review_policy or ReviewPolicy())
@@ -213,8 +204,10 @@ class WorldBuilder:
             hosting_asns=list(self._hosting_asns),
         )
 
+        registry = default_registry()
         for vendor, review_policy in self._product_specs:
-            factory = _PRODUCT_FACTORIES[vendor]
+            factory = registry.get(vendor).factory
+            assert factory is not None, f"{vendor} spec has no factory"
             product = factory(
                 scenario.content_oracle,
                 derive_rng(world.seed, "custom-vendor", vendor),

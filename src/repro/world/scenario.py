@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.middlebox.deploy import (
     deploy,
@@ -27,12 +27,18 @@ from repro.middlebox.policy import FilterPolicy
 from repro.net.http import Headers, HttpRequest, HttpResponse, html_page, ok_response
 from repro.net.ip import Ipv4Prefix, PrefixPool
 from repro.products.base import UrlFilterProduct
-from repro.products.bluecoat import make_bluecoat
 from repro.products.licensing import LicenseModel
-from repro.products.netsweeper import Netsweeper, make_netsweeper
-from repro.products.smartfilter import make_smartfilter
+from repro.products.netsweeper import Netsweeper
+from repro.products.registry import (
+    BLUE_COAT,
+    NETSWEEPER,
+    SMARTFILTER,
+    WEBSENSE,
+    ProductSpec,
+    default_registry,
+)
 from repro.products.submission import ReviewPolicy
-from repro.products.websense import Websense, make_websense
+from repro.products.websense import Websense
 from repro.world.clock import SimTime
 from repro.world.content import ContentClass
 from repro.world.entities import Host, OrgKind, WebSite
@@ -74,10 +80,10 @@ class ScenarioConfig:
     population_size: int = 1600
     vendor_db_coverage: Dict[str, float] = field(
         default_factory=lambda: {
-            "Blue Coat": 0.93,
-            "McAfee SmartFilter": 0.93,
-            "Netsweeper": 0.90,
-            "Websense": 0.92,
+            BLUE_COAT: 0.93,
+            SMARTFILTER: 0.93,
+            NETSWEEPER: 0.90,
+            WEBSENSE: 0.92,
         }
     )
     netsweeper_queue_days: Tuple[float, float] = (5.0, 10.0)
@@ -101,21 +107,21 @@ class Scenario:
 
     @property
     def bluecoat(self) -> UrlFilterProduct:
-        return self.products["Blue Coat"]
+        return self.products[BLUE_COAT]
 
     @property
     def smartfilter(self) -> UrlFilterProduct:
-        return self.products["McAfee SmartFilter"]
+        return self.products[SMARTFILTER]
 
     @property
     def netsweeper(self) -> Netsweeper:
-        product = self.products["Netsweeper"]
+        product = self.products[NETSWEEPER]
         assert isinstance(product, Netsweeper)
         return product
 
     @property
     def websense(self) -> Websense:
-        product = self.products["Websense"]
+        product = self.products[WEBSENSE]
         assert isinstance(product, Websense)
         return product
 
@@ -342,39 +348,42 @@ def _add_local_content(world: World, hosting_asns: List[int]) -> List[WebSite]:
     return sites
 
 
+def _vendor_kwargs(spec: ProductSpec, config: ScenarioConfig) -> Dict[str, object]:
+    """Scenario-calibrated constructor kwargs for one vendor.
+
+    Review policies are built fresh per scenario (evasion tactics mutate
+    them) and are never stored on the spec. Vendors without an explicit
+    calibration get the generic policy, so a registry-only product (e.g.
+    FortiGuard) can still be instantiated through the same path.
+    """
+    if spec.name == SMARTFILTER:
+        return {"review_policy": ReviewPolicy(3.0, 4.5, 1.0)}
+    if spec.name == NETSWEEPER:
+        return {
+            "review_policy": ReviewPolicy(
+                2.5, 4.0, config.netsweeper_accept_rate
+            ),
+            "queue_min_days": config.netsweeper_queue_days[0],
+            "queue_max_days": config.netsweeper_queue_days[1],
+        }
+    return {"review_policy": ReviewPolicy(3.0, 5.0, 1.0)}
+
+
 def _build_products(scenario: Scenario) -> None:
     world = scenario.world
     config = scenario.config
     oracle = scenario.content_oracle
     hosting = scenario.hosting_oracle
 
-    bluecoat = make_bluecoat(
-        oracle,
-        derive_rng(world.seed, "vendor", "bluecoat"),
-        review_policy=ReviewPolicy(3.0, 5.0, 1.0),
-        hosting_oracle=hosting,
-    )
-    smartfilter = make_smartfilter(
-        oracle,
-        derive_rng(world.seed, "vendor", "smartfilter"),
-        review_policy=ReviewPolicy(3.0, 4.5, 1.0),
-        hosting_oracle=hosting,
-    )
-    netsweeper = make_netsweeper(
-        oracle,
-        derive_rng(world.seed, "vendor", "netsweeper"),
-        review_policy=ReviewPolicy(2.5, 4.0, config.netsweeper_accept_rate),
-        hosting_oracle=hosting,
-        queue_min_days=config.netsweeper_queue_days[0],
-        queue_max_days=config.netsweeper_queue_days[1],
-    )
-    websense = make_websense(
-        oracle,
-        derive_rng(world.seed, "vendor", "websense"),
-        review_policy=ReviewPolicy(3.0, 5.0, 1.0),
-        hosting_oracle=hosting,
-    )
-    for product in (bluecoat, smartfilter, netsweeper, websense):
+    for spec in default_registry().defaults():
+        factory = spec.factory
+        assert factory is not None, f"{spec.name} spec has no factory"
+        product = factory(
+            oracle,
+            derive_rng(world.seed, "vendor", spec.slug),
+            hosting_oracle=hosting,
+            **_vendor_kwargs(spec, config),
+        )
         scenario.products[product.vendor] = product
         world.clock.on_tick(product.tick)
         register_vendor_infrastructure(

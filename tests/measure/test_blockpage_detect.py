@@ -11,6 +11,7 @@ from repro.net.http import HttpRequest, ok_response
 from repro.net.url import Url
 from repro.products.bluecoat import make_bluecoat
 from repro.products.netsweeper import make_netsweeper
+from repro.products.registry import default_registry
 from repro.products.smartfilter import make_smartfilter
 from repro.products.websense import make_websense
 from repro.world.rng import derive_rng
@@ -89,3 +90,60 @@ class DescribeVendorDetection:
         assert detection is not None
         assert detection.vendor == "Netsweeper"
         assert all("netsweeper" not in p for p in detection.matched)
+
+
+def fortiguard_unbranded_fetch() -> FetchResult:
+    """A FortiGuard block with branding off.
+
+    The unbranded page's "Web Page Blocked!" headline also matches
+    Netsweeper's structural pattern, producing a genuine 1-1 vote tie —
+    the scenario the detector's deterministic tie-break exists for.
+    """
+    from repro.products.fortiguard import make_fortiguard
+
+    world = make_mini_world()
+    product = make_fortiguard(
+        make_content_oracle(world), derive_rng(1, "bp-fortiguard")
+    )
+    box = deploy(world, world.isps["testnet"], product, ["Proxy Avoidance"])
+    box.policy.block_page.show_branding = False
+    product.database.add(
+        "free-proxy.example.com",
+        product.taxonomy.by_name("Proxy Avoidance"),
+        world.now,
+    )
+    return world.vantage("testnet").fetch(
+        Url.parse("http://free-proxy.example.com/")
+    )
+
+
+class DescribeTieBreak:
+    """Vote ties must resolve deterministically, never by corpus order."""
+
+    def all_products_detector(self) -> BlockPageDetector:
+        return BlockPageDetector.for_products(default_registry().names())
+
+    def test_tie_resolves_lexicographically(self):
+        detection = self.all_products_detector().detect(
+            fortiguard_unbranded_fetch()
+        )
+        assert detection is not None
+        assert detection.vendor == "FortiGuard"  # < "Netsweeper"
+
+    def test_tie_break_is_corpus_order_independent(self):
+        """Regression: the old max() verdict flipped with pattern order."""
+        result = fortiguard_unbranded_fetch()
+        registry = default_registry()
+        patterns = registry.block_page_patterns(registry.names())
+        forward = BlockPageDetector(patterns).detect(result)
+        backward = BlockPageDetector(tuple(reversed(patterns))).detect(result)
+        assert forward is not None and backward is not None
+        assert forward.vendor == backward.vendor == "FortiGuard"
+
+    def test_more_distinct_matches_still_outranks_alphabet(self):
+        """The tie-break only kicks in on equal vote counts."""
+        detection = self.all_products_detector().detect(
+            blocked_fetch("Netsweeper")
+        )
+        assert detection is not None
+        assert detection.vendor == "Netsweeper"

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Lint: vendor display names must not appear as string literals outside
+``src/repro/products/``.
+
+The ProductSpec registry is the single source of vendor knowledge; a
+literal ``"Netsweeper"`` in a pipeline layer is scattered knowledge
+creeping back in. Pipeline code should obtain names from
+``repro.products.registry`` (the exported constants or spec fields).
+
+Checks every string constant in the AST — including f-string parts —
+but exempts docstrings, which may legitimately narrate the paper's
+findings ("the Netsweeper access queue...").
+
+Usage::
+
+    python tools/check_vendor_literals.py [src-root ...]
+
+Exits 1 and prints ``path:line: message`` for each offending literal.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# The five registered display names, case-sensitive: prose mentions in
+# lowercase ("netsweeper's queue") inside comments never reach the AST,
+# and docstrings are exempted below.
+VENDOR_NAMES = (
+    "Blue Coat",
+    "McAfee SmartFilter",
+    "Netsweeper",
+    "Websense",
+    "FortiGuard",
+)
+
+def docstring_nodes(tree: ast.AST) -> set:
+    """Constant nodes that are docstrings of a module/class/function."""
+    exempt = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+        ):
+            body = getattr(node, "body", [])
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                exempt.add(body[0].value)
+    return exempt
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    exempt = docstring_nodes(tree)
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Constant):
+            continue
+        if not isinstance(node.value, str) or node in exempt:
+            continue
+        for name in VENDOR_NAMES:
+            if name in node.value:
+                findings.append(
+                    (
+                        node.lineno,
+                        f"vendor literal {name!r} — import it from "
+                        "repro.products.registry instead",
+                    )
+                )
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    repo = Path(__file__).resolve().parent.parent
+    roots = [Path(arg) for arg in argv] or [repo / "src"]
+    failures = 0
+    for root in roots:
+        exempt_dir = (root / "repro" / "products").resolve()
+        for path in sorted(root.rglob("*.py")):
+            resolved = path.resolve()
+            if "egg-info" in str(resolved):
+                continue
+            if exempt_dir in resolved.parents or resolved == exempt_dir:
+                continue
+            for lineno, message in check_file(path):
+                print(f"{path}:{lineno}: {message}")
+                failures += 1
+    if failures:
+        print(
+            f"\n{failures} vendor-name literal(s) outside "
+            "src/repro/products/ — use the registry.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
