@@ -29,6 +29,7 @@ from repro.core.confirm import ConfirmationStudy, run_category_probe
 from repro.core.pipeline import FullStudy, config_for_row
 from repro.measure.netalyzr import survey_isps
 from repro.products.registry import NETSWEEPER, default_registry
+from repro.world.faults import FaultPlan
 from repro.world.scenario import DEFAULT_SEED, build_scenario
 
 
@@ -69,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--products", action="append", metavar="NAME",
         help="repeatable: restrict the study to these registered "
         "products (default: the paper's four vendors)",
+    )
+    study.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="run under a seeded chaos plan, e.g. "
+        "'seed=7,dns_timeout=0.05,reset=0.02,outage=yemennet:300:305'; "
+        "the study degrades to a partial result instead of failing",
+    )
+    study.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per probe for transient faults (default 2)",
+    )
+    study.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first injected fault instead of degrading",
     )
 
     identify = commands.add_parser("identify", help="run §3 identification")
@@ -132,6 +147,16 @@ def _cmd_study(args) -> int:
     if args.latency < 0:
         print("--latency must be >= 0", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
     products = _validated_products(args)
     scenario = build_scenario(seed=args.seed)
     study = FullStudy(
@@ -139,8 +164,16 @@ def _cmd_study(args) -> int:
         products=products,
         workers=args.workers,
         link_latency=args.latency,
+        fault_plan=fault_plan,
+        max_retries=args.max_retries,
+        fail_fast=args.fail_fast,
     )
-    report = study.run()
+    partial = None
+    if study.resilience is not None:
+        partial = study.run_partial()
+        report = partial.report
+    else:
+        report = study.run()
     document = write_markdown_report(report, seed=args.seed)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -152,6 +185,9 @@ def _cmd_study(args) -> int:
         with open(args.json_output, "w", encoding="utf-8") as handle:
             handle.write(to_json(report))
         print(f"raw results written to {args.json_output}")
+    if partial is not None:
+        for line in partial.summary_lines():
+            print(line)
     if args.metrics:
         print(write_execution_summary(study.metrics, study.caches))
     print(validate_report(report).summary())

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.exec.executor import Executor
+from repro.exec.resilience import ResilientRunner
 from repro.measure.blockpage_detect import BlockPageDetector
 from repro.measure.client import MeasurementClient, UrlTest
 from repro.measure.testlists import (
@@ -32,11 +33,20 @@ class CategoryBlockStats:
     category: ListCategory
     tested: int = 0
     blocked: int = 0
+    #: URLs whose probe failed outright: no verdict either way. These
+    #: count in ``tested`` (the attempt happened) but a Table 4 cell
+    #: built from them is annotated as partial.
+    insufficient: int = 0
     vendors: Dict[str, int] = field(default_factory=dict)
 
     @property
+    def measured(self) -> int:
+        """Probes that produced an actual field/lab comparison."""
+        return self.tested - self.insufficient
+
+    @property
     def block_rate(self) -> float:
-        return self.blocked / self.tested if self.tested else 0.0
+        return self.blocked / self.measured if self.measured else 0.0
 
 
 @dataclass
@@ -87,6 +97,7 @@ class ContentCharacterization:
         per_category_local: int = 2,
         executor: Optional[Executor] = None,
         link_latency: float = 0.0,
+        resilience: Optional[ResilientRunner] = None,
     ) -> None:
         self._world = world
         self._detector = detector or BlockPageDetector()
@@ -94,6 +105,7 @@ class ContentCharacterization:
         self._per_local = per_category_local
         self._executor = executor
         self._link_latency = link_latency
+        self._resilience = resilience
 
     def run(
         self,
@@ -122,6 +134,9 @@ class ContentCharacterization:
             self._detector,
             executor=self._executor,
             link_latency=self._link_latency,
+            resilience=self._resilience,
+            stage="characterize",
+            endpoint=f"{isp_name}/{product_name}",
         )
         result = CharacterizationResult(
             isp_name=isp_name,
@@ -142,7 +157,9 @@ class ContentCharacterization:
                 entry.category.name, CategoryBlockStats(entry.category)
             )
             stats.tested += 1
-            if test.blocked:
+            if test.insufficient:
+                stats.insufficient += 1
+            elif test.blocked:
                 stats.blocked += 1
                 vendor = test.vendor or "unattributed"
                 stats.vendors[vendor] = stats.vendors.get(vendor, 0) + 1

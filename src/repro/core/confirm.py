@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.exec.executor import Executor
+from repro.exec.resilience import ResilientRunner
 from repro.measure.blockpage_detect import BlockPageDetector
 from repro.measure.client import MeasurementClient
 from repro.measure.compare import Verdict
@@ -79,12 +80,20 @@ class DomainOutcome:
     submitted: bool
     blocked_rounds: int = 0
     total_rounds: int = 0
+    #: Rounds where the measurement itself failed (retries exhausted,
+    #: vantage outage): the domain was neither blocked nor accessible.
+    insufficient_rounds: int = 0
     vendors_seen: List[str] = field(default_factory=list)
 
     @property
     def blocked(self) -> bool:
         """Blocked in any round (§4.4: inconsistent blocking)."""
         return self.blocked_rounds > 0
+
+    @property
+    def measured_rounds(self) -> int:
+        """Rounds that actually produced a field/lab comparison."""
+        return self.total_rounds - self.insufficient_rounds
 
 
 @dataclass
@@ -165,6 +174,7 @@ class ConfirmationStudy:
         detector: Optional[BlockPageDetector] = None,
         executor: Optional[Executor] = None,
         link_latency: float = 0.0,
+        resilience: Optional[ResilientRunner] = None,
     ) -> None:
         self._world = world
         self._product = product
@@ -173,14 +183,20 @@ class ConfirmationStudy:
         self._detector = detector or BlockPageDetector()
         self._executor = executor
         self._link_latency = link_latency
+        self._resilience = resilience
 
     def _client(self, isp_name: str) -> MeasurementClient:
+        # The breaker endpoint is (vantage x product): one flaky ISP link
+        # must not open the breaker for the same product elsewhere.
         return MeasurementClient(
             self._world.vantage(isp_name),
             self._world.lab_vantage(),
             self._detector,
             executor=self._executor,
             link_latency=self._link_latency,
+            resilience=self._resilience,
+            stage="confirm",
+            endpoint=f"{isp_name}/{self._product.vendor}",
         )
 
     def run(self, config: ConfirmationConfig) -> ConfirmationResult:
@@ -207,6 +223,12 @@ class ConfirmationStudy:
         if config.pre_validate:
             run = client.run_list([d.test_url for d in domains])
             pre_accessible = len(run.accessible_tests())
+            pre_insufficient = sum(1 for t in run.tests if t.insufficient)
+            if pre_insufficient:
+                notes.append(
+                    f"pre-check: {pre_insufficient}/{len(domains)} probes "
+                    "lost to infrastructure faults (no verdict)"
+                )
             if pre_accessible < len(domains):
                 notes.append(
                     f"pre-check: only {pre_accessible}/{len(domains)} "
@@ -240,13 +262,26 @@ class ConfirmationStudy:
             run = client.run_list([d.test_url for d in domains])
             for outcome, test in zip(outcomes, run.tests):
                 outcome.total_rounds += 1
-                if test.blocked:
+                if test.insufficient:
+                    # A failed probe is a gap in the data, never a
+                    # verdict: the §4.2 differential must not count it
+                    # on either side.
+                    outcome.insufficient_rounds += 1
+                elif test.blocked:
                     outcome.blocked_rounds += 1
                     if test.vendor and test.vendor not in outcome.vendors_seen:
                         outcome.vendors_seen.append(test.vendor)
             if round_index + 1 < config.retest_rounds:
                 world.advance_days(config.round_gap_days)
         retested_at = world.now
+
+        lost_rounds = sum(o.insufficient_rounds for o in outcomes)
+        if lost_rounds:
+            notes.append(
+                f"partial data: {lost_rounds} domain-round(s) lost to "
+                "infrastructure faults; Table 3 cell derived from "
+                "incomplete retests"
+            )
 
         if config.cleanup_sensitive and config.content_class in (
             ContentClass.ADULT_IMAGES,
@@ -289,6 +324,7 @@ def run_category_probe(
     detector: Optional[BlockPageDetector] = None,
     executor: Optional[Executor] = None,
     link_latency: float = 0.0,
+    resilience: Optional[ResilientRunner] = None,
 ) -> CategoryProbeResult:
     """Fetch each denypagetests category URL from the field vantage.
 
@@ -296,6 +332,8 @@ def run_category_probe(
     verdict in the field while the lab sees the vendor's plain test page.
     The per-category fetches are independent, so they run through the
     executor's URL fan-out; results come back in taxonomy order.
+    A quarantined probe counts the category as not-blocked (the probe
+    under-reports rather than inventing a denial).
     """
     client = MeasurementClient(
         world.vantage(isp_name),
@@ -303,6 +341,9 @@ def run_category_probe(
         detector or BlockPageDetector(),
         executor=executor,
         link_latency=link_latency,
+        resilience=resilience,
+        stage="probe",
+        endpoint=f"{isp_name}/category-probe",
     )
     urls = [
         Url.parse(

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.exec.cache import StudyCaches
 from repro.exec.executor import Executor
+from repro.exec.resilience import ResilientRunner
 from repro.geo.cymru import WhoisService
 from repro.geo.maxmind import GeoDatabase
 from repro.net.ip import Ipv4Address
@@ -110,6 +111,7 @@ class IdentificationPipeline:
         cctlds: Optional[Sequence[str]] = None,
         executor: Optional[Executor] = None,
         caches: Optional[StudyCaches] = None,
+        resilience: Optional[ResilientRunner] = None,
     ) -> None:
         self._shodan = shodan
         self._whatweb = whatweb
@@ -117,6 +119,7 @@ class IdentificationPipeline:
         self._whois = whois
         self._cctlds = sorted(cctlds if cctlds is not None else COUNTRY_CODE_TLDS)
         self._executor = executor
+        self._resilience = resilience
         # Geo and whois lookups repeat per candidate (and the banner
         # index re-geolocates the same IPs); memoize when caches given.
         if caches is not None:
@@ -196,10 +199,22 @@ class IdentificationPipeline:
         Probing and the lookups are read-only, so candidates validate in
         parallel; the accept/reject bookkeeping runs afterwards in
         candidate order so the report is scheduling-independent.
+
+        Under a resilience policy a probe that exhausts its retries is
+        quarantined and the candidate rejected: an unreachable console is
+        never claimed as a validated installation. No breaker attaches —
+        the fan-out is unordered.
         """
 
-        def probe(candidate: Candidate) -> WhatWebReport:
-            return self._whatweb.identify(candidate.ip)
+        def probe(candidate: Candidate) -> Optional[WhatWebReport]:
+            if self._resilience is None:
+                return self._whatweb.identify(candidate.ip)
+            outcome = self._resilience.call(
+                lambda: self._whatweb.identify(candidate.ip),
+                stage="validate",
+                key=f"{candidate.ip}/{candidate.product}",
+            )
+            return outcome.value if outcome.ok else None
 
         executor = self._executor
         if executor is None or executor.workers == 1:
@@ -212,6 +227,9 @@ class IdentificationPipeline:
         report = IdentificationReport(candidates=list(candidates))
         validated_ips: Set[Tuple[int, str]] = set()
         for candidate, whatweb_report in zip(candidates, whatweb_reports):
+            if whatweb_report is None:
+                report.rejected.append(candidate)
+                continue
             match = next(
                 (
                     m

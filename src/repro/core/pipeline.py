@@ -25,6 +25,12 @@ from repro.core.identify import IdentificationPipeline, IdentificationReport
 from repro.exec.cache import StudyCaches
 from repro.exec.executor import Executor
 from repro.exec.metrics import Metrics
+from repro.exec.resilience import (
+    QuarantineRecord,
+    ResilienceConfig,
+    ResilientRunner,
+    StageCoverage,
+)
 from repro.geo.cymru import WhoisService
 from repro.geo.maxmind import GeoDatabase
 from repro.products.registry import NETSWEEPER, SMARTFILTER, default_registry
@@ -33,6 +39,7 @@ from repro.scan.shodan import ShodanIndex
 from repro.scan.whatweb import WhatWebEngine, world_probe
 from repro.world.clock import SimTime
 from repro.world.content import ContentClass
+from repro.world.faults import FaultPlan
 from repro.world.scenario import DEFAULT_SEED, Scenario, build_scenario
 
 _CATEGORY_CONTENT: Dict[str, ContentClass] = {
@@ -101,6 +108,76 @@ class StudyReport:
         )
 
 
+#: Which published artifact each resilience stage feeds, for the
+#: partial-data annotations.
+_STAGE_ARTIFACTS: Dict[str, str] = {
+    "scan": "Table 2 / Figure 1 (identification scan)",
+    "validate": "Table 2 / Figure 1 (WhatWeb validation)",
+    "confirm": "Table 3 (confirmation case studies)",
+    "probe": "§4.4 category probe",
+    "characterize": "Table 4 (content characterization)",
+}
+
+
+@dataclass
+class PartialStudyResult:
+    """A study that completed under faults, with its gaps made explicit.
+
+    Wraps the ordinary :class:`StudyReport` — every table the campaign
+    could still derive — together with the resilience layer's account of
+    what was lost: per-stage coverage counters, the quarantine
+    dead-letter list, and final breaker states. ``annotations()`` maps
+    incomplete stages onto the paper artifacts (Table 2–4 cells) they
+    feed, so a reader of a degraded run knows which numbers rest on
+    partial data.
+    """
+
+    report: StudyReport
+    fault_plan: FaultPlan
+    coverage: Dict[str, StageCoverage] = field(default_factory=dict)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    breaker_states: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True when every attempted probe eventually succeeded."""
+        return all(cov.complete for cov in self.coverage.values())
+
+    def annotations(self) -> List[str]:
+        """Partial-data caveats for the affected paper artifacts."""
+        notes: List[str] = []
+        for stage, cov in sorted(self.coverage.items()):
+            if cov.complete:
+                continue
+            artifact = _STAGE_ARTIFACTS.get(stage, stage)
+            notes.append(
+                f"{artifact}: derived from partial data — {cov.describe()}"
+            )
+        return notes
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable degradation summary for the CLI."""
+        lines = [f"fault plan: {self.fault_plan.describe()}"]
+        lines.append("stage coverage:")
+        for stage, cov in sorted(self.coverage.items()):
+            lines.append(f"  {stage:14s} {cov.describe()}")
+        for note in self.annotations():
+            lines.append(f"partial: {note}")
+        if self.breaker_states:
+            tripped = {
+                name: state
+                for name, state in self.breaker_states.items()
+                if state[1] > 0 or state[0] != "closed"
+            }
+            if tripped:
+                lines.append("circuit breakers:")
+                for name, (state, trips) in sorted(tripped.items()):
+                    lines.append(f"  {name:24s} {state} ({trips} trip(s))")
+        if self.quarantined:
+            lines.append(f"quarantined probes: {len(self.quarantined)}")
+        return lines
+
+
 class FullStudy:
     """Drives the complete reproduction against one scenario.
 
@@ -123,6 +200,9 @@ class FullStudy:
         workers: int = 1,
         link_latency: float = 0.0,
         metrics: Optional[Metrics] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_retries: int = 2,
+        fail_fast: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -147,6 +227,22 @@ class FullStudy:
         )
         self.caches = StudyCaches()
         scenario.world.enable_dns_cache(self.caches.dns)
+        # The resilience layer exists only when a chaos plan is active:
+        # the fault-free baseline takes the untouched code paths and
+        # stays byte-identical.
+        self.fault_plan = fault_plan
+        self.resilience: Optional[ResilientRunner] = None
+        if fault_plan is not None and fault_plan.active:
+            scenario.world.install_faults(fault_plan)
+            self.resilience = ResilientRunner(
+                ResilienceConfig(
+                    max_retries=max_retries,
+                    jitter_seed=fault_plan.seed,
+                    fail_fast=fail_fast,
+                ),
+                clock=lambda: scenario.world.now,
+                metrics=self.metrics,
+            )
 
     # ------------------------------------------------------------- stages
     def run_identification(self) -> IdentificationReport:
@@ -160,6 +256,7 @@ class FullStudy:
                 coverage=self._shodan_coverage,
                 executor=self.executor,
                 probe_latency=self._link_latency,
+                resilience=self.resilience,
             )
             geo_rng = None
             if self._geo_error_rate:
@@ -190,6 +287,7 @@ class FullStudy:
                 whois,
                 executor=self.executor,
                 caches=self.caches,
+                resilience=self.resilience,
             )
             return pipeline.run(self._products)
 
@@ -230,6 +328,7 @@ class FullStudy:
                         "yemennet",
                         executor=self.executor,
                         link_latency=self._link_latency,
+                        resilience=self.resilience,
                     )
                     continue
                 study = ConfirmationStudy(
@@ -238,6 +337,7 @@ class FullStudy:
                     scenario.hosting_asns[0],
                     executor=self.executor,
                     link_latency=self._link_latency,
+                    resilience=self.resilience,
                 )
                 results.append(study.run(config_for_row(row)))
         if NETSWEEPER in selection:
@@ -256,6 +356,7 @@ class FullStudy:
             world,
             executor=self.executor,
             link_latency=self._link_latency,
+            resilience=self.resilience,
         )
         selection = self._products or default_registry().default_names()
         pairs = tuple(
@@ -291,6 +392,27 @@ class FullStudy:
             characterizations=characterizations,
         )
 
+    def run_partial(self) -> PartialStudyResult:
+        """The full campaign plus the resilience layer's account of it.
+
+        Valid only when the study was constructed with an active fault
+        plan; a study degrades rather than raises — every table that can
+        still be derived is, and the gaps are reported alongside.
+        """
+        if self.resilience is None or self.fault_plan is None:
+            raise ValueError(
+                "run_partial() requires an active fault plan; "
+                "use run() for fault-free studies"
+            )
+        report = self.run()
+        return PartialStudyResult(
+            report=report,
+            fault_plan=self.fault_plan,
+            coverage=self.resilience.coverage(),
+            quarantined=self.resilience.quarantined(),
+            breaker_states=self.resilience.breaker_states(),
+        )
+
 
 def run_full_study(
     seed: int = DEFAULT_SEED,
@@ -301,12 +423,21 @@ def run_full_study(
     metrics: Optional[Metrics] = None,
     shodan_coverage: float = 1.0,
     geo_error_rate: float = 0.0,
-) -> StudyReport:
+    fault_plan: Optional[FaultPlan] = None,
+    max_retries: int = 2,
+    fail_fast: bool = False,
+):
     """Build the scenario for ``seed`` and run the whole campaign.
 
     The report is a pure function of ``seed``, ``products`` and the
     scenario knobs: ``workers``/``link_latency``/``metrics`` change only
     wall-clock and instrumentation, never the result.
+
+    Without a fault plan (or with an inert one) this returns the plain
+    :class:`StudyReport`, byte-identical to earlier versions. With an
+    active plan it returns a :class:`PartialStudyResult` wrapping the
+    report plus coverage/quarantine accounting — itself a pure function
+    of ``(seed, products, plan)``, identical at any worker count.
     """
     scenario = build_scenario(seed=seed)
     study = FullStudy(
@@ -317,7 +448,12 @@ def run_full_study(
         workers=workers,
         link_latency=link_latency,
         metrics=metrics,
+        fault_plan=fault_plan,
+        max_retries=max_retries,
+        fail_fast=fail_fast,
     )
+    if study.resilience is not None:
+        return study.run_partial()
     return study.run()
 
 

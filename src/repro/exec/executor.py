@@ -46,6 +46,7 @@ from typing import (
 )
 
 from repro.exec.metrics import Metrics
+from repro.net.errors import NetError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -69,6 +70,23 @@ class RetryPolicy:
         if self.backoff_seconds < 0:
             raise ValueError("backoff_seconds must be >= 0")
 
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether a failure on ``attempt`` (1-based) warrants another try.
+
+        Network errors are classified by their ``transient`` flag: a
+        timeout or reset is noise worth re-trying, while NXDOMAIN, a
+        malformed URL, or a bad address is an *answer* — retrying it
+        would burn the budget re-asking a question already settled.
+        Permanent :class:`~repro.net.errors.NetError` subtypes therefore
+        never retry, even when ``retry_on`` names a base class that
+        matches them.
+        """
+        if attempt >= self.attempts:
+            return False
+        if isinstance(exc, NetError) and not exc.transient:
+            return False
+        return isinstance(exc, self.retry_on)
+
 
 #: The no-retry default.
 NO_RETRY = RetryPolicy()
@@ -79,30 +97,59 @@ class TaskFailure(RuntimeError):
 
     Carries enough context to report the failure without losing sibling
     results: the task label, its submission index, how many attempts
-    ran, and the final underlying exception (also set as ``__cause__``).
+    ran, the final underlying exception (also set as ``__cause__``),
+    and — when the task belonged to a named campaign — which campaign,
+    so a failure surfacing far from its fan-out is still attributable.
     """
 
     def __init__(
-        self, label: str, index: int, attempts: int, cause: BaseException
+        self,
+        label: str,
+        index: int,
+        attempts: int,
+        cause: BaseException,
+        campaign: Optional[str] = None,
     ) -> None:
-        super().__init__(
-            f"task {label}[{index}] failed after {attempts} attempt(s): "
-            f"{cause!r}"
-        )
+        super().__init__()
         self.label = label
         self.index = index
         self.attempts = attempts
         self.cause = cause
+        self.campaign = campaign
         self.__cause__ = cause
+
+    def _origin(self) -> str:
+        origin = f"task {self.label}[{self.index}]"
+        if self.campaign:
+            origin += f" (campaign {self.campaign!r})"
+        return origin
+
+    def __str__(self) -> str:
+        return (
+            f"{self._origin()} failed after {self.attempts} attempt(s): "
+            f"{self.cause!r}"
+        )
 
 
 class TaskTimeout(TaskFailure):
     """A task exceeded its per-task wall-clock budget."""
 
-    def __init__(self, label: str, index: int, timeout: float) -> None:
+    def __init__(
+        self,
+        label: str,
+        index: int,
+        timeout: float,
+        campaign: Optional[str] = None,
+    ) -> None:
         cause = TimeoutError(f"exceeded {timeout:.3f}s")
-        super().__init__(label, index, 1, cause)
+        super().__init__(label, index, 1, cause, campaign=campaign)
         self.timeout = timeout
+
+    def __str__(self) -> str:
+        return (
+            f"{self._origin()} timed out on attempt {self.attempts}: "
+            f"exceeded {self.timeout:.3f}s"
+        )
 
 
 class Sequencer:
@@ -189,14 +236,19 @@ class Executor:
         label: str,
         retry: RetryPolicy,
     ) -> Tuple[R, int]:
-        """Run one task with retries; returns (result, attempts_used)."""
+        """Run one task with retries; returns (result, attempts_used).
+
+        Retry eligibility is delegated to :meth:`RetryPolicy.should_retry`
+        so permanent network errors (NXDOMAIN and friends) fail
+        immediately even under a generous budget.
+        """
         attempt = 0
         while True:
             attempt += 1
             try:
                 return fn(item), attempt
             except retry.retry_on as exc:
-                if attempt >= retry.attempts:
+                if not retry.should_retry(exc, attempt):
                     self.metrics.incr(f"{label}.failures")
                     raise TaskFailure(label, index, attempt, exc) from exc
                 self.metrics.incr(f"{label}.retries")
@@ -348,6 +400,7 @@ class Executor:
         outcomes: List[CampaignOutcome] = []
         for campaign, outcome in zip(campaigns, slots):
             if isinstance(outcome, TaskFailure):
+                outcome.campaign = campaign.key
                 outcomes.append(
                     CampaignOutcome(
                         campaign.key, error=outcome, attempts=outcome.attempts

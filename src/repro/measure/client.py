@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.exec.executor import Executor, Sequencer
+from repro.exec.resilience import ResilientRunner
 from repro.measure.blockpage_detect import BlockPageDetector
 from repro.measure.compare import Comparison, Verdict, compare
-from repro.net.fetch import FetchResult
+from repro.net.fetch import FetchOutcome, FetchResult
 from repro.net.url import Url
 from repro.world.clock import SimTime
 from repro.world.world import Vantage
@@ -39,6 +40,11 @@ class UrlTest:
     @property
     def accessible(self) -> bool:
         return self.comparison.verdict is Verdict.ACCESSIBLE
+
+    @property
+    def insufficient(self) -> bool:
+        """True when the probe itself failed: no accessibility claim."""
+        return self.comparison.verdict is Verdict.INSUFFICIENT
 
     @property
     def vendor(self) -> Optional[str]:
@@ -99,6 +105,9 @@ class MeasurementClient:
         *,
         executor: Optional[Executor] = None,
         link_latency: float = 0.0,
+        resilience: Optional[ResilientRunner] = None,
+        stage: str = "measure",
+        endpoint: Optional[str] = None,
     ) -> None:
         if field_vantage.is_lab:
             raise ValueError("field vantage must sit inside a measured ISP")
@@ -111,6 +120,9 @@ class MeasurementClient:
         self._detector = detector or BlockPageDetector()
         self._executor = executor
         self._link_latency = link_latency
+        self._resilience = resilience
+        self._stage = stage
+        self._endpoint = endpoint
 
     @property
     def field_vantage(self) -> Vantage:
@@ -121,9 +133,8 @@ class MeasurementClient:
         if self._link_latency:
             time.sleep(self._link_latency)
 
-    def test_url(self, url: Url) -> UrlTest:
-        """Fetch one URL from both vantages and compare."""
-        self._wait_for_link()
+    def _measure(self, url: Url) -> UrlTest:
+        """One field+lab exchange and its comparison (no resilience)."""
         field_result = self._field.fetch(url)
         lab_result = self._lab.fetch(url)
         comparison = compare(field_result, lab_result, self._detector)
@@ -134,6 +145,45 @@ class MeasurementClient:
             comparison,
             self._field.world.now,
         )
+
+    def _quarantined_test(self, url: Url, note: str) -> UrlTest:
+        """The explicit "we could not measure this" record.
+
+        Carries :data:`FetchOutcome.INFRA_FAILURE` results and an
+        :data:`Verdict.INSUFFICIENT` comparison so downstream tallies can
+        count the gap without ever mistaking it for blocking (or for
+        accessibility).
+        """
+        placeholder = FetchResult.failure(url, FetchOutcome.INFRA_FAILURE, note)
+        return UrlTest(
+            url,
+            placeholder,
+            placeholder,
+            Comparison(Verdict.INSUFFICIENT, note=note),
+            self._field.world.now,
+        )
+
+    def _resilient_measure(self, url: Url) -> UrlTest:
+        """Measure under the resilience policy; never raises for faults."""
+        assert self._resilience is not None
+        outcome = self._resilience.call(
+            lambda: self._measure(url),
+            stage=self._stage,
+            key=str(url),
+            endpoint=self._endpoint,
+        )
+        if outcome.ok:
+            return outcome.value
+        record = outcome.quarantine
+        note = str(record) if record is not None else "measurement failed"
+        return self._quarantined_test(url, note)
+
+    def test_url(self, url: Url) -> UrlTest:
+        """Fetch one URL from both vantages and compare."""
+        self._wait_for_link()
+        if self._resilience is not None:
+            return self._resilient_measure(url)
+        return self._measure(url)
 
     def run_list(self, urls: Iterable[Url]) -> MeasurementRun:
         """Test a URL list; §4.1 keeps these short for manual analysis."""
@@ -148,11 +198,17 @@ class MeasurementClient:
         # Parallel path: overlap the network waits, serialize the
         # world-mutating field fetches in submission order. The lab
         # fetch and the comparison are effect-free and run unordered.
+        # Under a resilience policy the *whole* retry loop commits
+        # inside the turn: retries and breaker transitions must observe
+        # submission order or fault decisions would depend on timing.
         sequencer = Sequencer()
 
         def task(job: Tuple[int, Url]) -> UrlTest:
             index, url = job
             self._wait_for_link()
+            if self._resilience is not None:
+                with sequencer.turn(index):
+                    return self._resilient_measure(url)
             with sequencer.turn(index):
                 field_result = self._field.fetch(url)
             lab_result = self._lab.fetch(url)

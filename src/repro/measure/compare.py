@@ -33,6 +33,11 @@ class Verdict(enum.Enum):
     DNS_TAMPERED = "dns_tampered"
     SITE_DOWN = "site_down"  # lab could not reach it either
     ANOMALY = "anomaly"  # field differs from lab, cause unclear
+    #: The measurement itself failed (retries exhausted, vantage down,
+    #: breaker open): no field/lab pair exists to compare. Explicitly
+    #: neither blocked nor accessible — a flaky probe must degrade to
+    #: "we do not know", never to a censorship claim.
+    INSUFFICIENT = "insufficient_data"
 
     @property
     def is_blocked(self) -> bool:

@@ -11,10 +11,16 @@ separately from block pages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Set
+from typing import Callable, Dict, Iterator, Optional, Set
 
 from repro.net.errors import NxDomain
 from repro.net.ip import Ipv4Address
+
+#: A fault-injection hook: given the normalized name being resolved,
+#: return an exception to raise (a chaos plan's injected DNS timeout or
+#: NXDOMAIN flap) or None to let resolution proceed. Kept as a callable
+#: so the net layer stays ignorant of the world's fault machinery.
+FaultHook = Callable[[str], Optional[Exception]]
 
 
 @dataclass
@@ -74,9 +80,16 @@ class Resolver:
     zone: DnsZone
     poisoned: Dict[str, Ipv4Address] = field(default_factory=dict)
     refused: Set[str] = field(default_factory=set)
+    #: Optional chaos hook consulted before any lookup logic; may return
+    #: an exception (injected timeout/flap) for this resolver to raise.
+    fault_hook: Optional[FaultHook] = None
 
     def resolve(self, name: str) -> Ipv4Address:
         key = name.lower().rstrip(".")
+        if self.fault_hook is not None:
+            fault = self.fault_hook(key)
+            if fault is not None:
+                raise fault
         if key in self.refused:
             raise NxDomain(name)
         if key in self.poisoned:

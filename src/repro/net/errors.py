@@ -3,6 +3,14 @@
 Every error raised by :mod:`repro.net` derives from :class:`NetError` so
 that callers can catch simulation-level network failures without also
 swallowing programming errors.
+
+Each class carries a ``transient`` flag splitting the hierarchy into
+errors worth retrying (timeouts, resets — the noise a flaky vantage or
+churning link produces) and permanent ones (NXDOMAIN, malformed input)
+where a retry can only waste budget and, worse, mask a real signal.
+Retry layers (:class:`repro.exec.executor.RetryPolicy`,
+:class:`repro.exec.resilience.ResilientRunner`) consult this flag
+instead of maintaining their own exception lists.
 """
 
 from __future__ import annotations
@@ -10,6 +18,9 @@ from __future__ import annotations
 
 class NetError(Exception):
     """Base class for all simulated-network errors."""
+
+    #: Whether a retry of the failed operation can plausibly succeed.
+    transient: bool = False
 
 
 class AddressError(NetError):
@@ -25,7 +36,11 @@ class DnsError(NetError):
 
 
 class NxDomain(DnsError):
-    """The queried name does not exist (NXDOMAIN)."""
+    """The queried name does not exist (NXDOMAIN).
+
+    Permanent: an authoritative denial, not a lost packet — retrying the
+    same query gets the same answer.
+    """
 
     def __init__(self, name: str) -> None:
         super().__init__(f"NXDOMAIN: {name!r}")
@@ -35,13 +50,19 @@ class NxDomain(DnsError):
 class DnsTimeout(DnsError):
     """The resolver did not answer within the simulated timeout."""
 
+    transient = True
+
 
 class ConnectionReset(NetError):
     """The TCP connection was reset by a peer or an on-path device."""
 
+    transient = True
+
 
 class ConnectionTimeout(NetError):
     """The TCP connection attempt or read timed out."""
+
+    transient = True
 
 
 class HostUnreachable(NetError):

@@ -14,11 +14,13 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.exec.executor import Executor
+from repro.exec.resilience import ResilientRunner
 from repro.net.fetch import FetchOutcome
 from repro.net.ip import Ipv4Address
 from repro.net.url import Url
 from repro.products.registry import default_registry
 from repro.world.clock import SimTime
+from repro.world.faults import corrupt_text
 from repro.world.world import World
 
 #: Ports a Shodan-style scanner probes: the common web set plus every
@@ -85,12 +87,23 @@ def grab_banner(
         return None
     response = result.response
     country = world.country_of(ip)
+    status_line = response.status_line()
+    headers_text = response.headers.as_text()
+    html_title = response.html_title() or ""
+    corruption = world.faults.banner_corruption(str(ip), port)
+    if corruption is not None:
+        # A half-read socket or line noise damages the recorded text but
+        # still yields an entry — the scanner indexes what it saw, and
+        # keyword queries simply miss the mangled signature.
+        status_line = corrupt_text(corruption, status_line)
+        headers_text = corrupt_text(corruption, headers_text)
+        html_title = corrupt_text(corruption, html_title)
     return BannerRecord(
         ip=ip,
         port=port,
-        status_line=response.status_line(),
-        headers_text=response.headers.as_text(),
-        html_title=response.html_title() or "",
+        status_line=status_line,
+        headers_text=headers_text,
+        html_title=html_title,
         hostname=world.zone.reverse(ip) or "",
         observed_at=world.now,
         country_code=country.code if country else "",
@@ -105,6 +118,7 @@ def scan_world(
     coverage_salt: str = "scan",
     executor: Optional[Executor] = None,
     probe_latency: float = 0.0,
+    resilience: Optional[ResilientRunner] = None,
 ) -> List[BannerRecord]:
     """Banner-grab every visible service in the world.
 
@@ -116,6 +130,13 @@ def scan_world(
     scan out over target hosts; per-host batches merge back in address
     order, keeping the record list identical at any worker count.
     ``probe_latency`` models the per-host network round trip.
+
+    ``resilience`` wraps each probe with retry/quarantine (stage
+    ``"scan"``) when the world runs under a fault plan; a probe whose
+    retries are exhausted is quarantined and its record simply missing —
+    scan coverage counters report the gap. No circuit breaker attaches
+    here: the fan-out is unordered, and breaker state would then depend
+    on scheduling.
     """
     if not 0.0 <= coverage <= 1.0:
         raise ValueError("coverage must be within [0, 1]")
@@ -129,9 +150,20 @@ def scan_world(
     def scan_host(ip: Ipv4Address) -> List[BannerRecord]:
         if probe_latency:
             time.sleep(probe_latency)
+        slow = world.faults.extra_latency("scanner", str(ip))
+        if slow:
+            time.sleep(slow)
         found: List[BannerRecord] = []
         for port in ports:
-            record = grab_banner(world, ip, port)
+            if resilience is not None:
+                outcome = resilience.call(
+                    lambda port=port: grab_banner(world, ip, port),
+                    stage="scan",
+                    key=f"{ip}:{port}",
+                )
+                record = outcome.value if outcome.ok else None
+            else:
+                record = grab_banner(world, ip, port)
             if record is not None:
                 found.append(record)
         return found

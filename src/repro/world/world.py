@@ -21,6 +21,7 @@ from repro.net.ip import AddressPool, Ipv4Address, Ipv4Prefix, PrefixTable
 from repro.net.url import Url
 from repro.world.clock import SimClock, SimTime
 from repro.world.content import ContentClass
+from repro.world.faults import NO_FAULTS, FaultPlan, InjectedFault
 from repro.world.entities import (
     AutonomousSystem,
     Country,
@@ -43,8 +44,9 @@ def _is_ip_literal(host: str) -> bool:
 class World:
     """Container and router for the whole simulated Internet."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, faults: Optional[FaultPlan] = None) -> None:
         self.seed = seed
+        self.faults = faults if faults is not None else NO_FAULTS
         self.clock = SimClock()
         self.zone = DnsZone()
         self.countries: Dict[str, Country] = {}
@@ -56,6 +58,15 @@ class World:
         self._prefix_owners = PrefixTable()
         self.lab_country: Optional[Country] = None
         self._dns_cache = None  # Optional[repro.exec.cache.MemoCache]
+
+    def install_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or clear, with None) a chaos fault plan.
+
+        Injected faults surface as :class:`repro.world.faults.InjectedFault`
+        exceptions out of :meth:`fetch`, never as fetch outcomes, so the
+        comparator can never mistake infrastructure noise for blocking.
+        """
+        self.faults = plan if plan is not None else NO_FAULTS
 
     def enable_dns_cache(self, cache) -> None:
         """Memoize authoritative DNS answers through ``cache``.
@@ -197,15 +208,30 @@ class World:
         owner = self.owner_of(host.ip)
         return owner is not None and owner.asn == isp.asn
 
+    def _vantage_label(self, isp: Optional[ISP]) -> str:
+        return isp.name if isp is not None else "lab"
+
     def _resolve(self, isp: Optional[ISP], hostname: str) -> Ipv4Address:
         if _is_ip_literal(hostname):
             return Ipv4Address.parse(hostname)
         key = hostname.lower().rstrip(".")
+        faults = self.faults
         if isp is not None and (isp.dns_poisoned or isp.dns_refused):
+            # The fault hook fires before the poisoned/refused tables so
+            # a flap can hit censored names too (and before the shared
+            # cache below, which must never see injected answers).
             resolver = Resolver(self.zone)
+            if faults.active:
+                resolver.fault_hook = lambda name: faults.dns_fault(
+                    self._vantage_label(isp), name
+                )
             resolver.poisoned.update(isp.dns_poisoned)
             resolver.refused.update(isp.dns_refused)
             return resolver.resolve(hostname)
+        if faults.active:
+            fault = faults.dns_fault(self._vantage_label(isp), key)
+            if fault is not None:
+                raise fault
         if self._dns_cache is not None:
             # NxDomain is never cached: a later registration must be
             # seen immediately.
@@ -226,12 +252,25 @@ class World:
 
         Each hop (including redirect targets) traverses the ISP's on-path
         devices, so a filter sees and can block redirect destinations too.
+
+        Injected faults (an active :class:`~repro.world.faults.FaultPlan`)
+        raise :class:`~repro.world.faults.InjectedFault` exceptions out of
+        this method rather than returning failure outcomes: infrastructure
+        noise is the retry layer's problem and must never reach the
+        field/lab comparator disguised as a censorship signal.
         """
+        faults = self.faults
+        if faults.active:
+            faults.raise_fetch_faults(
+                self._vantage_label(isp), url.host, self.clock.now
+            )
         hops: List[Hop] = []
         current = url
         for _hop_index in range(MAX_REDIRECTS + 1):
             try:
                 destination = self._resolve(isp, current.host)
+            except InjectedFault:
+                raise
             except NxDomain as exc:
                 return FetchResult(url, FetchOutcome.DNS_FAILURE, hops, str(exc))
             request = HttpRequest.get(current, client_ip)

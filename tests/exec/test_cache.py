@@ -148,3 +148,48 @@ class DescribeStudyCaches:
         assert caches.geo.stats.misses == 1
         assert caches.asn.stats.misses == 1
         assert caches.dns.stats.lookups == 0
+
+
+class DescribeFaultInteraction:
+    """Injected infrastructure faults must never poison the cache."""
+
+    def test_transient_fault_is_not_cached_as_negative_result(self):
+        from repro.net.errors import DnsTimeout
+
+        fn = Counting(lambda k: k.upper())
+        cache = MemoCache("dns")
+        state = {"fail": True}
+
+        def lookup():
+            if state["fail"]:
+                raise DnsTimeout("injected flap")
+            return fn("host")
+
+        with pytest.raises(DnsTimeout):
+            cache.get_or_compute("host", lookup)
+        # The failure left no entry behind: the retry computes fresh
+        # and gets the real answer, not a cached fault.
+        assert "host" not in cache
+        state["fail"] = False
+        assert cache.get_or_compute("host", lookup) == "HOST"
+        assert cache.get_or_compute("host", lookup) == "HOST"
+        assert fn.calls == 1
+
+    def test_world_dns_cache_survives_injected_faults(self):
+        from repro.net.url import Url
+        from repro.world.faults import FaultPlan, InjectedDnsTimeout
+        from tests.conftest import make_mini_world
+
+        world = make_mini_world()
+        cache = MemoCache("dns")
+        world.enable_dns_cache(cache)
+        url = Url.parse("http://daily-news.example.com/")
+        isp = world.isps["testnet"]
+        world.install_faults(FaultPlan(seed=1, dns_timeout_rate=1.0))
+        with pytest.raises(InjectedDnsTimeout):
+            world.fetch(isp, url)
+        # The injected fault fired before resolution: nothing cached.
+        assert "daily-news.example.com" not in cache
+        world.install_faults(None)
+        assert world.fetch(isp, url).ok
+        assert "daily-news.example.com" in cache

@@ -252,3 +252,97 @@ class DescribeCampaigns:
         assert outcomes[1].error is not None
         assert isinstance(outcomes[1].error.cause, OSError)
         assert [outcomes[0].result, outcomes[2].result] == [1, 2]
+
+
+class DescribeTransientClassification:
+    """RetryPolicy must distinguish noise from answers (NetError.transient)."""
+
+    def test_permanent_net_error_fails_immediately(self):
+        from repro.net.errors import NetError, NxDomain
+
+        executor = Executor(workers=1)
+        calls = []
+
+        def nxdomain(item):
+            calls.append(item)
+            raise NxDomain("gone.test")
+
+        policy = RetryPolicy(attempts=5, retry_on=(NetError,))
+        with pytest.raises(TaskFailure) as excinfo:
+            executor.map(nxdomain, ["x"], label="dns", retry=policy)
+        # An NXDOMAIN is an answer: one attempt, no budget burned.
+        assert len(calls) == 1
+        assert excinfo.value.attempts == 1
+
+    def test_transient_net_error_still_retries(self):
+        from repro.net.errors import ConnectionTimeout, NetError
+
+        executor = Executor(workers=1)
+        calls = []
+
+        def flaky(item):
+            calls.append(item)
+            if len(calls) < 3:
+                raise ConnectionTimeout("blip")
+            return item
+
+        policy = RetryPolicy(attempts=3, retry_on=(NetError,))
+        assert executor.map(flaky, ["x"], label="net", retry=policy) == ["x"]
+        assert len(calls) == 3
+
+    def test_should_retry_classification_table(self):
+        from repro.net.errors import (
+            AddressError,
+            ConnectionReset,
+            ConnectionTimeout,
+            DnsTimeout,
+            NetError,
+            NxDomain,
+            UrlError,
+        )
+
+        policy = RetryPolicy(attempts=10, retry_on=(NetError,))
+        for noise in (DnsTimeout("t"), ConnectionReset("r"), ConnectionTimeout("c")):
+            assert policy.should_retry(noise, attempt=1), noise
+        for answer in (NxDomain("n"), UrlError("u"), AddressError("a")):
+            assert not policy.should_retry(answer, attempt=1), answer
+        # Budget exhaustion always wins.
+        assert not policy.should_retry(DnsTimeout("t"), attempt=10)
+        # Non-NetError exceptions keep the plain retry_on behaviour.
+        assert policy.should_retry(ConnectionError("os-level"), attempt=1) is False
+
+
+class DescribeFailureAttribution:
+    def test_task_failure_str_names_campaign_and_attempts(self):
+        failure = TaskFailure("fetch", 3, 4, ValueError("x"), campaign="yemen-jan")
+        text = str(failure)
+        assert "fetch[3]" in text
+        assert "4 attempt(s)" in text
+        assert "campaign 'yemen-jan'" in text
+
+    def test_task_timeout_str_names_campaign(self):
+        timeout = TaskTimeout("probe", 0, 1.5, campaign="du-feb")
+        text = str(timeout)
+        assert "probe[0]" in text
+        assert "attempt 1" in text
+        assert "1.500s" in text
+        assert "campaign 'du-feb'" in text
+
+    def test_without_campaign_message_is_unchanged(self):
+        failure = TaskFailure("net", 1, 2, ValueError("x"))
+        assert str(failure) == "task net[1] failed after 2 attempt(s): ValueError('x')"
+
+    def test_run_campaigns_stamps_the_campaign_key(self):
+        executor = Executor(workers=2)
+
+        def boom():
+            raise RuntimeError("vantage dead")
+
+        outcomes = executor.run_campaigns(
+            [Campaign("ok", lambda: 1), Campaign("yemen", boom)]
+        )
+        assert outcomes[0].ok
+        failed = outcomes[1]
+        assert failed.error is not None
+        assert failed.error.campaign == "yemen"
+        assert "campaign 'yemen'" in str(failed.error)

@@ -15,6 +15,11 @@ Usage::
 
     python tools/check_vendor_literals.py [src-root ...]
 
+With no arguments, lints ``src/`` and ``tools/`` (this linter itself is
+exempt — it must name the vendors to find them) and verifies the
+modules in ``REQUIRED_COVERED`` were actually scanned, so a rename
+cannot silently drop a module out of coverage.
+
 Exits 1 and prints ``path:line: message`` for each offending literal.
 """
 
@@ -34,6 +39,17 @@ VENDOR_NAMES = (
     "Netsweeper",
     "Websense",
     "FortiGuard",
+)
+
+#: Modules that must exist and be scanned on a no-argument run. Layers
+#: added after the registry refactor land here so a rename or a root
+#: change cannot silently drop them out of lint coverage.
+REQUIRED_COVERED = (
+    "src/repro/world/faults.py",
+    "src/repro/exec/resilience.py",
+    "src/repro/measure/client.py",
+    "src/repro/core/pipeline.py",
+    "src/repro/scan/banner.py",
 )
 
 def docstring_nodes(tree: ast.AST) -> set:
@@ -78,18 +94,29 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
 
 def main(argv: List[str]) -> int:
     repo = Path(__file__).resolve().parent.parent
-    roots = [Path(arg) for arg in argv] or [repo / "src"]
+    self_path = Path(__file__).resolve()
+    default_run = not argv
+    roots = [Path(arg) for arg in argv] or [repo / "src", repo / "tools"]
     failures = 0
+    scanned = set()
     for root in roots:
         exempt_dir = (root / "repro" / "products").resolve()
         for path in sorted(root.rglob("*.py")):
             resolved = path.resolve()
             if "egg-info" in str(resolved):
                 continue
+            if resolved == self_path:
+                continue  # the linter must name the vendors it hunts
             if exempt_dir in resolved.parents or resolved == exempt_dir:
                 continue
+            scanned.add(resolved)
             for lineno, message in check_file(path):
                 print(f"{path}:{lineno}: {message}")
+                failures += 1
+    if default_run:
+        for required in REQUIRED_COVERED:
+            if (repo / required).resolve() not in scanned:
+                print(f"{required}: required module missing from lint coverage")
                 failures += 1
     if failures:
         print(
