@@ -1,0 +1,104 @@
+"""Perf bench — the crash-safe journal and snapshot layer.
+
+Times the full default campaign plain vs journaled (write-ahead record
+per unit event, fsync on every append, an atomic snapshot after every
+unit) and writes the numbers to ``benchmarks/BENCH_checkpoint.json``.
+Durability must stay cheap relative to the campaign it protects: the
+budget is < 5% wall-clock overhead at the default snapshot cadence, and
+the journaled report must stay byte-identical to the plain one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro import run_full_study
+from repro.analysis.export import to_json
+from repro.analysis.report import write_markdown_report
+from repro.exec.journal import JOURNAL_FILENAME, read_journal
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_checkpoint.json")
+
+#: Median-of-N keeps a single noisy run from deciding the verdict.
+ROUNDS = 3
+
+#: Wall-clock overhead budget for full durability at default cadence.
+OVERHEAD_BUDGET = 0.05
+
+
+def _timed_plain():
+    started = time.perf_counter()
+    report = run_full_study()
+    return report, time.perf_counter() - started
+
+
+def _timed_journaled(checkpoint_every=1):
+    directory = Path(tempfile.mkdtemp(prefix="bench-journal-"))
+    try:
+        started = time.perf_counter()
+        report = run_full_study(
+            journal_dir=directory, checkpoint_every=checkpoint_every
+        )
+        elapsed = time.perf_counter() - started
+        records, _ = read_journal(directory / JOURNAL_FILENAME)
+        snapshot_bytes = sum(
+            path.stat().st_size for path in directory.glob("snapshot-*.ckpt")
+        )
+        journal_bytes = (directory / JOURNAL_FILENAME).stat().st_size
+        return report, elapsed, len(records), journal_bytes, snapshot_bytes
+    finally:
+        shutil.rmtree(directory)
+
+
+def test_journal_overhead_under_budget(benchmark):
+    plain_runs = [_timed_plain() for _ in range(ROUNDS)]
+    plain_report = plain_runs[0][0]
+    plain_seconds = statistics.median(seconds for _, seconds in plain_runs)
+
+    journaled = benchmark.pedantic(
+        lambda: [_timed_journaled() for _ in range(ROUNDS)],
+        rounds=1,
+        iterations=1,
+    )
+    journal_report = journaled[0][0]
+    journal_seconds = statistics.median(run[1] for run in journaled)
+    record_count, journal_bytes, snapshot_bytes = journaled[0][2:]
+
+    # Durability must never change the science.
+    assert write_markdown_report(
+        journal_report, seed=2013
+    ) == write_markdown_report(plain_report, seed=2013)
+    assert to_json(journal_report) == to_json(plain_report)
+
+    overhead = journal_seconds / plain_seconds - 1.0
+    payload = {
+        "bench": "checkpoint-journal-overhead",
+        "rounds": ROUNDS,
+        "checkpoint_every": 1,
+        "plain_seconds": round(plain_seconds, 3),
+        "journaled_seconds": round(journal_seconds, 3),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "journal_records": record_count,
+        "journal_bytes": journal_bytes,
+        "snapshot_bytes_total": snapshot_bytes,
+        "reports_identical": True,
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\nplain: {plain_seconds:.2f}s   journaled: {journal_seconds:.2f}s   "
+        f"overhead {overhead:+.1%} (budget {OVERHEAD_BUDGET:.0%})   "
+        f"{record_count} records, {snapshot_bytes / 1024:.0f} KiB snapshots"
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        f"journaling cost {overhead:.1%}, over the {OVERHEAD_BUDGET:.0%} "
+        "budget"
+    )

@@ -26,7 +26,7 @@ from repro.analysis.tables import (
 )
 from repro.analysis.paper_data import PAPER_TABLE3
 from repro.core.confirm import ConfirmationStudy, run_category_probe
-from repro.core.pipeline import FullStudy, config_for_row
+from repro.core.pipeline import FullStudy, PartialStudyResult, config_for_row
 from repro.measure.netalyzr import survey_isps
 from repro.products.registry import NETSWEEPER, default_registry
 from repro.world.faults import FaultPlan
@@ -85,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-fast", action="store_true",
         help="abort on the first injected fault instead of degrading",
     )
+    study.add_argument(
+        "--journal", metavar="DIR",
+        help="write a crash-safe journal + snapshots into DIR; a killed "
+        "run can be continued with --resume",
+    )
+    study.add_argument(
+        "--resume", action="store_true",
+        help="resume a previous --journal run from its newest valid "
+        "snapshot (requires --journal)",
+    )
+    study.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot after every N completed study units (default 1)",
+    )
 
     identify = commands.add_parser("identify", help="run §3 identification")
     identify.add_argument(
@@ -137,26 +151,48 @@ def _validated_products(args) -> Optional[List[str]]:
     return list(selection)
 
 
+#: Exit codes for ``repro study``: EXIT_OK on a clean, complete run;
+#: EXIT_HARD on hard failures (``--fail-fast`` abort, refusing to resume
+#: a journal written by a different study); EXIT_USAGE on bad
+#: invocations; EXIT_PARTIAL when the study completed but degraded to
+#: partial data under an active fault plan.
+EXIT_OK = 0
+EXIT_HARD = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+
+
 def _cmd_study(args) -> int:
+    from pathlib import Path
+
     from repro.analysis.export import to_json
     from repro.analysis.validation import validate_report
+    from repro.exec.checkpoint import CheckpointError
+    from repro.exec.journal import JournalError
+    from repro.net.errors import NetError
 
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.latency < 0:
         print("--latency must be >= 0", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.max_retries < 0:
         print("--max-retries must be >= 0", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    if args.checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if args.resume and not args.journal:
+        print("--resume requires --journal DIR", file=sys.stderr)
+        return EXIT_USAGE
     fault_plan = None
     if args.fault_plan:
         try:
             fault_plan = FaultPlan.parse(args.fault_plan)
         except ValueError as exc:
             print(f"bad --fault-plan: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
     products = _validated_products(args)
     scenario = build_scenario(seed=args.seed)
     study = FullStudy(
@@ -169,11 +205,40 @@ def _cmd_study(args) -> int:
         fail_fast=args.fail_fast,
     )
     partial = None
-    if study.resilience is not None:
-        partial = study.run_partial()
+    try:
+        if args.journal:
+            journal_dir = Path(args.journal)
+            journal_dir.mkdir(parents=True, exist_ok=True)
+            outcome = study.run_journaled(
+                journal_dir,
+                resume=args.resume,
+                checkpoint_every=args.checkpoint_every,
+            )
+        elif study.resilience is not None:
+            outcome = study.run_partial()
+        else:
+            outcome = study.run()
+    except JournalError as exc:
+        print(f"journal error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except CheckpointError as exc:
+        print(f"resume refused: {exc}", file=sys.stderr)
+        if study.last_recovery is not None:
+            for line in study.last_recovery.describe():
+                print(f"recovery: {line}", file=sys.stderr)
+        return EXIT_HARD
+    except NetError as exc:
+        # Only --fail-fast lets a fault propagate out of the study.
+        print(f"aborted (fail-fast): {exc!r}", file=sys.stderr)
+        return EXIT_HARD
+    if isinstance(outcome, PartialStudyResult):
+        partial = outcome
         report = partial.report
     else:
-        report = study.run()
+        report = outcome
+    if study.last_recovery is not None and not study.last_recovery.clean:
+        for line in study.last_recovery.describe():
+            print(f"recovery: {line}")
     document = write_markdown_report(report, seed=args.seed)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -191,7 +256,9 @@ def _cmd_study(args) -> int:
     if args.metrics:
         print(write_execution_summary(study.metrics, study.caches))
     print(validate_report(report).summary())
-    return 0
+    if partial is not None and not partial.complete:
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_identify(args) -> int:

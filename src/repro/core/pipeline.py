@@ -5,12 +5,23 @@ chronological order: the §3 identification scan, the ten Table 3 case
 studies (September 2012 through August 2013), the January 2013 YemenNet
 category probe, and the §5 characterizations run within 30 days of each
 confirmation.
+
+The campaign decomposes into a sequential *unit plan* — identify, one
+unit per Table 3 case study, the category probe, one unit per
+characterized ISP. Parallelism (``workers``) lives strictly *inside*
+a unit; between units the executor is quiescent and the world is at a
+well-defined simulation instant. Those boundaries are exactly where the
+durability layer (``--journal``) checkpoints: a killed run resumes from
+the newest valid snapshot, replays the remaining units, and produces
+byte-identical output (see docs/methodology.md, "Durability & resume").
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.paper_data import PAPER_TABLE3, Table3Row
 from repro.core.characterize import CharacterizationResult, ContentCharacterization
@@ -23,7 +34,20 @@ from repro.core.confirm import (
 )
 from repro.core.identify import IdentificationPipeline, IdentificationReport
 from repro.exec.cache import StudyCaches
+from repro.exec.checkpoint import (
+    SNAPSHOT_SCHEMA_VERSION,
+    CheckpointError,
+    fingerprint,
+    load_latest_snapshot,
+    write_snapshot,
+)
 from repro.exec.executor import Executor
+from repro.exec.journal import (
+    JOURNAL_FILENAME,
+    JournalError,
+    JournalWriter,
+    RecoveryReport,
+)
 from repro.exec.metrics import Metrics
 from repro.exec.resilience import (
     QuarantineRecord,
@@ -40,7 +64,12 @@ from repro.scan.whatweb import WhatWebEngine, world_probe
 from repro.world.clock import SimTime
 from repro.world.content import ContentClass
 from repro.world.faults import FaultPlan
-from repro.world.scenario import DEFAULT_SEED, Scenario, build_scenario
+from repro.world.scenario import (
+    DEFAULT_SEED,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
 
 _CATEGORY_CONTENT: Dict[str, ContentClass] = {
     "Proxy Avoidance": ContentClass.PROXY_ANONYMIZER,
@@ -178,6 +207,23 @@ class PartialStudyResult:
         return lines
 
 
+class StudyUnit:
+    """One sequential step of the campaign: a key, a stage, a runner.
+
+    Units are the durability granularity: the runner executes with the
+    world at a defined sim instant and leaves it at the next one, and
+    everything it mutates is covered by the checkpoint state inventory.
+    """
+
+    def __init__(self, key: str, stage: str, runner: Callable[[], Any]) -> None:
+        self.key = key
+        self.stage = stage
+        self.runner = runner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StudyUnit {self.key}>"
+
+
 class FullStudy:
     """Drives the complete reproduction against one scenario.
 
@@ -221,12 +267,22 @@ class FullStudy:
         self._shodan_coverage = shodan_coverage
         self._geo_error_rate = geo_error_rate
         self._link_latency = link_latency
+        self._max_retries = max_retries
+        self._fail_fast = fail_fast
         self.metrics = metrics if metrics is not None else Metrics()
         self.executor = Executor(
             workers=workers, metrics=self.metrics, name="study"
         )
         self.caches = StudyCaches()
         scenario.world.enable_dns_cache(self.caches.dns)
+        # The checkpoint baseline: campaign-registered domains are the
+        # delta against this set. Must be captured before any unit runs.
+        self._baseline_domains = frozenset(scenario.world.websites)
+        self._results: Dict[str, Any] = {}
+        self._characterization: Optional[ContentCharacterization] = None
+        #: Recovery account of the last journaled run (resume damage,
+        #: snapshot choice, replayed units); None for plain runs.
+        self.last_recovery: Optional[RecoveryReport] = None
         # The resilience layer exists only when a chaos plan is active:
         # the fault-free baseline takes the untouched code paths and
         # stays byte-identical.
@@ -291,6 +347,120 @@ class FullStudy:
             )
             return pipeline.run(self._products)
 
+    # ---------------------------------------------------------- unit plan
+    def _selection(self) -> Sequence[str]:
+        return self._products or default_registry().default_names()
+
+    def _confirm_schedule(
+        self,
+    ) -> List[Tuple[SimTime, Optional[Table3Row]]]:
+        selection = self._selection()
+        schedule: List[Tuple[SimTime, Optional[Table3Row]]] = [
+            (SimTime.from_date(row.date[0], row.date[1], 10), row)
+            for row in PAPER_TABLE3
+            if row.product in selection
+        ]
+        if NETSWEEPER in selection:
+            # The YemenNet category probe ran in January 2013 (§4.4).
+            schedule.append((SimTime.from_date(2013, 1, 15), None))
+        schedule.sort(key=lambda item: (item[0], _row_order(item[1])))
+        return schedule
+
+    def _characterize_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        selection = self._selection()
+        return tuple(
+            (isp, product)
+            for isp, product in (
+                ("etisalat", SMARTFILTER),
+                ("du", NETSWEEPER),
+                ("yemennet", NETSWEEPER),
+                ("ooredoo", NETSWEEPER),
+            )
+            if product in selection
+        )
+
+    def _confirm_units(self) -> List[StudyUnit]:
+        units: List[StudyUnit] = []
+        for when, row in self._confirm_schedule():
+            if row is None:
+                units.append(
+                    StudyUnit(
+                        "probe:yemennet",
+                        "probe",
+                        lambda when=when: self._unit_probe(when),
+                    )
+                )
+            else:
+                units.append(
+                    StudyUnit(
+                        f"confirm:{row.product}:{row.isp_key}:{row.category}",
+                        "confirm",
+                        lambda when=when, row=row: self._unit_confirm(when, row),
+                    )
+                )
+        return units
+
+    def _characterize_units(self) -> List[StudyUnit]:
+        return [
+            StudyUnit(
+                f"characterize:{isp}",
+                "characterize",
+                lambda isp=isp, product=product: self._unit_characterize(
+                    isp, product
+                ),
+            )
+            for isp, product in self._characterize_pairs()
+        ]
+
+    def plan(self) -> List[StudyUnit]:
+        """The campaign as an ordered list of checkpointable units."""
+        units = [StudyUnit("identify", "identify", self.run_identification)]
+        units.extend(self._confirm_units())
+        units.extend(self._characterize_units())
+        return units
+
+    # --------------------------------------------------------- unit bodies
+    def _unit_confirm(self, when: SimTime, row: Table3Row) -> ConfirmationResult:
+        scenario = self._scenario
+        world = scenario.world
+        with self.metrics.timer("stage.confirm"):
+            if world.now < when:
+                world.clock.advance_to(when)
+            study = ConfirmationStudy(
+                world,
+                scenario.products[row.product],
+                scenario.hosting_asns[0],
+                executor=self.executor,
+                link_latency=self._link_latency,
+                resilience=self.resilience,
+            )
+            return study.run(config_for_row(row))
+
+    def _unit_probe(self, when: SimTime) -> CategoryProbeResult:
+        world = self._scenario.world
+        with self.metrics.timer("stage.confirm"):
+            if world.now < when:
+                world.clock.advance_to(when)
+            return run_category_probe(
+                world,
+                "yemennet",
+                executor=self.executor,
+                link_latency=self._link_latency,
+                resilience=self.resilience,
+            )
+
+    def _unit_characterize(self, isp: str, product: str) -> CharacterizationResult:
+        if self._characterization is None:
+            self._characterization = ContentCharacterization(
+                self._scenario.world,
+                executor=self.executor,
+                link_latency=self._link_latency,
+                resilience=self.resilience,
+            )
+        with self.metrics.timer("stage.characterize"):
+            return self._characterization.run(isp, product)
+
+    # ------------------------------------------------------- stage drivers
     def run_confirmations(
         self,
     ) -> Tuple[List[ConfirmationResult], Optional[CategoryProbeResult]]:
@@ -302,45 +472,15 @@ class FullStudy:
         published rows are replayed; the §4.4 category probe runs only
         when Netsweeper is part of the study.
         """
-        scenario = self._scenario
-        world = scenario.world
-        selection = self._products or default_registry().default_names()
-        schedule: List[Tuple[SimTime, Optional[Table3Row]]] = [
-            (SimTime.from_date(row.date[0], row.date[1], 10), row)
-            for row in PAPER_TABLE3
-            if row.product in selection
-        ]
-        if NETSWEEPER in selection:
-            # The YemenNet category probe ran in January 2013 (§4.4).
-            probe_time = SimTime.from_date(2013, 1, 15)
-            schedule.append((probe_time, None))
-        schedule.sort(key=lambda item: (item[0], _row_order(item[1])))
-
         results: List[ConfirmationResult] = []
         probe: Optional[CategoryProbeResult] = None
-        with self.metrics.timer("stage.confirm"):
-            for when, row in schedule:
-                if world.now < when:
-                    world.clock.advance_to(when)
-                if row is None:
-                    probe = run_category_probe(
-                        world,
-                        "yemennet",
-                        executor=self.executor,
-                        link_latency=self._link_latency,
-                        resilience=self.resilience,
-                    )
-                    continue
-                study = ConfirmationStudy(
-                    world,
-                    scenario.products[row.product],
-                    scenario.hosting_asns[0],
-                    executor=self.executor,
-                    link_latency=self._link_latency,
-                    resilience=self.resilience,
-                )
-                results.append(study.run(config_for_row(row)))
-        if NETSWEEPER in selection:
+        for unit in self._confirm_units():
+            outcome = self._results[unit.key] = unit.runner()
+            if unit.stage == "probe":
+                probe = outcome
+            else:
+                results.append(outcome)
+        if NETSWEEPER in self._selection():
             assert probe is not None
         return results, probe
 
@@ -350,47 +490,44 @@ class FullStudy:
         Runs stay in pair order (filter RNG state is shared between
         deployments of one product) while each run's URL list fans out.
         """
-        scenario = self._scenario
-        world = scenario.world
-        characterization = ContentCharacterization(
-            world,
-            executor=self.executor,
-            link_latency=self._link_latency,
-            resilience=self.resilience,
-        )
-        selection = self._products or default_registry().default_names()
-        pairs = tuple(
-            (isp, product)
-            for isp, product in (
-                ("etisalat", SMARTFILTER),
-                ("du", NETSWEEPER),
-                ("yemennet", NETSWEEPER),
-                ("ooredoo", NETSWEEPER),
-            )
-            if product in selection
-        )
-        with self.metrics.timer("stage.characterize"):
-            return {
-                isp: characterization.run(isp, product)
-                for isp, product in pairs
-            }
+        results: Dict[str, CharacterizationResult] = {}
+        for unit in self._characterize_units():
+            outcome = self._results[unit.key] = unit.runner()
+            results[unit.key.partition(":")[2]] = outcome
+        return results
 
-    def run(self) -> StudyReport:
-        """The full campaign in paper order."""
-        with self.metrics.timer("study"):
-            identification = self.run_identification()
-            confirmations, probe = self.run_confirmations()
-            characterizations = self.run_characterizations()
-        for cache in self.caches.all():
-            stats = cache.stats
-            self.metrics.incr(f"cache.{cache.name}.hits", stats.hits)
-            self.metrics.incr(f"cache.{cache.name}.misses", stats.misses)
+    def _assemble(self) -> StudyReport:
+        confirmations: List[ConfirmationResult] = []
+        probe: Optional[CategoryProbeResult] = None
+        characterizations: Dict[str, CharacterizationResult] = {}
+        for unit in self._confirm_units():
+            outcome = self._results[unit.key]
+            if unit.stage == "probe":
+                probe = outcome
+            else:
+                confirmations.append(outcome)
+        for isp, _product in self._characterize_pairs():
+            characterizations[isp] = self._results[f"characterize:{isp}"]
         return StudyReport(
-            identification=identification,
+            identification=self._results["identify"],
             confirmations=confirmations,
             category_probe=probe,
             characterizations=characterizations,
         )
+
+    def _record_cache_metrics(self) -> None:
+        for cache in self.caches.all():
+            stats = cache.stats
+            self.metrics.incr(f"cache.{cache.name}.hits", stats.hits)
+            self.metrics.incr(f"cache.{cache.name}.misses", stats.misses)
+
+    def run(self) -> StudyReport:
+        """The full campaign in paper order."""
+        with self.metrics.timer("study"):
+            for unit in self.plan():
+                self._results[unit.key] = unit.runner()
+        self._record_cache_metrics()
+        return self._assemble()
 
     def run_partial(self) -> PartialStudyResult:
         """The full campaign plus the resilience layer's account of it.
@@ -405,6 +542,10 @@ class FullStudy:
                 "use run() for fault-free studies"
             )
         report = self.run()
+        return self._wrap_partial(report)
+
+    def _wrap_partial(self, report: StudyReport) -> PartialStudyResult:
+        assert self.resilience is not None and self.fault_plan is not None
         return PartialStudyResult(
             report=report,
             fault_plan=self.fault_plan,
@@ -412,6 +553,183 @@ class FullStudy:
             quarantined=self.resilience.quarantined(),
             breaker_states=self.resilience.breaker_states(),
         )
+
+    # ----------------------------------------------------------- durability
+    def identity(self) -> Dict[str, Any]:
+        """Everything the study's output is a function of (not workers).
+
+        Worker count, link latency, and metrics change wall-clock and
+        instrumentation only — the determinism contract proven by the
+        worker-invariance suites — so they are deliberately excluded:
+        a run may resume with a different ``--workers`` and must still
+        produce byte-identical output. Retry budget and fail-fast are
+        included because an active fault plan makes them output-visible.
+        """
+        return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "seed": self._scenario.world.seed,
+            "scenario": dataclasses.asdict(self._scenario.config),
+            "products": (
+                None if self._products is None else list(self._products)
+            ),
+            "shodan_coverage": self._shodan_coverage,
+            "geo_error_rate": self._geo_error_rate,
+            "fault_plan": (
+                None if self.fault_plan is None else self.fault_plan.describe()
+            ),
+            "max_retries": self._max_retries,
+            "fail_fast": self._fail_fast,
+        }
+
+    def config_fingerprint(self) -> str:
+        return fingerprint(self.identity())
+
+    def capture_state(self) -> Dict[str, Any]:
+        """The complete plain-data study state at a unit boundary.
+
+        The inventory covers everything the remaining units' output can
+        depend on: completed unit results, the world delta (clock,
+        campaign domains, pool cursors), every vendor's RNG/portal/
+        database/queue state, middlebox counters, lookup-cache contents,
+        and the resilience layer's breaker/quarantine/coverage state.
+        The executor needs no entry: between units it is quiescent (its
+        sequencer is created per campaign and has no cross-unit state).
+        """
+        scenario = self._scenario
+        return {
+            "results": dict(self._results),
+            "world": scenario.world.capture_state(self._baseline_domains),
+            "products": {
+                name: product.capture_state()
+                for name, product in sorted(scenario.products.items())
+            },
+            "deployments": {
+                name: box.capture_state()
+                for name, box in sorted(scenario.deployments.items())
+            },
+            "caches": self.caches.capture_state(),
+            "resilience": (
+                None if self.resilience is None else self.resilience.capture_state()
+            ),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> Dict[str, Any]:
+        """Re-apply a captured state onto this freshly built study.
+
+        Returns the completed unit results. Component order: products
+        and deployments first (queues, RNGs, counters), then the world
+        delta — whose clock restore deliberately fires no tick
+        callbacks, since every queue a tick would mature was just set
+        to its exact captured state.
+        """
+        scenario = self._scenario
+        for name, product_state in state["products"].items():
+            scenario.products[name].restore_state(product_state)
+        for name, box_state in state["deployments"].items():
+            scenario.deployments[name].restore_state(box_state)
+        scenario.world.restore_state(state["world"])
+        self.caches.restore_state(state["caches"])
+        if state["resilience"] is not None and self.resilience is not None:
+            self.resilience.restore_state(state["resilience"])
+        self._results = dict(state["results"])
+        return self._results
+
+    def run_journaled(
+        self,
+        journal_dir: Path,
+        *,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+        after_write: Optional[Callable[..., None]] = None,
+    ):
+        """The full campaign with a write-ahead journal and snapshots.
+
+        Fresh runs create ``journal.jsonl`` in ``journal_dir`` and
+        snapshot after every ``checkpoint_every``-th completed unit
+        (always after the last). With ``resume=True`` a prior run's
+        durable state is recovered first: the journal's valid prefix is
+        read (torn/corrupt/skewed suffixes truncated and reported), the
+        newest verifying snapshot is restored, and only the remaining
+        units execute. Output is byte-identical to an uninterrupted
+        run; ``self.last_recovery`` records what recovery did.
+
+        ``after_write`` is the crash-matrix test seam, forwarded to
+        :class:`JournalWriter` — a hook that raises after the Nth
+        durable record simulates a SIGKILL at that journal position.
+        """
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        journal_dir = Path(journal_dir)
+        journal_path = journal_dir / JOURNAL_FILENAME
+        identity_fp = self.config_fingerprint()
+        report = RecoveryReport()
+        if resume:
+            writer, records, report = JournalWriter.resume(
+                journal_path, after_write=after_write
+            )
+            self.last_recovery = report
+            begin = next((r for r in records if r.kind == "begin"), None)
+            if begin is not None and begin.payload.get("fingerprint") != identity_fp:
+                writer.close()
+                raise CheckpointError(
+                    f"journal {journal_path} was written by a different "
+                    "study (seed/products/scenario/fault plan differ); "
+                    "refusing to resume across identities"
+                )
+            snapshot = load_latest_snapshot(
+                journal_dir, identity_fingerprint=identity_fp, report=report
+            )
+            if snapshot is not None:
+                self.restore_state(snapshot.state)
+        else:
+            if journal_path.exists():
+                raise JournalError(
+                    f"journal already exists at {journal_path}; "
+                    "pass resume=True (--resume) to continue it"
+                )
+            writer = JournalWriter.create(journal_path, after_write=after_write)
+        self.last_recovery = report
+        try:
+            if writer.next_seq == 0:
+                writer.append(
+                    "begin",
+                    {
+                        "fingerprint": identity_fp,
+                        "seed": self._scenario.world.seed,
+                    },
+                )
+            units = self.plan()
+            report.units_replayed = [
+                unit.key for unit in units if unit.key not in self._results
+            ]
+            done = sum(1 for unit in units if unit.key in self._results)
+            with self.metrics.timer("study"):
+                for index, unit in enumerate(units):
+                    if unit.key in self._results:
+                        continue
+                    writer.append("unit-start", {"key": unit.key})
+                    self._results[unit.key] = unit.runner()
+                    done += 1
+                    writer.append("unit-commit", {"key": unit.key, "done": done})
+                    last = index == len(units) - 1
+                    if last or done % checkpoint_every == 0:
+                        path = write_snapshot(
+                            journal_dir,
+                            seq=done,
+                            identity_fingerprint=identity_fp,
+                            state=self.capture_state(),
+                        )
+                        writer.append(
+                            "snapshot", {"file": path.name, "done": done}
+                        )
+            writer.append("final", {"units": len(units)})
+        finally:
+            writer.close()
+        self._record_cache_metrics()
+        study_report = self._assemble()
+        if self.resilience is not None:
+            return self._wrap_partial(study_report)
+        return study_report
 
 
 def run_full_study(
@@ -426,6 +744,10 @@ def run_full_study(
     fault_plan: Optional[FaultPlan] = None,
     max_retries: int = 2,
     fail_fast: bool = False,
+    scenario_config: Optional[ScenarioConfig] = None,
+    journal_dir: Optional[Path] = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
 ):
     """Build the scenario for ``seed`` and run the whole campaign.
 
@@ -438,8 +760,13 @@ def run_full_study(
     active plan it returns a :class:`PartialStudyResult` wrapping the
     report plus coverage/quarantine accounting — itself a pure function
     of ``(seed, products, plan)``, identical at any worker count.
+
+    With ``journal_dir`` the run is durable: a write-ahead journal plus
+    periodic snapshots land in that directory, and ``resume=True``
+    continues a killed run from its newest valid snapshot — producing
+    the same pure-function output as an uninterrupted run.
     """
-    scenario = build_scenario(seed=seed)
+    scenario = build_scenario(seed=seed, config=scenario_config)
     study = FullStudy(
         scenario,
         products=products,
@@ -452,6 +779,10 @@ def run_full_study(
         max_retries=max_retries,
         fail_fast=fail_fast,
     )
+    if journal_dir is not None:
+        return study.run_journaled(
+            journal_dir, resume=resume, checkpoint_every=checkpoint_every
+        )
     if study.resilience is not None:
         return study.run_partial()
     return study.run()

@@ -18,9 +18,16 @@ while keeping its defining property — every run is a pure function of
   queries) with hit/miss counters and explicit invalidation.
 - :mod:`repro.exec.metrics` — counters, timers and per-stage summaries
   surfaced through the CLI and :mod:`repro.analysis.report`.
+- :mod:`repro.exec.journal` / :mod:`repro.exec.checkpoint` — the
+  durability layer: a CRC-protected write-ahead journal plus atomic
+  state snapshots at study-unit boundaries, so multi-day campaigns
+  survive process death and resume byte-identically (CLI ``--journal``
+  / ``--resume``).
 """
 
 from repro.exec.cache import CacheStats, CachedFunction, MemoCache, StudyCaches
+from repro.exec.checkpoint import Snapshot, load_latest_snapshot, write_snapshot
+from repro.exec.journal import JournalRecord, JournalWriter, RecoveryReport
 from repro.exec.executor import (
     Campaign,
     CampaignOutcome,
@@ -38,12 +45,18 @@ __all__ = [
     "Campaign",
     "CampaignOutcome",
     "Executor",
+    "JournalRecord",
+    "JournalWriter",
     "MemoCache",
     "Metrics",
+    "RecoveryReport",
     "RetryPolicy",
     "Sequencer",
+    "Snapshot",
     "StudyCaches",
     "TaskFailure",
     "TaskTimeout",
     "TimerStats",
+    "load_latest_snapshot",
+    "write_snapshot",
 ]

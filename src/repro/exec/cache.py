@@ -103,6 +103,20 @@ class MemoCache(Generic[K, V]):
             self._stats.invalidations += dropped
             return dropped
 
+    # --------------------------------------------------------- durability
+    def capture_contents(self) -> Dict[K, V]:
+        """The memo table as plain data for study checkpoints.
+
+        Stats are instrumentation, not state: a resumed run restarts
+        its counters, the same way wall-clock timings restart.
+        """
+        with self._lock:
+            return dict(self._data)
+
+    def restore_contents(self, contents: Dict[K, V]) -> None:
+        with self._lock:
+            self._data = dict(contents)
+
     # -------------------------------------------------------------- stats
     @property
     def stats(self) -> CacheStats:
@@ -146,6 +160,13 @@ class StudyCaches:
 
     def wrap_asn(self, fn: Callable[[Any], Any]) -> CachedFunction:
         return CachedFunction(fn, self.asn)
+
+    def capture_state(self) -> Dict[str, Dict]:
+        return {cache.name: cache.capture_contents() for cache in self.all()}
+
+    def restore_state(self, state: Dict[str, Dict]) -> None:
+        for cache in self.all():
+            cache.restore_contents(state.get(cache.name, {}))
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         return {

@@ -1,0 +1,204 @@
+"""Atomic study snapshots: durable checkpoints between journal records.
+
+A snapshot is the *state* half of the durability story (the journal in
+:mod:`repro.exec.journal` is the *intent* half): a single file holding
+everything a resumed process needs to continue the campaign from a unit
+boundary and still produce byte-identical output — completed unit
+results, the sim-clock position, every vendor's RNG/portal/database
+delta, middlebox counters, the world's campaign-domain delta and
+address-pool cursors, lookup-cache contents, and the resilience layer's
+breaker/quarantine/coverage state.
+
+Write protocol (crash-safe by construction):
+
+1. serialize to ``<name>.tmp`` in the snapshot directory,
+2. flush + fsync the temp file,
+3. ``os.replace`` onto the final name (atomic on POSIX),
+4. fsync the directory so the rename itself is durable.
+
+A reader therefore never observes a half-written snapshot: either the
+old file, the new file, or a ``.tmp`` it ignores. Each snapshot embeds
+a schema version, a fingerprint of the study's identity (seed,
+products, scenario knobs, fault plan), and a SHA-256 over the state
+blob; :func:`load_latest_snapshot` walks candidates newest-first and
+degrades to the next older one — with an explicit note in the
+:class:`~repro.exec.journal.RecoveryReport` — when any check fails.
+
+The state blob itself is a pickled plain-data tree (no world object —
+service closures make the live world unpicklable by design; see
+docs/methodology.md, "Durability & resume"). :func:`encode_state` /
+:func:`decode_state` are the shared codec, also used by the
+``PartialStudyResult`` round-trip tests.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.exec.journal import RecoveryReport
+
+#: Bump on any incompatible change to the snapshot layout.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+_SNAPSHOT_PREFIX = "snapshot-"
+_SNAPSHOT_SUFFIX = ".ckpt"
+
+
+class CheckpointError(Exception):
+    """A snapshot could not be written (never raised for read damage)."""
+
+
+def fingerprint(identity: Dict[str, Any]) -> str:
+    """Stable digest of a study's identity (seed, products, knobs, plan).
+
+    Resume refuses to mix state across identities: a snapshot written
+    by a different seed, product selection, scenario configuration, or
+    fault plan fingerprints differently and is rejected with a note.
+    """
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- codec
+def encode_state(state: Any) -> Dict[str, str]:
+    """Pickle + compress + base64 a plain-data state tree.
+
+    Compression level 1: snapshots are written once per study unit on
+    the campaign's critical path, so encode speed matters more than the
+    last few percent of ratio (the blobs are small either way).
+    """
+    blob = zlib.compress(
+        pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL), 1
+    )
+    return {
+        "blob": base64.b64encode(blob).decode("ascii"),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+    }
+
+
+def decode_state(encoded: Dict[str, str]) -> Any:
+    """Inverse of :func:`encode_state`; raises ``ValueError`` on damage."""
+    try:
+        blob = base64.b64decode(encoded["blob"].encode("ascii"), validate=True)
+    except Exception as exc:
+        raise ValueError(f"undecodable state blob: {exc}") from exc
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != encoded.get("sha256"):
+        raise ValueError("state blob SHA-256 mismatch")
+    return pickle.loads(zlib.decompress(blob))
+
+
+# ------------------------------------------------------------------ snapshots
+@dataclass(frozen=True)
+class Snapshot:
+    """A loaded-and-verified snapshot."""
+
+    path: Path
+    seq: int
+    state: Any
+
+
+def snapshot_path(directory: Path, seq: int) -> Path:
+    return Path(directory) / f"{_SNAPSHOT_PREFIX}{seq:08d}{_SNAPSHOT_SUFFIX}"
+
+
+def write_snapshot(
+    directory: Path, *, seq: int, identity_fingerprint: str, state: Any
+) -> Path:
+    """Atomically persist ``state`` as snapshot ``seq``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = snapshot_path(directory, seq)
+    document = {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "seq": seq,
+        "fingerprint": identity_fingerprint,
+    }
+    document.update(encode_state(state))
+    temp = final.with_suffix(final.suffix + ".tmp")
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, final)
+        _fsync_directory(directory)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write snapshot {final}: {exc}") from exc
+    finally:
+        if temp.exists():
+            temp.unlink()
+    return final
+
+
+def _fsync_directory(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def list_snapshots(directory: Path) -> List[Path]:
+    """Snapshot files in the directory, oldest first; ignores temp files."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path
+        for path in directory.iterdir()
+        if path.name.startswith(_SNAPSHOT_PREFIX)
+        and path.name.endswith(_SNAPSHOT_SUFFIX)
+    )
+
+
+def load_latest_snapshot(
+    directory: Path,
+    *,
+    identity_fingerprint: str,
+    report: Optional[RecoveryReport] = None,
+) -> Optional[Snapshot]:
+    """The newest snapshot that verifies, or None.
+
+    Walks candidates newest-first; anything unreadable, checksum-bad,
+    schema-skewed, or written under a different study identity is
+    skipped with an explicit note, and the next older candidate is
+    tried — damaged durability state degrades, it never crashes.
+    """
+    report = report if report is not None else RecoveryReport()
+    for path in reversed(list_snapshots(directory)):
+        problem = None
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            problem = f"unreadable ({exc})"
+            document = None
+        if document is not None:
+            if document.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+                problem = (
+                    f"schema version skew (snapshot "
+                    f"v{document.get('schema')}, reader "
+                    f"v{SNAPSHOT_SCHEMA_VERSION})"
+                )
+            elif document.get("fingerprint") != identity_fingerprint:
+                problem = "study identity mismatch (seed/products/plan differ)"
+            else:
+                try:
+                    state = decode_state(document)
+                except ValueError as exc:
+                    problem = str(exc)
+        if problem is not None:
+            report.snapshots_rejected.append(f"{path.name}: {problem}")
+            continue
+        report.snapshot_used = path.name
+        return Snapshot(path=path, seq=int(document["seq"]), state=state)
+    return None

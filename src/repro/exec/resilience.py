@@ -361,6 +361,62 @@ class ResilientRunner:
                 ok=True, value=value, attempts=attempt + 1, retried=retried
             )
 
+    # --------------------------------------------------------- durability
+    def capture_state(self) -> Dict[str, Any]:
+        """Plain-data resilience state for study checkpoints.
+
+        Coverage, the dead-letter list, and breaker states are all
+        output-visible through :class:`PartialStudyResult`, so a
+        resumed study must carry them forward exactly.
+        """
+        with self._lock:
+            return {
+                "stages": {
+                    stage: coverage.as_dict()
+                    for stage, coverage in self._stages.items()
+                },
+                "quarantine": list(self._quarantine),
+                "breakers": {
+                    name: {
+                        "threshold": breaker.threshold,
+                        "cooldown_minutes": breaker.cooldown_minutes,
+                        "state": breaker.state.value,
+                        "consecutive_failures": breaker.consecutive_failures,
+                        "opened_at": (
+                            None
+                            if breaker.opened_at is None
+                            else breaker.opened_at.minutes
+                        ),
+                        "trips": breaker.trips,
+                    }
+                    for name, breaker in self._breakers.items()
+                },
+            }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        with self._lock:
+            self._stages = {
+                stage: StageCoverage(**counters)
+                for stage, counters in state["stages"].items()
+            }
+            self._quarantine = list(state["quarantine"])
+            self._breakers = {}
+            for name, saved in state["breakers"].items():
+                breaker = CircuitBreaker(
+                    name,
+                    threshold=saved["threshold"],
+                    cooldown_minutes=saved["cooldown_minutes"],
+                )
+                breaker.state = BreakerState(saved["state"])
+                breaker.consecutive_failures = saved["consecutive_failures"]
+                breaker.opened_at = (
+                    None
+                    if saved["opened_at"] is None
+                    else SimTime(saved["opened_at"])
+                )
+                breaker.trips = saved["trips"]
+                self._breakers[name] = breaker
+
     # ------------------------------------------------------------ reports
     def coverage(self) -> Dict[str, StageCoverage]:
         """Per-stage counters (copies, sorted by stage name)."""

@@ -120,14 +120,25 @@ _DEPRECATED_CONSTANTS = {
     "WEBSENSE": _registry.WEBSENSE,
 }
 
+# A long campaign resolves these shims thousands of times; warn once per
+# constant per process so logs stay readable.
+_warned: set = set()
+
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the warn-once latch (test helper)."""
+    _warned.clear()
+
 
 def __getattr__(name: str) -> str:
     if name in _DEPRECATED_CONSTANTS:
-        warnings.warn(
-            f"repro.measure.blockpage_detect.{name} is deprecated; import "
-            "it from repro.products.registry",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        if name not in _warned:
+            _warned.add(name)
+            warnings.warn(
+                f"repro.measure.blockpage_detect.{name} is deprecated; import "
+                "it from repro.products.registry",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return _DEPRECATED_CONSTANTS[name]
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -61,6 +61,35 @@ class FilterMiddlebox:
                 f"({self.engine.vendor})"
             )
 
+    # --------------------------------------------------------- durability
+    def capture_state(self) -> dict:
+        """Plain-data installation state for study checkpoints.
+
+        Counters are output-visible through the monitoring surfaces;
+        subscription cutoffs and the enabled flag normally change only
+        at scenario build, but capturing them keeps a resumed world
+        faithful even if an experiment script toggled them mid-run.
+        """
+        return {
+            "intercepts": self.intercept_count,
+            "blocks": self.block_count,
+            "enabled": self.enabled,
+            "subscription_active": self.subscription.active,
+            "subscription_cutoff": (
+                None
+                if self.subscription.cutoff is None
+                else self.subscription.cutoff.minutes
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.intercept_count = state["intercepts"]
+        self.block_count = state["blocks"]
+        self.enabled = state["enabled"]
+        self.subscription.active = state["subscription_active"]
+        cutoff = state["subscription_cutoff"]
+        self.subscription.cutoff = None if cutoff is None else SimTime(cutoff)
+
     # ------------------------------------------------------------ context
     def deployment_context(self) -> DeploymentContext:
         host = self.box_hostname or str(self.box_ip)

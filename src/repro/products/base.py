@@ -109,6 +109,26 @@ class UrlFilterProduct(abc.ABC):
         """Advance vendor-side queues (review pipeline); call on clock tick."""
         self.portal.process(now)
 
+    # --------------------------------------------------------- durability
+    def capture_state(self) -> Dict[str, object]:
+        """Plain-data vendor state for study checkpoints.
+
+        Captures the shared vendor RNG (one ``Random`` drives both the
+        portal's review draws and subclass queues — state must travel as
+        one), the portal's review queues, and the master database's
+        campaign delta. Subclasses extend with their own queues.
+        """
+        return {
+            "rng": self._rng.getstate(),
+            "portal": self.portal.capture_state(),
+            "database": self.database.capture_delta(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._rng.setstate(state["rng"])  # type: ignore[arg-type]
+        self.portal.restore_state(state["portal"])  # type: ignore[arg-type]
+        self.database.restore_delta(state["database"])  # type: ignore[arg-type]
+
     def subscription(self) -> DatabaseSubscription:
         """A fresh update subscription for a new deployment."""
         return DatabaseSubscription(self.database)

@@ -90,6 +90,27 @@ class UrlDatabase:
     def hosts(self) -> Iterator[str]:
         return iter(self._entries)
 
+    def capture_delta(self) -> List[DbEntry]:
+        """Every non-seed entry, in bucket order, for study checkpoints.
+
+        Seed entries are a pure function of the scenario seed and are
+        rebuilt by ``build_scenario`` on resume; only campaign-era facts
+        (submissions, Netsweeper's auto queue, analyst actions) need to
+        travel. Bucket order is preserved so equal ``effective_at`` ties
+        re-sort identically under the stable per-add sort.
+        """
+        return [
+            entry
+            for bucket in self._entries.values()
+            for entry in bucket
+            if entry.source != "seed"
+        ]
+
+    def restore_delta(self, delta: List[DbEntry]) -> None:
+        """Re-apply a captured delta onto a freshly seeded database."""
+        for entry in delta:
+            self.add(entry.host, entry.category, entry.effective_at, entry.source)
+
     def size_at(self, as_of: SimTime) -> int:
         """Number of hosts categorized as of a time (vendors advertise this)."""
         return sum(

@@ -113,6 +113,18 @@ class Netsweeper(UrlFilterProduct):
     def queued_hosts(self) -> List[str]:
         return sorted(self._queue)
 
+    # --------------------------------------------------------- durability
+    def capture_state(self) -> Dict[str, object]:
+        state = super().capture_state()
+        # Insertion order is preserved: tick() matures entries in queue
+        # order, and the order of database adds affects tie-breaking.
+        state["queue"] = list(self._queue.values())
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        super().restore_state(state)
+        self._queue = {entry.host: entry for entry in state["queue"]}  # type: ignore[union-attr]
+
     # ---------------------------------------------------------- decisions
     def decide(
         self,

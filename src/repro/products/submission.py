@@ -17,7 +17,6 @@ modeled by :class:`ReviewPolicy`.
 from __future__ import annotations
 
 import enum
-import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -136,7 +135,7 @@ class SubmissionPortal:
         self._content_oracle = content_oracle
         self._hosting_oracle = hosting_oracle
         self._rng = rng
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._pending: List[Submission] = []
         self._decided: List[Submission] = []
 
@@ -158,7 +157,7 @@ class SubmissionPortal:
             # Validates the name against the vendor taxonomy.
             self.taxonomy.by_name(requested_category)
         submission = Submission(
-            id=next(self._ids),
+            id=self._allocate_id(),
             url=url,
             submitter=submitter,
             submitted_at=now,
@@ -219,6 +218,30 @@ class SubmissionPortal:
         submission.status = SubmissionStatus.REJECTED
         submission.decided_at = now
         submission.rejection_reason = reason
+
+    def _allocate_id(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    # --------------------------------------------------------- durability
+    def capture_state(self) -> Dict[str, object]:
+        """Plain-data review-queue state for study checkpoints.
+
+        The review RNG is owned by the product (the same ``Random``
+        object drives the portal and vendor-side queues), so it is
+        captured there, not here.
+        """
+        return {
+            "next_id": self._next_id,
+            "pending": list(self._pending),
+            "decided": list(self._decided),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._next_id = state["next_id"]  # type: ignore[assignment]
+        self._pending = list(state["pending"])  # type: ignore[arg-type]
+        self._decided = list(state["decided"])  # type: ignore[arg-type]
 
     # ------------------------------------------------------------ inspect
     @property

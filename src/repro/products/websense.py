@@ -10,7 +10,6 @@ attached at the middlebox layer.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List
 
 from repro.net.http import Headers, HttpRequest, HttpResponse, html_page
@@ -41,7 +40,17 @@ class Websense(UrlFilterProduct):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(WEBSENSE_TAXONOMY, *args, **kwargs)
-        self._sessions = itertools.count(1_048_576)
+        self._next_session = 1_048_576
+
+    # --------------------------------------------------------- durability
+    def capture_state(self) -> Dict[str, object]:
+        state = super().capture_state()
+        state["next_session"] = self._next_session
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        super().restore_state(state)
+        self._next_session = state["next_session"]  # type: ignore[assignment]
 
     def block_response(
         self,
@@ -49,7 +58,8 @@ class Websense(UrlFilterProduct):
         category: VendorCategory,
         context: DeploymentContext,
     ) -> HttpResponse:
-        session = next(self._sessions)
+        session = self._next_session
+        self._next_session += 1
         target = (
             f"http://{context.box_host}:{BLOCKPAGE_PORT}/cgi-bin/blockpage.cgi"
             f"?ws-session={session}&cat={category.number}"

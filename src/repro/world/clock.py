@@ -124,6 +124,21 @@ class SimClock:
             raise ValueError("time cannot move backwards")
         return self.advance_to(self._now.plus_days(days))
 
+    def restore(self, when: SimTime) -> SimTime:
+        """Set the clock without firing tick callbacks.
+
+        Used only by checkpoint restore: the components the callbacks
+        would mature (portals, vendor queues) are restored to their
+        exact captured state separately, so a tick here would replay
+        maturation against times that already elapsed.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {when}"
+            )
+        self._now = when
+        return self._now
+
     def advance_to(self, when: SimTime) -> SimTime:
         if when < self._now:
             raise ValueError(

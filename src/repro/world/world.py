@@ -172,6 +172,59 @@ class World:
         if site is not None:
             self.remove_host(site.ip)
 
+    # --------------------------------------------------------- durability
+    def capture_state(self, baseline_domains: frozenset) -> dict:
+        """Plain-data world delta for study checkpoints.
+
+        The world itself is deliberately unpicklable (noise hosts and
+        vendor infrastructure are closures), so checkpoints capture the
+        *difference* from a freshly built scenario: the clock position,
+        campaign-registered websites (the §4 test domains persist for
+        the life of the study), removed baseline domains, and the
+        per-AS address-pool cursors that allocated the campaign IPs.
+        """
+        return {
+            "clock": self.clock.now.minutes,
+            "pools": {asn: pool._next for asn, pool in self._pools.items()},
+            "added_sites": [
+                self.websites[domain]
+                for domain in self.websites
+                if domain not in baseline_domains
+            ],
+            "removed_domains": sorted(
+                domain
+                for domain in baseline_domains
+                if domain not in self.websites
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a captured delta onto a freshly built world.
+
+        Order matters: pool cursors first (adopted sites carry their
+        already-allocated IPs and must not re-allocate), then site
+        adoption/removal (which fixes DNS), then the clock — restored
+        without tick callbacks, because every queue the ticks would
+        mature is restored to its exact captured state separately.
+        """
+        for asn, cursor in state["pools"].items():
+            pool = self._pools.get(asn)
+            if pool is not None:
+                pool._next = cursor
+        for domain in state["removed_domains"]:
+            self.unregister_website(domain)
+        for site in state["added_sites"]:
+            self.adopt_website(site)
+        self.clock.restore(SimTime(state["clock"]))
+
+    def adopt_website(self, site: WebSite) -> WebSite:
+        """Install an already-allocated website (checkpoint restore)."""
+        if site.domain in self.websites:
+            raise ValueError(f"domain {site.domain!r} already registered")
+        self.websites[site.domain] = site
+        self.add_host(site.as_host())
+        return site
+
     def owner_of(self, address: Ipv4Address) -> Optional[AutonomousSystem]:
         """Ground-truth AS owning an address (registries may have errors)."""
         owner = self._prefix_owners.lookup(address)

@@ -84,3 +84,68 @@ class DescribeCommands:
         assert "## Table 3" in document
         assert "Headline finding" in document
         assert "**McAfee SmartFilter** in `bayanat`" in document
+
+
+_ONE_PRODUCT = ["--products", "McAfee SmartFilter"]
+
+
+class DescribeStudyExitCodes:
+    """``repro study`` distinguishes success / hard / usage / partial."""
+
+    def test_fail_fast_abort_is_a_hard_failure(self, capsys):
+        code = main(
+            ["study", "--fault-plan", "seed=3,nxdomain=1.0", "--fail-fast"]
+            + _ONE_PRODUCT
+        )
+        assert code == 1
+        assert "aborted (fail-fast)" in capsys.readouterr().err
+
+    def test_degraded_partial_run_exits_partial(self, capsys):
+        code = main(
+            [
+                "study",
+                "--fault-plan",
+                "seed=11,nxdomain=0.25,reset=0.2",
+                "--max-retries",
+                "1",
+            ]
+            + _ONE_PRODUCT
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "partial data" in out
+
+    def test_resume_without_journal_is_a_usage_error(self, capsys):
+        assert main(["study", "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_zero_checkpoint_interval_is_a_usage_error(self, capsys):
+        assert main(["study", "--checkpoint-every", "0"]) == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def test_journal_run_then_resume_round_trip(self, tmp_path, capsys):
+        journal_dir = tmp_path / "journal"
+        first = tmp_path / "first.md"
+        args = ["study", "--journal", str(journal_dir)] + _ONE_PRODUCT
+        assert main(args + ["--output", str(first)]) == 0
+        assert (journal_dir / "journal.jsonl").exists()
+        assert list(journal_dir.glob("snapshot-*.ckpt"))
+        capsys.readouterr()
+
+        # Re-running against the same journal without --resume refuses.
+        assert main(args) == 2
+        assert "journal error" in capsys.readouterr().err
+
+        # Resuming a finished run replays nothing and matches exactly.
+        again = tmp_path / "again.md"
+        assert main(args + ["--resume", "--output", str(again)]) == 0
+        assert again.read_text() == first.read_text()
+
+    def test_resume_under_a_different_seed_is_refused(self, tmp_path, capsys):
+        journal_dir = tmp_path / "journal"
+        args = ["study", "--journal", str(journal_dir)] + _ONE_PRODUCT
+        assert main(args) == 0
+        capsys.readouterr()
+        code = main(["--seed", "999"] + args + ["--resume"])
+        assert code == 1
+        assert "resume refused" in capsys.readouterr().err

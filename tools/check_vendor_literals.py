@@ -47,6 +47,8 @@ VENDOR_NAMES = (
 REQUIRED_COVERED = (
     "src/repro/world/faults.py",
     "src/repro/exec/resilience.py",
+    "src/repro/exec/journal.py",
+    "src/repro/exec/checkpoint.py",
     "src/repro/measure/client.py",
     "src/repro/core/pipeline.py",
     "src/repro/scan/banner.py",
