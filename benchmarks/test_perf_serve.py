@@ -1,0 +1,142 @@
+"""Perf bench — the read-only serving API over a three-epoch store.
+
+Measures requests/sec over real HTTP against a populated results store,
+the read-through cache hit rate under a steady request mix, and the
+cached-path speedup over cold rendering. The budget: serving a cached
+response must be at least 5x faster than rendering it cold (segment
+read + decompress + render), or the LRU is not earning its keep.
+Numbers land in ``benchmarks/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import shutil
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.pipeline import run_full_study
+from repro.serve import ResultsServer, StoreApi
+from repro.store import ResultsStore
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+
+#: Cached serving must beat cold rendering by at least this factor.
+SPEEDUP_BUDGET = 5.0
+
+#: Requests per latency sample; medians keep outliers from deciding.
+LATENCY_ROUNDS = 50
+
+HTTP_REQUESTS = 300
+
+
+def _three_epoch_store(root: Path) -> ResultsStore:
+    """One narrowed campaign, the full campaign, and a second seed."""
+    from repro.products.registry import SMARTFILTER
+
+    run_full_study(products=[SMARTFILTER], store_dir=root)
+    run_full_study(store_dir=root)
+    run_full_study(seed=2014, products=[SMARTFILTER], store_dir=root)
+    return ResultsStore(root)
+
+
+def _request_mix(store: ResultsStore):
+    epoch = store.epoch_ids()[1]  # the full campaign's epoch
+    return [
+        "/epochs",
+        f"/epochs/{epoch}",
+        f"/epochs/{epoch}/records/installations",
+        f"/epochs/{epoch}/records/confirmations",
+        f"/epochs/{epoch}/tables/table3",
+        f"/epochs/{epoch}/tables/table4",
+        "/diff",
+    ]
+
+
+def _median_latency(api: StoreApi, targets) -> float:
+    samples = []
+    for _ in range(LATENCY_ROUNDS):
+        for target in targets:
+            started = time.perf_counter()
+            response = api.handle(target)
+            samples.append(time.perf_counter() - started)
+            assert response.status == 200
+    return statistics.median(samples)
+
+
+def test_cached_serving_beats_cold_rendering(benchmark):
+    root = Path(tempfile.mkdtemp(prefix="bench-serve-"))
+    try:
+        store = _three_epoch_store(root)
+        targets = _request_mix(store)
+
+        # Cold path: no LRU, every request renders from segments.
+        cold_api = StoreApi(store, cache_size=0)
+        # Cached path: default LRU, primed once.
+        warm_api = StoreApi(store)
+        for target in targets:
+            warm_api.handle(target)
+
+        cold_seconds = benchmark.pedantic(
+            lambda: _median_latency(cold_api, targets),
+            rounds=1,
+            iterations=1,
+        )
+        warm_seconds = _median_latency(warm_api, targets)
+        speedup = cold_seconds / warm_seconds
+
+        total = warm_api.metrics.count("serve.cache.hits") + warm_api.metrics.count(
+            "serve.cache.misses"
+        )
+        hit_rate = warm_api.metrics.count("serve.cache.hits") / total
+
+        # Throughput over real HTTP, warm cache, one keep-alive
+        # connection (protocol_version 1.1).
+        with ResultsServer(store) as server:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=10
+            )
+            started = time.perf_counter()
+            for index in range(HTTP_REQUESTS):
+                connection.request("GET", targets[index % len(targets)])
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 200
+            elapsed = time.perf_counter() - started
+            connection.close()
+        requests_per_second = HTTP_REQUESTS / elapsed
+
+        payload = {
+            "bench": "serve-cache-speedup",
+            "epochs": len(store.epoch_ids()),
+            "request_mix": len(targets),
+            "latency_rounds": LATENCY_ROUNDS,
+            "cold_median_seconds": round(cold_seconds, 6),
+            "cached_median_seconds": round(warm_seconds, 6),
+            "cached_speedup": round(speedup, 2),
+            "speedup_budget": SPEEDUP_BUDGET,
+            "cache_hit_rate": round(hit_rate, 4),
+            "http_requests": HTTP_REQUESTS,
+            "http_requests_per_second": round(requests_per_second, 1),
+        }
+        with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+        print(
+            f"\ncold {cold_seconds * 1e6:.0f}us   "
+            f"cached {warm_seconds * 1e6:.0f}us   "
+            f"speedup {speedup:.1f}x (budget {SPEEDUP_BUDGET:.0f}x)   "
+            f"hit rate {hit_rate:.0%}   "
+            f"{requests_per_second:.0f} req/s over HTTP"
+        )
+        assert speedup >= SPEEDUP_BUDGET, (
+            f"cached path only {speedup:.1f}x faster than cold rendering; "
+            f"budget is {SPEEDUP_BUDGET:.0f}x"
+        )
+        assert hit_rate > 0.9  # primed cache under a steady mix
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

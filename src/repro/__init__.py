@@ -32,6 +32,9 @@ from repro.core.characterize import ContentCharacterization
 from repro.core.identify import IdentificationPipeline, IdentificationReport
 from repro.core.pipeline import FullStudy, StudyReport, run_full_study
 from repro.exec import Executor, MemoCache, Metrics, StudyCaches
+from repro.query import QueryEngine, RecordFilter
+from repro.serve import ResultsServer
+from repro.store import ResultsStore
 from repro.world.builder import CustomScenario, WorldBuilder
 from repro.world.scenario import (
     DEFAULT_SEED,
@@ -57,6 +60,10 @@ __all__ = [
     "IdentificationReport",
     "MemoCache",
     "Metrics",
+    "QueryEngine",
+    "RecordFilter",
+    "ResultsServer",
+    "ResultsStore",
     "Scenario",
     "ScenarioConfig",
     "StudyCaches",

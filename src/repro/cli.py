@@ -7,14 +7,20 @@ Subcommands mirror the methodology's stages::
     python -m repro confirm --product "McAfee SmartFilter" --isp bayanat
     python -m repro probe --isp yemennet
     python -m repro netalyzr --isp etisalat --isp du
+    python -m repro study --store results/     # commit a durable epoch
+    python -m repro query --store results/ epochs
+    python -m repro query --store results/ diff
+    python -m repro serve --store results/ --port 8000
 
-All commands accept ``--seed``; the default seed reproduces the paper's
-published cells exactly.
+All measurement commands accept ``--seed``; the default seed reproduces
+the paper's published cells exactly. ``query`` and ``serve`` are pure
+readers over a results store written by ``study --store``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -98,6 +104,81 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--checkpoint-every", type=int, default=1, metavar="N",
         help="snapshot after every N completed study units (default 1)",
+    )
+    study.add_argument(
+        "--store", metavar="DIR",
+        help="commit the completed run to the longitudinal results "
+        "store at DIR as one immutable epoch (query it back with "
+        "'repro query', serve it with 'repro serve')",
+    )
+
+    query = commands.add_parser(
+        "query", help="query a longitudinal results store"
+    )
+    query.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="results store directory (written by 'repro study --store')",
+    )
+    query_commands = query.add_subparsers(dest="query_command", required=True)
+    q_epochs = query_commands.add_parser(
+        "epochs", help="list committed epochs (optionally filtered)"
+    )
+    q_records = query_commands.add_parser(
+        "records", help="dump record rows of one kind from one epoch"
+    )
+    q_records.add_argument(
+        "--kind", required=True,
+        help="record kind: installations, confirmations, "
+        "characterizations, or category_probe",
+    )
+    q_records.add_argument(
+        "--epoch", help="epoch id or unique prefix (default: newest)"
+    )
+    q_tables = query_commands.add_parser(
+        "tables", help="render a stored epoch's table views"
+    )
+    q_tables.add_argument(
+        "--name", required=True,
+        help="table1, table2, figure1, table3, table4, or probe",
+    )
+    q_tables.add_argument(
+        "--epoch", help="epoch id or unique prefix (default: newest)"
+    )
+    q_diff = query_commands.add_parser(
+        "diff", help="longitudinal diff between two epochs"
+    )
+    q_diff.add_argument(
+        "--old", help="older epoch id/prefix (default: second-newest)"
+    )
+    q_diff.add_argument(
+        "--new", help="newer epoch id/prefix (default: newest)"
+    )
+    q_diff.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the diff as JSON instead of the text summary",
+    )
+    for sub in (q_epochs, q_records):
+        sub.add_argument("--country", help="filter: ISO country code")
+        sub.add_argument("--asn", type=int, help="filter: AS number")
+        sub.add_argument("--product", help="filter: product name")
+        sub.add_argument("--isp", help="filter: ISP key")
+        sub.add_argument("--category", help="filter: category label")
+
+    serve = commands.add_parser(
+        "serve", help="serve a results store over read-only HTTP"
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="results store directory to serve",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="listen port (default 8000; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=128, metavar="N",
+        help="response-cache entries (default 128; 0 disables caching)",
     )
 
     identify = commands.add_parser("identify", help="run §3 identification")
@@ -239,6 +320,10 @@ def _cmd_study(args) -> int:
     if study.last_recovery is not None and not study.last_recovery.clean:
         for line in study.last_recovery.describe():
             print(f"recovery: {line}")
+    if args.store:
+        commit = study.commit_epoch(Path(args.store), outcome)
+        verb = "committed" if commit.created else "already committed"
+        print(f"epoch {commit.epoch_id[:12]} {verb} to {args.store}")
     document = write_markdown_report(report, seed=args.seed)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -314,6 +399,115 @@ def _cmd_probe(args) -> int:
     return 0
 
 
+def _open_store(args):
+    """A ResultsStore for --store DIR, or None (usage error, printed)."""
+    from pathlib import Path
+
+    from repro.store import ResultsStore
+
+    path = Path(args.store)
+    if not path.is_dir():
+        print(f"no results store at {path}", file=sys.stderr)
+        return None
+    store = ResultsStore(path)
+    if not store.epoch_ids():
+        print(f"results store {path} has no committed epochs", file=sys.stderr)
+        return None
+    return store
+
+
+def _cli_record_filter(args):
+    from repro.query import RecordFilter
+
+    return RecordFilter(
+        country=getattr(args, "country", None),
+        asn=getattr(args, "asn", None),
+        product=getattr(args, "product", None),
+        isp=getattr(args, "isp", None),
+        category=getattr(args, "category", None),
+    )
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.query import QueryEngine
+    from repro.store import StoreError
+
+    store = _open_store(args)
+    if store is None:
+        return EXIT_USAGE
+    engine = QueryEngine(store)
+    try:
+        if args.query_command == "epochs":
+            for manifest in engine.epochs(_cli_record_filter(args)):
+                window = (
+                    f"{_calendar(manifest.window_start)}"
+                    f"..{_calendar(manifest.window_end)}"
+                )
+                counts = ", ".join(
+                    f"{kind}={info.count}"
+                    for kind, info in sorted(manifest.segments.items())
+                )
+                flag = " (partial)" if manifest.partial else ""
+                print(
+                    f"{manifest.short_id}  seed={manifest.seed}  "
+                    f"{window}  {counts}{flag}"
+                )
+        elif args.query_command == "records":
+            rows = engine.select(
+                args.kind,
+                epoch=args.epoch,
+                record_filter=_cli_record_filter(args),
+            )
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        elif args.query_command == "tables":
+            print(engine.table(args.name, epoch=args.epoch))
+        else:  # diff
+            diff = engine.diff(args.old, args.new)
+            if args.as_json:
+                print(json.dumps(diff.to_document(), indent=2, sort_keys=True))
+            else:
+                for line in diff.summary_lines():
+                    print(line)
+    except (StoreError, ValueError) as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    return EXIT_OK
+
+
+def _calendar(minutes: int):
+    from repro.world.clock import SimTime
+
+    return SimTime(minutes).calendar()
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ResultsServer
+
+    if args.cache_size < 0:
+        print("--cache-size must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    store = _open_store(args)
+    if store is None:
+        return EXIT_USAGE
+    server = ResultsServer(
+        store,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+    )
+    print(
+        f"serving results store {args.store} on "
+        f"http://{server.host}:{server.port} (Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return EXIT_OK
+
+
 def _cmd_netalyzr(args) -> int:
     scenario = build_scenario(seed=args.seed)
     unknown = [name for name in args.isp if name not in scenario.world.isps]
@@ -339,12 +533,22 @@ _COMMANDS = {
     "confirm": _cmd_confirm,
     "probe": _cmd_probe,
     "netalyzr": _cmd_netalyzr,
+    "query": _cmd_query,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # A downstream reader (``repro query ... | head``) closed the
+        # pipe early; that is not an error. Point stdout at devnull so
+        # the interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,16 +7,27 @@ policy arc it cares about is temporal — Websense cutting off Yemen in
 module turns the §4 methodology into a repeatable monitor: run the same
 confirmation at intervals and detect transitions — a product appearing,
 persisting, or going stale after a vendor withdraws update support.
+
+Rounds are no longer process-lifetime state: given a results store,
+each round commits an immutable epoch (one confirmation record, indexed
+by product/ISP/country), and the transition logic itself lives in
+:mod:`repro.query.diff` — the same APPEARED/WITHDRAWN/PERSISTED rule
+the epoch diff applies — so a monitor restarted months later recovers
+its full timeline from the store instead of starting blind.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple, Union
 
 from repro.core.confirm import ConfirmationConfig, ConfirmationResult, ConfirmationStudy
+from repro.exec.checkpoint import fingerprint
 from repro.products.base import UrlFilterProduct
+from repro.query.diff import TransitionKind as EpochTransitionKind
+from repro.query.diff import sequence_transitions, stored_states
+from repro.store import ResultsStore, confirmation_epoch
 from repro.world.clock import SimTime
 from repro.world.world import World
 
@@ -31,6 +42,14 @@ class UsageState(enum.Enum):
 class TransitionKind(enum.Enum):
     APPEARED = "appeared"  # not confirmed -> confirmed
     WITHDRAWN = "withdrawn"  # confirmed -> not confirmed
+
+
+#: The monitor's change-only view of the store-level transition kinds
+#: (PERSISTED is longitudinal *stability*, not a transition).
+_KIND_FROM_EPOCH = {
+    EpochTransitionKind.APPEARED: TransitionKind.APPEARED,
+    EpochTransitionKind.WITHDRAWN: TransitionKind.WITHDRAWN,
+}
 
 
 @dataclass
@@ -54,6 +73,22 @@ class Transition:
     and_: SimTime
 
 
+def _change_transitions(
+    timeline: List[Tuple[SimTime, bool]]
+) -> List[Transition]:
+    """APPEARED/WITHDRAWN transitions along a (time, confirmed) series."""
+    states = [confirmed for _at, confirmed in timeline]
+    found: List[Transition] = []
+    for index, kind in sequence_transitions(states):
+        mapped = _KIND_FROM_EPOCH.get(kind)
+        if mapped is None:
+            continue  # PERSISTED: no change to report
+        found.append(
+            Transition(mapped, timeline[index - 1][0], timeline[index][0])
+        )
+    return found
+
+
 @dataclass
 class MonitoringSeries:
     """The timeline one monitor produced."""
@@ -65,18 +100,14 @@ class MonitoringSeries:
     def states(self) -> List[UsageState]:
         return [round_.state for round_ in self.rounds]
 
+    def timeline(self) -> List[Tuple[SimTime, bool]]:
+        return [
+            (round_.started_at, round_.state is UsageState.CONFIRMED)
+            for round_ in self.rounds
+        ]
+
     def transitions(self) -> List[Transition]:
-        found: List[Transition] = []
-        for earlier, later in zip(self.rounds, self.rounds[1:]):
-            if earlier.state is later.state:
-                continue
-            kind = (
-                TransitionKind.APPEARED
-                if later.state is UsageState.CONFIRMED
-                else TransitionKind.WITHDRAWN
-            )
-            found.append(Transition(kind, earlier.started_at, later.started_at))
-        return found
+        return _change_transitions(self.timeline())
 
     def ever_confirmed(self) -> bool:
         return any(r.state is UsageState.CONFIRMED for r in self.rounds)
@@ -87,12 +118,31 @@ class MonitoringSeries:
         return self.rounds[-1].state is UsageState.CONFIRMED
 
 
+def stored_transitions(
+    store: ResultsStore, product_name: str, isp_name: str
+) -> List[Transition]:
+    """The transition timeline recovered from a results store.
+
+    Reads every committed epoch mentioning this (product, ISP) pair —
+    monitoring-round epochs and full-study epochs alike — through the
+    store's indexes, and applies the same transition rule the in-memory
+    series uses.
+    """
+    timeline = [
+        (SimTime(minutes), confirmed)
+        for minutes, confirmed in stored_states(store, product_name, isp_name)
+    ]
+    return _change_transitions(timeline)
+
+
 class LongitudinalMonitor:
     """Re-runs one confirmation configuration at fixed intervals.
 
     Each round registers fresh domains (the §4.4 caveat: previously
     accessed sites may already be queued/categorized), so rounds are
-    independent measurements of the *current* deployment state.
+    independent measurements of the *current* deployment state. With a
+    ``store``, every round is also committed as one durable epoch, and
+    :func:`stored_transitions` can rebuild the timeline after restart.
     """
 
     def __init__(
@@ -101,19 +151,54 @@ class LongitudinalMonitor:
         product: UrlFilterProduct,
         hosting_asn: int,
         config: ConfirmationConfig,
+        *,
+        store: Optional[Union[ResultsStore, str]] = None,
     ) -> None:
         self._study = ConfirmationStudy(world, product, hosting_asn)
         self._world = world
         self._config = config
+        self.store: Optional[ResultsStore] = None
+        if store is not None:
+            self.store = (
+                store if isinstance(store, ResultsStore) else ResultsStore(store)
+            )
         self.series = MonitoringSeries(
             product_name=config.product_name, isp_name=config.isp_name
         )
+
+    def _round_identity(self, started: SimTime) -> dict:
+        """What one monitoring-round epoch is a function of.
+
+        The round index and start instant are part of the identity:
+        unlike study epochs, two monitoring rounds are distinct
+        observations even when their results happen to be identical.
+        """
+        return {
+            "kind": "monitoring-round",
+            "seed": self._world.seed,
+            "product": self._config.product_name,
+            "isp": self._config.isp_name,
+            "category": self._config.category_label,
+            "round": len(self.series.rounds),
+            "started_minutes": started.minutes,
+        }
 
     def run_round(self) -> MonitoringRound:
         """One monitoring round at the current simulated time."""
         started = self._world.now
         result = self._study.run(self._config)
         round_ = MonitoringRound(started_at=started, result=result)
+        if self.store is not None:
+            identity = self._round_identity(started)
+            self.store.commit(
+                confirmation_epoch(
+                    result,
+                    identity=identity,
+                    fingerprint=fingerprint(identity),
+                    world=self._world,
+                    window=(started.minutes, self._world.now.minutes),
+                )
+            )
         self.series.rounds.append(round_)
         return round_
 

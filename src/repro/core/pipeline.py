@@ -60,6 +60,7 @@ from repro.geo.maxmind import GeoDatabase
 from repro.products.registry import NETSWEEPER, SMARTFILTER, default_registry
 from repro.scan.banner import scan_world
 from repro.scan.shodan import ShodanIndex
+from repro.store import CommitResult, ResultsStore, study_epoch
 from repro.scan.whatweb import WhatWebEngine, world_probe
 from repro.world.clock import SimTime
 from repro.world.content import ContentClass
@@ -283,6 +284,11 @@ class FullStudy:
         #: Recovery account of the last journaled run (resume damage,
         #: snapshot choice, replayed units); None for plain runs.
         self.last_recovery: Optional[RecoveryReport] = None
+        # The epoch window opens where the scenario's clock starts; it
+        # closes at commit time, after the last unit has advanced it.
+        self._window_start = scenario.world.now.minutes
+        #: Epoch id of the last store commit this study made, if any.
+        self.last_epoch_id: Optional[str] = None
         # The resilience layer exists only when a chaos plan is active:
         # the fault-free baseline takes the untouched code paths and
         # stays byte-identical.
@@ -554,6 +560,42 @@ class FullStudy:
             breaker_states=self.resilience.breaker_states(),
         )
 
+    # ------------------------------------------------------- results store
+    def commit_epoch(self, store, outcome=None) -> CommitResult:
+        """Commit a completed (or partial) run to a results store.
+
+        ``store`` is a :class:`~repro.store.ResultsStore` or a directory
+        path; ``outcome`` defaults to assembling the completed units.
+        The epoch carries the study's identity fingerprint (the same one
+        the checkpoint layer uses), the sim-clock window the campaign
+        spanned, and — for a :class:`PartialStudyResult` — the
+        partial-data annotations. Committing is idempotent: the epoch id
+        is a content hash, so re-committing an identical run (or the
+        same run re-executed at a different ``--workers``) lands on the
+        already-durable epoch.
+        """
+        if not isinstance(store, ResultsStore):
+            store = ResultsStore(Path(store))
+        if outcome is None:
+            outcome = self._assemble()
+        if isinstance(outcome, PartialStudyResult):
+            report = outcome.report
+            partial = outcome.annotations()
+        else:
+            report = outcome
+            partial = ()
+        epoch = study_epoch(
+            report,
+            identity=self.identity(),
+            fingerprint=self.config_fingerprint(),
+            world=self._scenario.world,
+            window=(self._window_start, self._scenario.world.now.minutes),
+            partial=partial,
+        )
+        result = store.commit(epoch)
+        self.last_epoch_id = result.epoch_id
+        return result
+
     # ----------------------------------------------------------- durability
     def identity(self) -> Dict[str, Any]:
         """Everything the study's output is a function of (not workers).
@@ -748,6 +790,7 @@ def run_full_study(
     journal_dir: Optional[Path] = None,
     resume: bool = False,
     checkpoint_every: int = 1,
+    store_dir: Optional[Path] = None,
 ):
     """Build the scenario for ``seed`` and run the whole campaign.
 
@@ -765,6 +808,11 @@ def run_full_study(
     periodic snapshots land in that directory, and ``resume=True``
     continues a killed run from its newest valid snapshot — producing
     the same pure-function output as an uninterrupted run.
+
+    With ``store_dir`` the completed run is additionally committed to
+    the longitudinal results store at that directory as one immutable
+    epoch (readable back through :mod:`repro.query` and servable by
+    :mod:`repro.serve`).
     """
     scenario = build_scenario(seed=seed, config=scenario_config)
     study = FullStudy(
@@ -780,12 +828,16 @@ def run_full_study(
         fail_fast=fail_fast,
     )
     if journal_dir is not None:
-        return study.run_journaled(
+        outcome = study.run_journaled(
             journal_dir, resume=resume, checkpoint_every=checkpoint_every
         )
-    if study.resilience is not None:
-        return study.run_partial()
-    return study.run()
+    elif study.resilience is not None:
+        outcome = study.run_partial()
+    else:
+        outcome = study.run()
+    if store_dir is not None:
+        study.commit_epoch(store_dir, outcome)
+    return outcome
 
 
 def _row_order(row: Optional[Table3Row]) -> int:

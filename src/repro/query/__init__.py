@@ -1,0 +1,38 @@
+"""repro.query — filter/aggregate/diff over the longitudinal store.
+
+The read side of :mod:`repro.store`: typed record filters, grouped
+aggregates, canonical table views, and the APPEARED / WITHDRAWN /
+PERSISTED epoch diffs that :mod:`repro.core.monitor` and the serving
+API are built on.
+"""
+
+from repro.query.diff import (
+    ChurnReport,
+    EpochDiff,
+    PairTransition,
+    TransitionKind,
+    diff_epochs,
+    installation_churn,
+    pair_states,
+    sequence_transitions,
+    stored_states,
+)
+from repro.query.engine import QueryEngine, RecordFilter
+from repro.query.views import TABLE_NAMES, available_tables, render_epoch_table
+
+__all__ = [
+    "ChurnReport",
+    "EpochDiff",
+    "PairTransition",
+    "QueryEngine",
+    "RecordFilter",
+    "TABLE_NAMES",
+    "TransitionKind",
+    "available_tables",
+    "diff_epochs",
+    "installation_churn",
+    "pair_states",
+    "render_epoch_table",
+    "sequence_transitions",
+    "stored_states",
+]

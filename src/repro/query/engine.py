@@ -1,0 +1,169 @@
+"""Typed queries over a results store.
+
+The engine is the read side of the longitudinal subsystem: filters and
+aggregates over stored record rows, the table views, and the epoch
+diffs. Epoch *selection* goes through the store's secondary indexes
+(country, ASN, product, ISP, category) so a lookup touches only the
+epochs that can possibly match; record-level filtering then happens on
+the rows of those epochs alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.query.diff import EpochDiff, diff_epochs
+from repro.query.views import available_tables, render_epoch_table
+from repro.store import (
+    EpochManifest,
+    RECORD_KINDS,
+    ResultsStore,
+    StoreError,
+)
+
+
+@dataclass(frozen=True)
+class RecordFilter:
+    """A conjunctive record filter over the indexed dimensions."""
+
+    country: Optional[str] = None
+    asn: Optional[int] = None
+    product: Optional[str] = None
+    isp: Optional[str] = None
+    category: Optional[str] = None
+
+    def constraints(self) -> List[Tuple[str, str]]:
+        """(dimension, value-as-string) for every set field."""
+        found = []
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value is not None:
+                found.append((spec.name, str(value)))
+        return found
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        for dimension, value in self.constraints():
+            if str(row.get(dimension)) != value:
+                return False
+        return True
+
+    @property
+    def empty(self) -> bool:
+        return not self.constraints()
+
+
+class QueryEngine:
+    """Filter / aggregate / diff operations over one results store."""
+
+    def __init__(self, store: ResultsStore) -> None:
+        self.store = store
+
+    # ----------------------------------------------------------- selection
+    def epoch_ids(
+        self, record_filter: Optional[RecordFilter] = None
+    ) -> List[str]:
+        """Committed epoch ids (oldest first) matching the filter.
+
+        Index-driven: each constraint narrows the candidate set via its
+        secondary index; no epoch segment is ever scanned here.
+        """
+        candidates = self.store.epoch_ids()
+        if record_filter is None or record_filter.empty:
+            return candidates
+        surviving = set(candidates)
+        for dimension, value in record_filter.constraints():
+            surviving &= set(self.store.lookup(dimension, value))
+        return [epoch_id for epoch_id in candidates if epoch_id in surviving]
+
+    def epochs(
+        self, record_filter: Optional[RecordFilter] = None
+    ) -> List[EpochManifest]:
+        return [
+            self.store.manifest(epoch_id)
+            for epoch_id in self.epoch_ids(record_filter)
+        ]
+
+    def latest(self) -> EpochManifest:
+        ids = self.store.epoch_ids()
+        if not ids:
+            raise StoreError(f"store {self.store.root} has no epochs")
+        return self.store.manifest(ids[-1])
+
+    def _resolve_epoch(self, epoch: Optional[str]) -> str:
+        if epoch is None:
+            return self.latest().epoch_id
+        return self.store.resolve(epoch)
+
+    # ------------------------------------------------------------- records
+    def select(
+        self,
+        kind: str,
+        *,
+        epoch: Optional[str] = None,
+        record_filter: Optional[RecordFilter] = None,
+    ) -> List[Dict[str, Any]]:
+        """Record rows of one kind from one epoch (default: newest)."""
+        if kind not in RECORD_KINDS:
+            raise StoreError(
+                f"unknown record kind {kind!r}; one of {RECORD_KINDS}"
+            )
+        rows = self.store.records(self._resolve_epoch(epoch), kind)
+        if record_filter is None or record_filter.empty:
+            return rows
+        return [row for row in rows if record_filter.matches(row)]
+
+    def aggregate(
+        self,
+        kind: str,
+        by: Sequence[str],
+        *,
+        epoch: Optional[str] = None,
+        record_filter: Optional[RecordFilter] = None,
+    ) -> List[Dict[str, Any]]:
+        """Group-and-count rows by the given dimensions, sorted by key."""
+        if not by:
+            raise StoreError("aggregate needs at least one grouping field")
+        counts: Dict[Tuple[str, ...], int] = {}
+        for row in self.select(
+            kind, epoch=epoch, record_filter=record_filter
+        ):
+            key = tuple(str(row.get(dimension)) for dimension in by)
+            counts[key] = counts.get(key, 0) + 1
+        return [
+            {**dict(zip(by, key)), "count": count}
+            for key, count in sorted(counts.items())
+        ]
+
+    # -------------------------------------------------------------- tables
+    def table(self, name: str, *, epoch: Optional[str] = None) -> str:
+        """A rendered table, byte-identical to the live renderers."""
+        manifest = self.store.manifest(self._resolve_epoch(epoch))
+        return render_epoch_table(self.store, manifest, name)
+
+    def tables_available(self, *, epoch: Optional[str] = None) -> List[str]:
+        return available_tables(self.store.manifest(self._resolve_epoch(epoch)))
+
+    # ---------------------------------------------------------------- diff
+    def diff(
+        self, old: Optional[str] = None, new: Optional[str] = None
+    ) -> EpochDiff:
+        """Diff two epochs; defaults to the two most recent commits."""
+        ids = self.store.epoch_ids()
+        if old is None or new is None:
+            if len(ids) < 2:
+                raise StoreError(
+                    "diff needs two committed epochs "
+                    f"(store has {len(ids)})"
+                )
+            old = old if old is not None else ids[-2]
+            new = new if new is not None else ids[-1]
+        return diff_epochs(self.store, old, new)
+
+    def churn_series(self) -> List[EpochDiff]:
+        """Pairwise diffs across every consecutive epoch pair."""
+        ids = self.store.epoch_ids()
+        return [
+            diff_epochs(self.store, earlier, later)
+            for earlier, later in zip(ids, ids[1:])
+        ]

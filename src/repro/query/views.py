@@ -1,0 +1,158 @@
+"""Render stored epochs through the canonical table renderers.
+
+The serving layer must never fork the presentation logic: a table
+served from the store has to be byte-identical to the same table
+rendered live by :mod:`repro.analysis.tables`. These views rebuild the
+renderers' minimal input surface from stored rows (small shims exposing
+exactly the attributes each renderer reads) and then call the *same*
+render functions the live pipeline uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.tables import (
+    render_category_probe,
+    render_figure1,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.measure.testlists import Table4Column
+from repro.store import EpochManifest, ResultsStore
+
+#: The table names the query engine and serving API expose.
+TABLE_NAMES = (
+    "table1",
+    "table2",
+    "figure1",
+    "table3",
+    "table4",
+    "probe",
+)
+
+
+class _StoredIdentification:
+    """Ducks the slice of IdentificationReport that render_figure1 reads."""
+
+    def __init__(
+        self, rows: Sequence[Dict[str, Any]], products: Tuple[str, ...]
+    ) -> None:
+        self._rows = rows
+        self.products = products
+
+    def countries(self, product: str) -> Set[str]:
+        return {
+            row["country"]
+            for row in self._rows
+            if row["product"] == product and row["country"]
+        }
+
+
+@dataclass(frozen=True)
+class _StoredConfig:
+    product_name: str
+    isp_name: str
+    category_label: str
+
+
+class _StoredConfirmation:
+    """Ducks the slice of ConfirmationResult that render_table3 reads."""
+
+    def __init__(self, row: Dict[str, Any]) -> None:
+        self.config = _StoredConfig(
+            product_name=row["product"],
+            isp_name=row["isp"],
+            category_label=row["category"],
+        )
+        self.blocked_submitted = row["blocked_submitted"]
+        self.submitted_outcomes = tuple(range(row["submitted_outcomes"]))
+        self.confirmed = row["confirmed"]
+
+
+class _StoredCharacterization:
+    """Ducks the slice of CharacterizationResult render_table4 reads."""
+
+    def __init__(self, rows: Sequence[Dict[str, Any]]) -> None:
+        self._rows = rows
+
+    def table4_columns(self) -> Set[Table4Column]:
+        columns: Set[Table4Column] = set()
+        for row in self._rows:
+            if row["blocked"] > 0 and row.get("table4_column"):
+                columns.add(Table4Column(row["table4_column"]))
+        return columns
+
+
+class _StoredProbe:
+    """Ducks the slice of CategoryProbeResult render_category_probe reads."""
+
+    def __init__(self, row: Dict[str, Any]) -> None:
+        self.blocked_names = list(row["blocked"])
+        self.tested = row["tested"]
+
+
+def _epoch_products(manifest: EpochManifest) -> Optional[List[str]]:
+    products = manifest.identity.get("products")
+    if products is None:
+        return None
+    return list(products)
+
+
+def render_epoch_table(
+    store: ResultsStore, manifest: EpochManifest, name: str
+) -> str:
+    """One named table for one epoch, byte-identical to the live render."""
+    if name not in TABLE_NAMES:
+        raise ValueError(f"unknown table {name!r}; one of {TABLE_NAMES}")
+    epoch_id = manifest.epoch_id
+    if name == "table1":
+        return render_table1()
+    if name == "table2":
+        return render_table2(_epoch_products(manifest))
+    if name == "figure1":
+        rows = store.records(epoch_id, "installations")
+        products = _epoch_products(manifest)
+        from repro.products.registry import default_registry
+
+        names = (
+            tuple(products)
+            if products is not None
+            else tuple(default_registry().default_names())
+        )
+        return render_figure1(_StoredIdentification(rows, names))
+    if name == "table3":
+        rows = store.records(epoch_id, "confirmations")
+        return render_table3([_StoredConfirmation(row) for row in rows])
+    if name == "table4":
+        rows = store.records(epoch_id, "characterizations")
+        grouped: Dict[str, List[Dict[str, Any]]] = {}
+        for row in rows:
+            grouped.setdefault(row["isp"], []).append(row)
+        return render_table4(
+            {
+                isp: _StoredCharacterization(isp_rows)
+                for isp, isp_rows in grouped.items()
+            }
+        )
+    rows = store.records(epoch_id, "category_probe")
+    if not rows:
+        raise ValueError(f"epoch {manifest.short_id} has no category probe")
+    return render_category_probe(_StoredProbe(rows[0]))
+
+
+def available_tables(manifest: EpochManifest) -> List[str]:
+    """Which table views this epoch's segments can back."""
+    names = ["table1", "table2"]
+    if "installations" in manifest.segments:
+        names.append("figure1")
+    if "confirmations" in manifest.segments:
+        names.append("table3")
+    if "characterizations" in manifest.segments:
+        names.append("table4")
+    if "category_probe" in manifest.segments:
+        names.append("probe")
+    return names

@@ -1,0 +1,26 @@
+"""repro.serve — read-only HTTP serving over the results store.
+
+A stdlib-only threaded JSON API (:class:`ResultsServer`) with a
+read-through LRU response cache and strong content-derived ETags; the
+north-star serving story's first durable, indexed read path.
+"""
+
+from repro.serve.api import (
+    ApiError,
+    ApiResponse,
+    DEFAULT_PAGE_SIZE,
+    MAX_PAGE_SIZE,
+    ResponseCache,
+    ResultsServer,
+    StoreApi,
+)
+
+__all__ = [
+    "ApiError",
+    "ApiResponse",
+    "DEFAULT_PAGE_SIZE",
+    "MAX_PAGE_SIZE",
+    "ResponseCache",
+    "ResultsServer",
+    "StoreApi",
+]

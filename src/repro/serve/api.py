@@ -1,0 +1,475 @@
+"""Read-only JSON serving API over a results store.
+
+Stdlib-only: a :class:`http.server.ThreadingHTTPServer` front end over a
+pure request-handling core (:class:`StoreApi`) that tests and the smoke
+harness can also drive in-process. Endpoints::
+
+    GET /healthz                              liveness + epoch count
+    GET /metrics                              execution metrics snapshot
+    GET /epochs                               paginated epoch listing
+    GET /epochs/<id>                          one epoch's manifest
+    GET /epochs/<id>/records/<kind>           paginated record rows
+    GET /epochs/<id>/tables/<name>            canonical table rendering
+    GET /epochs/<id>/countries/<cc>           per-country drill-down
+    GET /epochs/<id>/products/<name>          per-product drill-down
+    GET /diff?old=<id>&new=<id>               longitudinal diff (default:
+                                              the two newest epochs)
+
+Epoch ids may be unique prefixes. Listing/record endpoints accept
+``page`` / ``per_page`` plus the record-filter dimensions (``country``,
+``asn``, ``product``, ``isp``, ``category``).
+
+Caching: every cacheable response carries a *strong* ETag derived from
+epoch content hashes (epoch ids are SHA-256s of epoch content, so a
+digest over the ids involved plus the request key is a digest of the
+response's full provenance); ``If-None-Match`` short-circuits to 304
+before any rendering. Below that sits a read-through LRU keyed by the
+request, so a cold render happens once per (request, store state). Hit
+rates, 304s, and request latencies are recorded through
+:class:`repro.exec.metrics.Metrics`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.exec.metrics import Metrics
+from repro.query import QueryEngine, RecordFilter, TABLE_NAMES
+from repro.store import RECORD_KINDS, ResultsStore, StoreError, UnknownEpoch
+
+DEFAULT_PAGE_SIZE = 50
+MAX_PAGE_SIZE = 500
+
+_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+class ApiError(Exception):
+    """A request that cannot be served; maps to an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """One computed response, ready for the HTTP layer."""
+
+    status: int
+    body: bytes
+    etag: Optional[str] = None
+
+    @property
+    def headers(self) -> List[Tuple[str, str]]:
+        found = [
+            ("Content-Type", _CONTENT_TYPE),
+            ("Content-Length", str(len(self.body))),
+        ]
+        if self.etag is not None:
+            found.append(("ETag", self.etag))
+            found.append(("Cache-Control", "no-cache"))
+        return found
+
+
+class ResponseCache:
+    """A small thread-safe LRU for rendered response bodies.
+
+    Entries are validated against the current ETag on every hit: a new
+    commit changes the store digest, changes the ETag, and silently
+    invalidates every stale entry without any explicit purge.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[str, bytes]]" = OrderedDict()
+
+    def get(self, key: str, etag: str) -> Optional[bytes]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != etag:
+                return None
+            self._entries.move_to_end(key)
+            return entry[1]
+
+    def put(self, key: str, etag: str, body: bytes) -> None:
+        if self.size <= 0:
+            return
+        with self._lock:
+            self._entries[key] = (etag, body)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.size:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def _dump(document: Any) -> bytes:
+    return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def _pagination(params: Dict[str, str]) -> Tuple[int, int]:
+    try:
+        page = int(params.get("page", "1"))
+        per_page = int(params.get("per_page", str(DEFAULT_PAGE_SIZE)))
+    except ValueError as exc:
+        raise ApiError(400, f"bad pagination parameter: {exc}") from exc
+    if page < 1:
+        raise ApiError(400, "page must be >= 1")
+    if not 1 <= per_page <= MAX_PAGE_SIZE:
+        raise ApiError(400, f"per_page must be in [1, {MAX_PAGE_SIZE}]")
+    return page, per_page
+
+
+def _paginate(
+    items: List[Any], params: Dict[str, str]
+) -> Dict[str, Any]:
+    page, per_page = _pagination(params)
+    start = (page - 1) * per_page
+    return {
+        "page": page,
+        "per_page": per_page,
+        "total": len(items),
+        "items": items[start : start + per_page],
+    }
+
+
+def _record_filter(params: Dict[str, str]) -> RecordFilter:
+    asn: Optional[int] = None
+    if "asn" in params:
+        try:
+            asn = int(params["asn"])
+        except ValueError as exc:
+            raise ApiError(400, f"bad asn parameter: {exc}") from exc
+    return RecordFilter(
+        country=params.get("country"),
+        asn=asn,
+        product=params.get("product"),
+        isp=params.get("isp"),
+        category=params.get("category"),
+    )
+
+
+class StoreApi:
+    """The HTTP-independent request core: route, cache, render."""
+
+    def __init__(
+        self,
+        store: ResultsStore,
+        *,
+        metrics: Optional[Metrics] = None,
+        cache_size: int = 128,
+    ) -> None:
+        self.store = store
+        self.engine = QueryEngine(store)
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.cache = ResponseCache(cache_size)
+
+    # ------------------------------------------------------------- request
+    def handle(
+        self, target: str, if_none_match: Optional[str] = None
+    ) -> ApiResponse:
+        """Serve one GET request target (path plus query string)."""
+        self.metrics.incr("serve.requests")
+        with self.metrics.timer("serve.request"):
+            try:
+                response = self._route(target, if_none_match)
+            except ApiError as exc:
+                response = ApiResponse(
+                    status=exc.status,
+                    body=_dump({"error": exc.message, "status": exc.status}),
+                )
+            except UnknownEpoch as exc:
+                response = ApiResponse(
+                    status=404, body=_dump({"error": str(exc), "status": 404})
+                )
+            except StoreError as exc:
+                response = ApiResponse(
+                    status=400, body=_dump({"error": str(exc), "status": 400})
+                )
+        self.metrics.incr(f"serve.responses.{response.status}")
+        return response
+
+    def _route(
+        self, target: str, if_none_match: Optional[str]
+    ) -> ApiResponse:
+        split = urlsplit(target)
+        raw_params = parse_qs(split.query, keep_blank_values=False)
+        params = {key: values[-1] for key, values in raw_params.items()}
+        parts = [unquote(part) for part in split.path.split("/") if part != ""]
+        if parts == ["healthz"]:
+            return ApiResponse(
+                status=200,
+                body=_dump(
+                    {"status": "ok", "epochs": len(self.store.epoch_ids())}
+                ),
+            )
+        if parts == ["metrics"]:
+            # Timings are not deterministic; never cached, never ETagged.
+            return ApiResponse(status=200, body=_dump(self.metrics.as_dict()))
+        if not parts:
+            raise ApiError(404, "no such endpoint; see /epochs")
+        if parts[0] == "diff" and len(parts) == 1:
+            return self._cached(target, if_none_match, self._render_diff, params)
+        if parts[0] != "epochs":
+            raise ApiError(404, f"no such endpoint: /{parts[0]}")
+        if len(parts) == 1:
+            return self._cached(
+                target, if_none_match, self._render_epoch_list, params
+            )
+        epoch_id = self.store.resolve(parts[1])
+        if len(parts) == 2:
+            return self._cached(
+                target, if_none_match, self._render_manifest, params, epoch_id
+            )
+        if len(parts) == 4 and parts[2] == "records":
+            return self._cached(
+                target,
+                if_none_match,
+                self._render_records,
+                params,
+                epoch_id,
+                parts[3],
+            )
+        if len(parts) == 4 and parts[2] == "tables":
+            return self._cached(
+                target,
+                if_none_match,
+                self._render_table,
+                params,
+                epoch_id,
+                parts[3],
+            )
+        if len(parts) == 4 and parts[2] == "countries":
+            return self._cached(
+                target,
+                if_none_match,
+                self._render_drilldown,
+                params,
+                epoch_id,
+                "country",
+                parts[3],
+            )
+        if len(parts) == 4 and parts[2] == "products":
+            return self._cached(
+                target,
+                if_none_match,
+                self._render_drilldown,
+                params,
+                epoch_id,
+                "product",
+                parts[3],
+            )
+        raise ApiError(404, f"no such endpoint: {split.path}")
+
+    # ------------------------------------------------------- cache plumbing
+    def _etag(self, request_key: str) -> str:
+        source = f"{self.store.content_state()}|{request_key}"
+        return '"' + hashlib.sha256(source.encode("utf-8")).hexdigest() + '"'
+
+    def _cached(
+        self,
+        target: str,
+        if_none_match: Optional[str],
+        render,
+        params: Dict[str, str],
+        *args: Any,
+    ) -> ApiResponse:
+        key = target
+        etag = self._etag(key)
+        if if_none_match is not None and etag in {
+            candidate.strip()
+            for candidate in if_none_match.split(",")
+        }:
+            self.metrics.incr("serve.not_modified")
+            return ApiResponse(status=304, body=b"", etag=etag)
+        body = self.cache.get(key, etag)
+        if body is not None:
+            self.metrics.incr("serve.cache.hits")
+        else:
+            self.metrics.incr("serve.cache.misses")
+            with self.metrics.timer("serve.render"):
+                body = _dump(render(params, *args))
+            self.cache.put(key, etag, body)
+        return ApiResponse(status=200, body=body, etag=etag)
+
+    # ------------------------------------------------------------ renderers
+    def _render_epoch_list(self, params: Dict[str, str]) -> Dict[str, Any]:
+        manifests = self.engine.epochs(_record_filter(params))
+        return _paginate([m.summary() for m in manifests], params)
+
+    def _render_manifest(
+        self, params: Dict[str, str], epoch_id: str
+    ) -> Dict[str, Any]:
+        manifest = self.store.manifest(epoch_id)
+        document = manifest.to_document()
+        document["tables"] = self.engine.tables_available(epoch=epoch_id)
+        return document
+
+    def _render_records(
+        self, params: Dict[str, str], epoch_id: str, kind: str
+    ) -> Dict[str, Any]:
+        if kind not in RECORD_KINDS:
+            raise ApiError(
+                404, f"no such record kind {kind!r}; one of {list(RECORD_KINDS)}"
+            )
+        rows = self.engine.select(
+            kind, epoch=epoch_id, record_filter=_record_filter(params)
+        )
+        document = _paginate(rows, params)
+        document["epoch"] = epoch_id
+        document["kind"] = kind
+        return document
+
+    def _render_table(
+        self, params: Dict[str, str], epoch_id: str, name: str
+    ) -> Dict[str, Any]:
+        if name not in TABLE_NAMES:
+            raise ApiError(
+                404, f"no such table {name!r}; one of {list(TABLE_NAMES)}"
+            )
+        try:
+            rendered = self.engine.table(name, epoch=epoch_id)
+        except ValueError as exc:
+            raise ApiError(404, str(exc)) from exc
+        return {"epoch": epoch_id, "table": name, "rendered": rendered}
+
+    def _render_drilldown(
+        self,
+        params: Dict[str, str],
+        epoch_id: str,
+        dimension: str,
+        value: str,
+    ) -> Dict[str, Any]:
+        record_filter = (
+            RecordFilter(country=value)
+            if dimension == "country"
+            else RecordFilter(product=value)
+        )
+        manifest = self.store.manifest(epoch_id)
+        if value not in manifest.keys.get(dimension, ()):
+            raise ApiError(
+                404,
+                f"epoch {manifest.short_id} has no {dimension} {value!r}",
+            )
+        document: Dict[str, Any] = {
+            "epoch": epoch_id,
+            dimension: value,
+        }
+        for kind in RECORD_KINDS:
+            if kind not in manifest.segments:
+                continue
+            rows = self.engine.select(
+                kind, epoch=epoch_id, record_filter=record_filter
+            )
+            document[kind] = rows
+        return document
+
+    def _render_diff(self, params: Dict[str, str]) -> Dict[str, Any]:
+        diff = self.engine.diff(params.get("old"), params.get("new"))
+        return diff.to_document()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP plumbing around the shared :class:`StoreApi`."""
+
+    api: StoreApi  # set by ResultsServer on the subclass
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate small writes; without this,
+    # Nagle + delayed ACK stalls every keep-alive request ~40ms.
+    disable_nagle_algorithm = True
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        response = self.api.handle(
+            self.path, self.headers.get("If-None-Match")
+        )
+        self.send_response(response.status)
+        for name, value in response.headers:
+            if response.status == 304 and name == "Content-Length":
+                value = "0"
+            self.send_header(name, value)
+        self.end_headers()
+        if response.status != 304 and response.body:
+            self.wfile.write(response.body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Request accounting goes through Metrics, not stderr.
+        pass
+
+
+class ResultsServer:
+    """A threaded HTTP server bound to one store.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``
+    after ``start()``). Use as a context manager in tests::
+
+        with ResultsServer(store) as server:
+            http.client.HTTPConnection("127.0.0.1", server.port)
+    """
+
+    def __init__(
+        self,
+        store: ResultsStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[Metrics] = None,
+        cache_size: int = 128,
+    ) -> None:
+        self.api = StoreApi(store, metrics=metrics, cache_size=cache_size)
+        handler = type("_BoundHandler", (_Handler,), {"api": self.api})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.api.metrics
+
+    def start(self) -> "ResultsServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop for the CLI (Ctrl-C to stop)."""
+        try:
+            self._server.serve_forever()
+        finally:
+            self._server.server_close()
+
+    def __enter__(self) -> "ResultsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

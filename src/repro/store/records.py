@@ -1,0 +1,197 @@
+"""Flattening study outputs into storable epoch records.
+
+An epoch's payload is a handful of *record kinds* — ``installations``
+(Figure 1 backing data), ``confirmations`` (Table 3), ``characterizations``
+(Table 4) and ``category_probe`` (§4.4) — each a list of plain JSON rows.
+The rows extend the :mod:`repro.analysis.export` flatteners with the
+geography the secondary indexes need (confirmation rows gain the ISP's
+country and ASN from the world), so a store lookup by country or ASN
+never has to re-derive ISP facts at read time.
+
+Record building happens exactly once, at commit time, against the live
+world; everything downstream (query engine, serving API) works from the
+stored rows alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.export import (
+    characterization_rows,
+    confirmations_rows,
+    installations_rows,
+)
+
+if TYPE_CHECKING:  # avoid runtime cycles: records are built *from* these
+    from repro.core.confirm import CategoryProbeResult, ConfirmationResult
+    from repro.core.pipeline import StudyReport
+    from repro.world.world import World
+
+#: The record kinds an epoch may carry, in canonical segment order.
+RECORD_KINDS = (
+    "installations",
+    "confirmations",
+    "characterizations",
+    "category_probe",
+)
+
+#: The secondary-index dimensions and the row field each one reads.
+INDEX_DIMENSIONS = ("country", "asn", "product", "isp", "category")
+
+
+@dataclass(frozen=True)
+class EpochData:
+    """A pre-commit epoch payload: identity + window + flat records."""
+
+    identity: Dict[str, Any]
+    fingerprint: str
+    seed: int
+    window: Tuple[int, int]  # (start, end) in sim-clock minutes
+    records: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    partial: Tuple[str, ...] = ()
+
+    def keys(self) -> Dict[str, List[str]]:
+        """Every index key this epoch's rows mention, per dimension.
+
+        Stored in the manifest so a missing or damaged index can be
+        rebuilt from manifests alone, without decompressing segments.
+        """
+        found: Dict[str, set] = {dim: set() for dim in INDEX_DIMENSIONS}
+        for rows in self.records.values():
+            for row in rows:
+                for dim in INDEX_DIMENSIONS:
+                    value = row.get(dim)
+                    if value is None:
+                        continue
+                    found[dim].add(str(value))
+        return {dim: sorted(values) for dim, values in found.items()}
+
+
+def _isp_geography(world: "World", isp_name: str) -> Dict[str, Any]:
+    isp = world.isps.get(isp_name)
+    if isp is None:
+        return {"country": None, "asn": None}
+    return {"country": isp.country.code, "asn": isp.asn}
+
+
+def confirmation_record(
+    result: "ConfirmationResult", world: "World"
+) -> Dict[str, Any]:
+    """One stored confirmation row (Table 3 cell + index geography)."""
+    config = result.config
+    row = {
+        "product": config.product_name,
+        "isp": config.isp_name,
+        "category": config.category_label,
+        "submitted_at": str(result.submitted_at),
+        "submitted_at_minutes": result.submitted_at.minutes,
+        "retested_at": str(result.retested_at),
+        "domains_total": config.total_domains,
+        "domains_submitted": config.submit_count,
+        "submitted_outcomes": len(result.submitted_outcomes),
+        "blocked_submitted": result.blocked_submitted,
+        "blocked_control": result.blocked_control,
+        "confirmed": result.confirmed,
+        "pre_check_accessible": result.pre_check_accessible,
+    }
+    row.update(_isp_geography(world, config.isp_name))
+    return row
+
+
+def probe_record(
+    probe: "CategoryProbeResult", world: "World"
+) -> Dict[str, Any]:
+    row = {
+        "isp": probe.isp_name,
+        "probed_at": str(probe.probed_at),
+        "tested": probe.tested,
+        "blocked": probe.blocked_names,
+    }
+    row.update(_isp_geography(world, probe.isp_name))
+    return row
+
+
+def build_epoch(
+    *,
+    identity: Dict[str, Any],
+    fingerprint: str,
+    seed: int,
+    window: Tuple[int, int],
+    records: Dict[str, List[Dict[str, Any]]],
+    partial: Sequence[str] = (),
+) -> EpochData:
+    """Assemble an :class:`EpochData`, validating record kinds."""
+    unknown = sorted(set(records) - set(RECORD_KINDS))
+    if unknown:
+        raise ValueError(f"unknown record kinds: {unknown}")
+    if window[1] < window[0]:
+        raise ValueError("epoch window ends before it starts")
+    return EpochData(
+        identity=dict(identity),
+        fingerprint=fingerprint,
+        seed=seed,
+        window=(int(window[0]), int(window[1])),
+        records={kind: list(rows) for kind, rows in records.items()},
+        partial=tuple(partial),
+    )
+
+
+def study_epoch(
+    report: "StudyReport",
+    *,
+    identity: Dict[str, Any],
+    fingerprint: str,
+    world: "World",
+    window: Tuple[int, int],
+    partial: Sequence[str] = (),
+) -> EpochData:
+    """Flatten one completed (or partial) campaign into an epoch."""
+    records: Dict[str, List[Dict[str, Any]]] = {
+        "installations": installations_rows(report),
+        "confirmations": [
+            confirmation_record(result, world)
+            for result in report.confirmations
+        ],
+        "characterizations": characterization_rows(report),
+    }
+    if report.category_probe is not None:
+        records["category_probe"] = [
+            probe_record(report.category_probe, world)
+        ]
+    return build_epoch(
+        identity=identity,
+        fingerprint=fingerprint,
+        seed=report_seed(identity),
+        window=window,
+        records=records,
+        partial=partial,
+    )
+
+
+def confirmation_epoch(
+    result: "ConfirmationResult",
+    *,
+    identity: Dict[str, Any],
+    fingerprint: str,
+    world: "World",
+    window: Tuple[int, int],
+) -> EpochData:
+    """A single-confirmation epoch (one monitoring round)."""
+    return build_epoch(
+        identity=identity,
+        fingerprint=fingerprint,
+        seed=report_seed(identity),
+        window=window,
+        records={"confirmations": [confirmation_record(result, world)]},
+    )
+
+
+def report_seed(identity: Dict[str, Any]) -> int:
+    seed = identity.get("seed")
+    if not isinstance(seed, int):
+        raise ValueError("epoch identity must carry an integer 'seed'")
+    return seed

@@ -1,0 +1,613 @@
+"""Content-addressed, append-only epoch store.
+
+The durable half of the longitudinal story: every completed (or
+partial) study run is committed as an immutable *epoch* — the on-disk
+analogue of one of the paper's repeated Shodan scans (Figure 1) or
+re-confirmations (§4.3 re-confirms SmartFilter in Etisalat in 9/2012
+and again in 4/2013). Layout under the store root::
+
+    epochs/<epoch-id>/manifest.json     identity, window, segment digests
+    epochs/<epoch-id>/<kind>.seg        zlib-compressed canonical JSON rows
+    epochs.jsonl                        append-only commit log (CRC lines)
+    indexes/<dimension>.json            secondary indexes, atomically replaced
+
+The epoch id is the SHA-256 of the manifest's canonical core (identity
+fingerprint, seed, sim-clock window, per-segment digests, index keys) —
+so identical results hash to the same epoch, committing is idempotent,
+and two runs of the same study at different ``--workers`` counts land on
+byte-identical epochs. Segments carry a CRC32 over their raw canonical
+JSON in the spirit of :mod:`repro.exec.journal`, plus a SHA-256; reads
+verify both, and any mismatch (torn file, flipped byte) raises
+:class:`SegmentDamage` instead of returning silently wrong science.
+
+Durability follows :mod:`repro.exec.checkpoint`'s protocol: epoch
+directories are staged under a temp name, each file fsynced, the
+directory atomically renamed into place, and the parent fsynced; the
+commit log and indexes are written with the same temp+fsync+replace
+dance. Secondary indexes (country, ASN, product, ISP, category) are a
+pure function of the manifests, so a missing or damaged index file is
+rebuilt on load rather than trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.store.records import INDEX_DIMENSIONS, EpochData
+
+#: Bump on any incompatible change to manifests, segments, or indexes.
+STORE_SCHEMA_VERSION = 1
+
+EPOCHS_DIRNAME = "epochs"
+INDEXES_DIRNAME = "indexes"
+COMMIT_LOG_FILENAME = "epochs.jsonl"
+MANIFEST_FILENAME = "manifest.json"
+SEGMENT_SUFFIX = ".seg"
+
+
+class StoreError(Exception):
+    """The store could not complete an operation."""
+
+
+class SegmentDamage(StoreError):
+    """A stored segment failed verification (torn write, bit flip)."""
+
+
+class UnknownEpoch(StoreError):
+    """No committed epoch matches the requested id."""
+
+
+def _canonical(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_durable(path: Path, data: bytes) -> None:
+    """temp + fsync + atomic replace + parent fsync."""
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    _fsync_file(path.parent)
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Digests and sizes for one stored record segment."""
+
+    file: str
+    count: int
+    crc32: int
+    sha256: str
+    raw_bytes: int
+    stored_bytes: int
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "count": self.count,
+            "crc32": self.crc32,
+            "sha256": self.sha256,
+            "raw_bytes": self.raw_bytes,
+            "stored_bytes": self.stored_bytes,
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "SegmentInfo":
+        return cls(
+            file=document["file"],
+            count=document["count"],
+            crc32=document["crc32"],
+            sha256=document["sha256"],
+            raw_bytes=document["raw_bytes"],
+            stored_bytes=document["stored_bytes"],
+        )
+
+
+@dataclass(frozen=True)
+class EpochManifest:
+    """One committed epoch's metadata (never its row payload)."""
+
+    epoch_id: str
+    fingerprint: str
+    seed: int
+    identity: Dict[str, Any]
+    window_start: int
+    window_end: int
+    partial: Tuple[str, ...]
+    segments: Dict[str, SegmentInfo]
+    keys: Dict[str, Tuple[str, ...]]
+
+    @property
+    def short_id(self) -> str:
+        return self.epoch_id[:12]
+
+    def core_document(self) -> Dict[str, Any]:
+        """The hashed portion of the manifest (excludes the id itself)."""
+        return {
+            "schema": STORE_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "identity": self.identity,
+            "window": {"start": self.window_start, "end": self.window_end},
+            "partial": list(self.partial),
+            "segments": {
+                kind: info.to_document()
+                for kind, info in sorted(self.segments.items())
+            },
+            "keys": {dim: list(vals) for dim, vals in sorted(self.keys.items())},
+        }
+
+    def to_document(self) -> Dict[str, Any]:
+        document = self.core_document()
+        document["epoch"] = self.epoch_id
+        return document
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "EpochManifest":
+        if document.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"manifest schema skew (found v{document.get('schema')}, "
+                f"reader v{STORE_SCHEMA_VERSION})"
+            )
+        return cls(
+            epoch_id=document["epoch"],
+            fingerprint=document["fingerprint"],
+            seed=document["seed"],
+            identity=document["identity"],
+            window_start=document["window"]["start"],
+            window_end=document["window"]["end"],
+            partial=tuple(document.get("partial", ())),
+            segments={
+                kind: SegmentInfo.from_document(info)
+                for kind, info in document["segments"].items()
+            },
+            keys={
+                dim: tuple(vals)
+                for dim, vals in document.get("keys", {}).items()
+            },
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """The listing-sized view served by ``GET /epochs``."""
+        return {
+            "epoch": self.epoch_id,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "window": {
+                "start_minutes": self.window_start,
+                "end_minutes": self.window_end,
+            },
+            "partial": list(self.partial),
+            "records": {
+                kind: info.count for kind, info in sorted(self.segments.items())
+            },
+            "keys": {dim: list(vals) for dim, vals in sorted(self.keys.items())},
+        }
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """What :meth:`ResultsStore.commit` did."""
+
+    epoch_id: str
+    created: bool  # False: identical epoch was already committed
+    path: Path
+
+
+def _encode_segment(rows: List[Dict[str, Any]]) -> Tuple[bytes, SegmentInfo]:
+    raw = _canonical(rows).encode("utf-8")
+    compressed = zlib.compress(raw, 6)
+    return compressed, SegmentInfo(
+        file="",  # filled in by the caller, which knows the kind
+        count=len(rows),
+        crc32=zlib.crc32(raw),
+        sha256=hashlib.sha256(raw).hexdigest(),
+        raw_bytes=len(raw),
+        stored_bytes=len(compressed),
+    )
+
+
+class ResultsStore:
+    """Append-only longitudinal results store rooted at one directory."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._epochs_dir = self.root / EPOCHS_DIRNAME
+        self._indexes_dir = self.root / INDEXES_DIRNAME
+        self._log_path = self.root / COMMIT_LOG_FILENAME
+        self._epochs_dir.mkdir(parents=True, exist_ok=True)
+        self._indexes_dir.mkdir(parents=True, exist_ok=True)
+        self._manifest_cache: Dict[str, EpochManifest] = {}
+        # (log mtime_ns, log size) -> epoch order, so the read-heavy
+        # serving path does not re-parse the commit log per request.
+        # Any append or rewrite changes the stat token; only clean
+        # (non-dirty) reads are cached.
+        self._order_cache: Optional[Tuple[Tuple[int, int], List[str]]] = None
+
+    # ------------------------------------------------------------- commits
+    def commit(self, epoch: EpochData) -> CommitResult:
+        """Durably commit an epoch; idempotent for identical content."""
+        segments: Dict[str, SegmentInfo] = {}
+        payloads: Dict[str, bytes] = {}
+        for kind, rows in sorted(epoch.records.items()):
+            compressed, info = _encode_segment(rows)
+            filename = f"{kind}{SEGMENT_SUFFIX}"
+            segments[kind] = SegmentInfo(
+                file=filename,
+                count=info.count,
+                crc32=info.crc32,
+                sha256=info.sha256,
+                raw_bytes=info.raw_bytes,
+                stored_bytes=info.stored_bytes,
+            )
+            payloads[filename] = compressed
+        manifest = EpochManifest(
+            epoch_id="",
+            fingerprint=epoch.fingerprint,
+            seed=epoch.seed,
+            identity=epoch.identity,
+            window_start=epoch.window[0],
+            window_end=epoch.window[1],
+            partial=epoch.partial,
+            segments=segments,
+            keys={dim: tuple(vals) for dim, vals in epoch.keys().items()},
+        )
+        epoch_id = hashlib.sha256(
+            _canonical(manifest.core_document()).encode("utf-8")
+        ).hexdigest()
+        manifest = EpochManifest(
+            epoch_id=epoch_id,
+            fingerprint=manifest.fingerprint,
+            seed=manifest.seed,
+            identity=manifest.identity,
+            window_start=manifest.window_start,
+            window_end=manifest.window_end,
+            partial=manifest.partial,
+            segments=manifest.segments,
+            keys=manifest.keys,
+        )
+        final = self._epochs_dir / epoch_id
+        if final.is_dir():
+            # Content-addressed: the identical epoch is already durable.
+            return CommitResult(epoch_id=epoch_id, created=False, path=final)
+        staging = self._epochs_dir / f".staging-{epoch_id}"
+        if staging.exists():
+            _remove_tree(staging)
+        staging.mkdir(parents=True)
+        try:
+            for filename, payload in sorted(payloads.items()):
+                with open(staging / filename, "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            manifest_bytes = (
+                json.dumps(manifest.to_document(), indent=2, sort_keys=True)
+                + "\n"
+            ).encode("utf-8")
+            with open(staging / MANIFEST_FILENAME, "wb") as handle:
+                handle.write(manifest_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(staging, final)
+            _fsync_file(self._epochs_dir)
+        except OSError as exc:
+            _remove_tree(staging)
+            raise StoreError(f"cannot commit epoch {epoch_id}: {exc}") from exc
+        self._manifest_cache[epoch_id] = manifest
+        self._append_commit_log(epoch_id)
+        self._write_indexes()
+        return CommitResult(epoch_id=epoch_id, created=True, path=final)
+
+    # ----------------------------------------------------------- commit log
+    def _append_commit_log(self, epoch_id: str) -> None:
+        # The epoch directory being logged is already on disk, so it
+        # must not count as an orphan here — only *other* unlisted
+        # directories signal damage.
+        order, dirty = self._read_log_lines()
+        extras = self._orphaned_epochs(set(order) | {epoch_id})
+        if extras:
+            order.extend(extras)
+            dirty = True
+        if epoch_id not in order:
+            order.append(epoch_id)
+        if dirty:
+            # Damage mid-log: rewrite the whole log from the recovered
+            # order rather than appending after garbage.
+            self._rewrite_commit_log(order)
+            return
+        line = self._log_line(len(order) - 1, epoch_id)
+        with open(self._log_path, "ab") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _log_line(self, seq: int, epoch_id: str) -> bytes:
+        body = _canonical(
+            {"seq": seq, "v": STORE_SCHEMA_VERSION, "epoch": epoch_id}
+        )
+        crc = zlib.crc32(body.encode("utf-8"))
+        return f'{{"crc": {crc}, "rec": {body}}}\n'.encode("utf-8")
+
+    def _rewrite_commit_log(self, order: List[str]) -> None:
+        data = b"".join(
+            self._log_line(seq, epoch_id)
+            for seq, epoch_id in enumerate(order)
+        )
+        _write_durable(self._log_path, data)
+
+    def _read_commit_log(self) -> Tuple[List[str], bool]:
+        """(epoch ids in commit order, log-was-damaged flag).
+
+        Damage semantics mirror :mod:`repro.exec.journal`: the longest
+        valid prefix is kept; committed epoch directories missing from
+        that prefix are appended in sorted-name order so an epoch can
+        never become unreachable through log damage alone.
+        """
+        token = self._log_stat_token()
+        if token is not None and self._order_cache is not None:
+            if self._order_cache[0] == token:
+                return list(self._order_cache[1]), False
+        order, dirty = self._read_log_lines()
+        extras = self._orphaned_epochs(set(order))
+        if extras:
+            dirty = True
+            order.extend(extras)
+        if not dirty and token is not None:
+            self._order_cache = (token, list(order))
+        return order, dirty
+
+    def _log_stat_token(self) -> Optional[Tuple[int, int]]:
+        try:
+            stat = os.stat(self._log_path)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _read_log_lines(self) -> Tuple[List[str], bool]:
+        """The log's longest valid prefix, without orphan recovery."""
+        order: List[str] = []
+        dirty = False
+        if self._log_path.exists():
+            raw = self._log_path.read_bytes()
+            lines = raw.split(b"\n")
+            if lines and lines[-1] != b"":
+                dirty = True  # torn tail
+                lines = lines[:-1]
+            for line in lines:
+                if line == b"":
+                    continue
+                record = self._validate_log_line(line, len(order))
+                if record is None:
+                    dirty = True
+                    break
+                order.append(record)
+        return order, dirty
+
+    def _orphaned_epochs(self, known: set) -> List[str]:
+        """Committed epoch directories absent from ``known``, by name."""
+        return sorted(
+            path.name
+            for path in self._epochs_dir.iterdir()
+            if path.is_dir()
+            and not path.name.startswith(".")
+            and path.name not in known
+            and (path / MANIFEST_FILENAME).exists()
+        )
+
+    @staticmethod
+    def _validate_log_line(line: bytes, expected_seq: int) -> Optional[str]:
+        try:
+            outer = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(outer, dict) or "crc" not in outer or "rec" not in outer:
+            return None
+        rec = outer["rec"]
+        if not isinstance(rec, dict):
+            return None
+        if zlib.crc32(_canonical(rec).encode("utf-8")) != outer["crc"]:
+            return None
+        if rec.get("v") != STORE_SCHEMA_VERSION:
+            return None
+        if rec.get("seq") != expected_seq:
+            return None
+        epoch = rec.get("epoch")
+        return epoch if isinstance(epoch, str) else None
+
+    # -------------------------------------------------------------- reading
+    def epoch_ids(self) -> List[str]:
+        """Committed epoch ids, oldest first."""
+        order, _dirty = self._read_commit_log()
+        return order
+
+    def __len__(self) -> int:
+        return len(self.epoch_ids())
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a full id or unique prefix to a committed epoch id."""
+        ids = self.epoch_ids()
+        if ref in ids:
+            return ref
+        matches = [epoch_id for epoch_id in ids if epoch_id.startswith(ref)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise UnknownEpoch(f"no epoch matches {ref!r}")
+        raise StoreError(
+            f"ambiguous epoch prefix {ref!r} ({len(matches)} matches)"
+        )
+
+    def manifest(self, epoch_id: str) -> EpochManifest:
+        cached = self._manifest_cache.get(epoch_id)
+        if cached is not None:
+            return cached
+        path = self._epochs_dir / epoch_id / MANIFEST_FILENAME
+        if not path.exists():
+            raise UnknownEpoch(f"no epoch {epoch_id!r} in {self.root}")
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable manifest for {epoch_id}: {exc}") from exc
+        manifest = EpochManifest.from_document(document)
+        if manifest.epoch_id != epoch_id:
+            raise StoreError(
+                f"manifest id mismatch under {epoch_id} "
+                f"(claims {manifest.epoch_id})"
+            )
+        self._manifest_cache[epoch_id] = manifest
+        return manifest
+
+    def manifests(self) -> List[EpochManifest]:
+        return [self.manifest(epoch_id) for epoch_id in self.epoch_ids()]
+
+    def records(self, epoch_id: str, kind: str) -> List[Dict[str, Any]]:
+        """Read and verify one segment's rows (empty if kind absent)."""
+        manifest = self.manifest(self.resolve(epoch_id))
+        info = manifest.segments.get(kind)
+        if info is None:
+            return []
+        path = self._epochs_dir / manifest.epoch_id / info.file
+        try:
+            compressed = path.read_bytes()
+        except OSError as exc:
+            raise SegmentDamage(
+                f"segment {kind} of {manifest.short_id} unreadable: {exc}"
+            ) from exc
+        try:
+            raw = zlib.decompress(compressed)
+        except zlib.error as exc:
+            raise SegmentDamage(
+                f"segment {kind} of {manifest.short_id} torn or truncated "
+                f"({exc})"
+            ) from exc
+        if zlib.crc32(raw) != info.crc32:
+            raise SegmentDamage(
+                f"segment {kind} of {manifest.short_id} failed CRC32"
+            )
+        if hashlib.sha256(raw).hexdigest() != info.sha256:
+            raise SegmentDamage(
+                f"segment {kind} of {manifest.short_id} failed SHA-256"
+            )
+        rows = json.loads(raw.decode("utf-8"))
+        if len(rows) != info.count:
+            raise SegmentDamage(
+                f"segment {kind} of {manifest.short_id} row count mismatch"
+            )
+        return rows
+
+    def verify(self, epoch_id: str) -> List[str]:
+        """Full verification of one epoch; returns problem descriptions."""
+        problems: List[str] = []
+        try:
+            manifest = self.manifest(self.resolve(epoch_id))
+        except StoreError as exc:
+            return [str(exc)]
+        recomputed = hashlib.sha256(
+            _canonical(manifest.core_document()).encode("utf-8")
+        ).hexdigest()
+        if recomputed != manifest.epoch_id:
+            problems.append("manifest core does not hash to the epoch id")
+        for kind in manifest.segments:
+            try:
+                self.records(manifest.epoch_id, kind)
+            except SegmentDamage as exc:
+                problems.append(str(exc))
+        return problems
+
+    # -------------------------------------------------------------- indexes
+    def index(self, dimension: str) -> Dict[str, List[str]]:
+        """key → epoch ids (commit order) for one index dimension.
+
+        Reads the on-disk index when it is present and consistent with
+        the committed epoch set; otherwise rebuilds from manifests and
+        rewrites the file.
+        """
+        if dimension not in INDEX_DIMENSIONS:
+            raise StoreError(
+                f"unknown index dimension {dimension!r}; "
+                f"one of {INDEX_DIMENSIONS}"
+            )
+        epoch_ids = self.epoch_ids()
+        path = self._indexes_dir / f"{dimension}.json"
+        if path.exists():
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                document = None
+            if (
+                isinstance(document, dict)
+                and document.get("schema") == STORE_SCHEMA_VERSION
+                and document.get("epochs") == epoch_ids
+                and isinstance(document.get("keys"), dict)
+            ):
+                return document["keys"]
+        self._write_indexes()
+        return self._build_index(dimension, epoch_ids)
+
+    def lookup(self, dimension: str, key: str) -> List[str]:
+        """Epoch ids whose records mention ``key``, commit order."""
+        return self.index(dimension).get(str(key), [])
+
+    def _build_index(
+        self, dimension: str, epoch_ids: List[str]
+    ) -> Dict[str, List[str]]:
+        keys: Dict[str, List[str]] = {}
+        for epoch_id in epoch_ids:
+            manifest = self.manifest(epoch_id)
+            for value in manifest.keys.get(dimension, ()):
+                keys.setdefault(value, []).append(epoch_id)
+        return {key: ids for key, ids in sorted(keys.items())}
+
+    def _write_indexes(self) -> None:
+        epoch_ids = self.epoch_ids()
+        for dimension in INDEX_DIMENSIONS:
+            document = {
+                "schema": STORE_SCHEMA_VERSION,
+                "epochs": epoch_ids,
+                "keys": self._build_index(dimension, epoch_ids),
+            }
+            data = (
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            ).encode("utf-8")
+            _write_durable(self._indexes_dir / f"{dimension}.json", data)
+
+    def rebuild_indexes(self) -> None:
+        """Force a rebuild of every index file from manifests."""
+        self._write_indexes()
+
+    # ------------------------------------------------------------- identity
+    def content_state(self) -> str:
+        """A digest over the committed epoch set, for serving ETags.
+
+        Epoch ids are content hashes, so hashing the ordered id list is
+        a strong digest of everything the store serves.
+        """
+        return hashlib.sha256(
+            "\n".join(self.epoch_ids()).encode("utf-8")
+        ).hexdigest()
+
+
+def _remove_tree(path: Path) -> None:
+    for child in sorted(path.rglob("*"), reverse=True):
+        if child.is_dir():
+            child.rmdir()
+        else:
+            child.unlink()
+    if path.exists():
+        path.rmdir()

@@ -74,3 +74,23 @@ def rng():
 def scenario() -> Scenario:
     """The full IMC'13 scenario — session-scoped; do NOT mutate."""
     return build_scenario()
+
+
+@pytest.fixture(scope="session")
+def two_epoch_store(tmp_path_factory):
+    """A results store holding two committed study epochs — do NOT commit.
+
+    Epoch 1 is a SmartFilter-only campaign, epoch 2 the default
+    four-product campaign at the same seed, so diffing old->new yields
+    both APPEARED (the other vendors' pairs) and PERSISTED (the
+    SmartFilter pairs) transitions. Yields
+    ``(store, first_report, second_report)``.
+    """
+    from repro.core.pipeline import run_full_study
+    from repro.products.registry import SMARTFILTER
+    from repro.store import ResultsStore
+
+    root = tmp_path_factory.mktemp("results-store")
+    first = run_full_study(products=[SMARTFILTER], store_dir=root)
+    second = run_full_study(store_dir=root)
+    return ResultsStore(root), first, second

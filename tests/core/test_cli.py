@@ -149,3 +149,68 @@ class DescribeStudyExitCodes:
         code = main(["--seed", "999"] + args + ["--resume"])
         assert code == 1
         assert "resume refused" in capsys.readouterr().err
+
+
+class DescribeStoreCommands:
+    """``repro study --store`` plus the ``query`` read side."""
+
+    def test_study_commits_and_recommit_is_idempotent(self, tmp_path, capsys):
+        store_dir = tmp_path / "results"
+        args = ["study", "--store", str(store_dir)] + _ONE_PRODUCT
+        assert main(args) == 0
+        assert "committed to" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "already committed" in capsys.readouterr().out
+
+    def test_query_epochs_lists_commits(self, tmp_path, capsys):
+        store_dir = tmp_path / "results"
+        assert main(["study", "--store", str(store_dir)] + _ONE_PRODUCT) == 0
+        capsys.readouterr()
+        assert main(["query", "--store", str(store_dir), "epochs"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=2013" in out
+        assert "confirmations=" in out
+
+    def test_query_records_emits_json(self, tmp_path, capsys):
+        import json
+
+        store_dir = tmp_path / "results"
+        assert main(["study", "--store", str(store_dir)] + _ONE_PRODUCT) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "query", "--store", str(store_dir),
+                "records", "--kind", "confirmations", "--isp", "etisalat",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and all(row["isp"] == "etisalat" for row in rows)
+
+    def test_query_diff_needs_two_epochs(self, tmp_path, capsys):
+        store_dir = tmp_path / "results"
+        assert main(["study", "--store", str(store_dir)] + _ONE_PRODUCT) == 0
+        capsys.readouterr()
+        assert main(["query", "--store", str(store_dir), "diff"]) == 2
+        assert "query failed" in capsys.readouterr().err
+
+    def test_query_on_missing_store_is_usage_error(self, tmp_path, capsys):
+        code = main(["query", "--store", str(tmp_path / "absent"), "epochs"])
+        assert code == 2
+        assert "no results store" in capsys.readouterr().err
+
+    def test_query_on_empty_store_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        code = main(["query", "--store", str(tmp_path / "empty"), "epochs"])
+        assert code == 2
+        assert "no committed epochs" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_cache(self, tmp_path, capsys):
+        store_dir = tmp_path / "results"
+        assert main(["study", "--store", str(store_dir)] + _ONE_PRODUCT) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", "--store", str(store_dir), "--cache-size", "-1"]
+        )
+        assert code == 2
+        assert "--cache-size" in capsys.readouterr().err

@@ -100,3 +100,72 @@ class DescribeMonitoring:
         monitor = LongitudinalMonitor(world, product, 65002, config)
         assert monitor.series.currently_confirmed() is None
         assert not monitor.series.ever_confirmed()
+
+
+class DescribeStoreBackedMonitoring:
+    def test_each_round_commits_a_distinct_epoch(self, tmp_path):
+        from repro.store import ResultsStore
+
+        world, product, _box, config = build()
+        monitor = LongitudinalMonitor(
+            world, product, 65002, config, store=str(tmp_path)
+        )
+        monitor.run(rounds=3, interval_days=30)
+        # Identical results are still three distinct observations: the
+        # round index and start instant are part of the epoch identity.
+        assert len(ResultsStore(tmp_path).epoch_ids()) == 3
+
+    def test_stored_transitions_match_in_memory_series(self, tmp_path):
+        from repro.core.monitor import stored_transitions
+        from repro.store import ResultsStore
+
+        world, product, box, config = build()
+        monitor = LongitudinalMonitor(
+            world, product, 65002, config, store=str(tmp_path)
+        )
+        monitor.run_round()
+        box.subscription.withdraw(world.now)
+        world.advance_days(30)
+        monitor.run_round()
+        live = monitor.series.transitions()
+        stored = stored_transitions(
+            ResultsStore(tmp_path), config.product_name, config.isp_name
+        )
+        assert [t.kind for t in stored] == [t.kind for t in live]
+        assert [t.kind for t in stored] == [TransitionKind.WITHDRAWN]
+
+    def test_timeline_survives_monitor_restart(self, tmp_path):
+        """A monitor restarted against the same store recovers the full
+        transition history it never saw in memory."""
+        from repro.core.monitor import stored_transitions
+        from repro.store import ResultsStore
+
+        world, product, box, config = build()
+        box.enabled = False
+        first = LongitudinalMonitor(
+            world, product, 65002, config, store=str(tmp_path)
+        )
+        first.run_round()  # not confirmed
+        box.enabled = True
+        world.advance_days(30)
+        # A brand-new monitor (fresh process, empty series) continues.
+        second = LongitudinalMonitor(
+            world, product, 65002, config, store=str(tmp_path)
+        )
+        second.run_round()  # confirmed
+        assert second.series.transitions() == []  # one round in memory
+        stored = stored_transitions(
+            ResultsStore(tmp_path), config.product_name, config.isp_name
+        )
+        assert [t.kind for t in stored] == [TransitionKind.APPEARED]
+
+    def test_round_epochs_indexed_by_pair(self, tmp_path):
+        from repro.store import ResultsStore
+
+        world, product, _box, config = build()
+        LongitudinalMonitor(
+            world, product, 65002, config, store=str(tmp_path)
+        ).run_round()
+        store = ResultsStore(tmp_path)
+        assert store.lookup("isp", config.isp_name) == store.epoch_ids()
+        assert store.lookup("product", config.product_name) == store.epoch_ids()

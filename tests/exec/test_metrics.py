@@ -1,0 +1,74 @@
+"""Thread-safety regression tests for execution metrics.
+
+The serving API hammers one shared :class:`Metrics` from every request
+thread; a lost update under ``incr`` would silently undercount cache
+hits and 304s, so the counter path is hammered from 8 threads here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exec.metrics import Metrics, TimerStats
+
+
+class DescribeCounterThreadSafety:
+    def test_incr_from_eight_threads_loses_no_updates(self):
+        metrics = Metrics()
+        threads = 8
+        per_thread = 5000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()  # maximize interleaving
+            for _ in range(per_thread):
+                metrics.incr("hammered")
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert metrics.count("hammered") == threads * per_thread
+
+    def test_incr_amounts_accumulate(self):
+        metrics = Metrics()
+        metrics.incr("n", 3)
+        metrics.incr("n", 4)
+        assert metrics.count("n") == 7
+        assert metrics.count("absent") == 0
+
+
+class DescribeTimerThreadSafety:
+    def test_concurrent_timers_lose_no_calls(self):
+        metrics = Metrics()
+        threads = 8
+        per_thread = 500
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                with metrics.timer("stage"):
+                    pass
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert metrics.timer_stats("stage").calls == threads * per_thread
+
+    def test_timer_stats_returns_snapshot_not_live_object(self):
+        metrics = Metrics()
+        with metrics.timer("stage"):
+            pass
+        snapshot = metrics.timer_stats("stage")
+        snapshot.record(999.0)  # mutating the snapshot must not leak back
+        assert metrics.timer_stats("stage").calls == 1
+        assert metrics.timer_stats("stage").max_seconds < 999.0
+
+    def test_missing_timer_is_empty_stats(self):
+        stats = Metrics().timer_stats("never-ran")
+        assert stats == TimerStats()
+        assert stats.mean_seconds == 0.0

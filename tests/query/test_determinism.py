@@ -1,0 +1,63 @@
+"""Worker-count invariance of the results store and query output.
+
+The store is content-addressed over the study's pure-function output,
+so a campaign committed at ``--workers 8`` must land on the same epoch
+id — and serve byte-identical bytes — as the same campaign at
+``--workers 1``.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import run_full_study
+from repro.query import QueryEngine
+from repro.serve import StoreApi
+from repro.store import ResultsStore
+
+
+class DescribeWorkerInvariance:
+    def test_parallel_run_lands_on_identical_epoch(
+        self, two_epoch_store, tmp_path
+    ):
+        serial_store, _first, _second = two_epoch_store
+        parallel_root = tmp_path / "parallel-store"
+        run_full_study(workers=8, store_dir=parallel_root)
+        parallel_store = ResultsStore(parallel_root)
+        # Content addressing: identical results, identical epoch id.
+        assert parallel_store.epoch_ids() == [serial_store.epoch_ids()[-1]]
+
+    def test_query_output_identical_across_worker_counts(
+        self, two_epoch_store, tmp_path
+    ):
+        serial_store, _first, _second = two_epoch_store
+        parallel_root = tmp_path / "parallel-store"
+        run_full_study(workers=8, store_dir=parallel_root)
+        parallel_store = ResultsStore(parallel_root)
+        serial = QueryEngine(serial_store)
+        parallel = QueryEngine(parallel_store)
+        epoch = parallel_store.epoch_ids()[0]
+        for name in ("figure1", "table3", "table4", "probe"):
+            assert serial.table(name, epoch=epoch) == parallel.table(
+                name, epoch=epoch
+            )
+        for kind in ("installations", "confirmations"):
+            assert serial.select(kind, epoch=epoch) == parallel.select(
+                kind, epoch=epoch
+            )
+
+    def test_served_bytes_identical_across_worker_counts(
+        self, two_epoch_store, tmp_path
+    ):
+        serial_store, _first, _second = two_epoch_store
+        parallel_root = tmp_path / "parallel-store"
+        run_full_study(workers=8, store_dir=parallel_root)
+        epoch = ResultsStore(parallel_root).epoch_ids()[0]
+        serial_api = StoreApi(serial_store)
+        parallel_api = StoreApi(ResultsStore(parallel_root))
+        for target in (
+            f"/epochs/{epoch}",
+            f"/epochs/{epoch}/records/confirmations",
+            f"/epochs/{epoch}/tables/table3",
+        ):
+            assert serial_api.handle(target).body == parallel_api.handle(
+                target
+            ).body

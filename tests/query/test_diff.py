@@ -1,0 +1,156 @@
+"""Tests for the shared transition rule and epoch diffing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.diff import (
+    TransitionKind,
+    diff_epochs,
+    installation_churn,
+    pair_states,
+    sequence_transitions,
+)
+from repro.store import ResultsStore, build_epoch
+
+
+def _confirmation_row(product, isp, confirmed):
+    return {
+        "product": product,
+        "isp": isp,
+        "country": "tl",
+        "asn": 65001,
+        "category": "Anonymizers",
+        "confirmed": confirmed,
+    }
+
+
+def _installation_row(ip, product):
+    return {"ip": ip, "product": product, "country": "tl", "asn": 65001}
+
+
+def _epoch(seed, confirmations, installations=None):
+    records = {"confirmations": confirmations}
+    if installations is not None:
+        records["installations"] = installations
+    return build_epoch(
+        identity={"seed": seed},
+        fingerprint=f"fp-{seed}",
+        seed=seed,
+        window=(seed * 100, seed * 100 + 10),
+        records=records,
+    )
+
+
+class DescribeSequenceTransitions:
+    def test_empty_and_single(self):
+        assert sequence_transitions([]) == []
+        assert sequence_transitions([True]) == []
+        assert sequence_transitions([False]) == []
+
+    def test_appearance(self):
+        assert sequence_transitions([False, True]) == [
+            (1, TransitionKind.APPEARED)
+        ]
+
+    def test_withdrawal(self):
+        assert sequence_transitions([True, False]) == [
+            (1, TransitionKind.WITHDRAWN)
+        ]
+
+    def test_persistence(self):
+        assert sequence_transitions([True, True]) == [
+            (1, TransitionKind.PERSISTED)
+        ]
+
+    def test_absent_twice_says_nothing(self):
+        assert sequence_transitions([False, False]) == []
+
+    def test_full_arc(self):
+        # The Websense-Yemen arc: appears, persists, then is withdrawn.
+        kinds = [k for _i, k in sequence_transitions([False, True, True, False])]
+        assert kinds == [
+            TransitionKind.APPEARED,
+            TransitionKind.PERSISTED,
+            TransitionKind.WITHDRAWN,
+        ]
+
+
+class DescribePairStates:
+    def test_any_confirmed_measurement_confirms_the_pair(self):
+        rows = [
+            _confirmation_row("vendor-x", "testnet", False),
+            _confirmation_row("vendor-x", "testnet", True),
+        ]
+        assert pair_states(rows) == {("vendor-x", "testnet"): True}
+
+    def test_pairs_kept_separate(self):
+        rows = [
+            _confirmation_row("vendor-x", "a", True),
+            _confirmation_row("vendor-x", "b", False),
+        ]
+        assert pair_states(rows) == {
+            ("vendor-x", "a"): True,
+            ("vendor-x", "b"): False,
+        }
+
+
+class DescribeInstallationChurn:
+    def test_appeared_withdrawn_persisted(self):
+        old = [_installation_row("1.1.1.1", "vendor-x"),
+               _installation_row("2.2.2.2", "vendor-x")]
+        new = [_installation_row("2.2.2.2", "vendor-x"),
+               _installation_row("3.3.3.3", "vendor-y")]
+        churn = installation_churn(old, new)
+        assert [e["ip"] for e in churn.appeared] == ["3.3.3.3"]
+        assert [e["ip"] for e in churn.withdrawn] == ["1.1.1.1"]
+        assert churn.persisted_count == 1
+
+    def test_same_ip_new_product_is_churn(self):
+        old = [_installation_row("1.1.1.1", "vendor-x")]
+        new = [_installation_row("1.1.1.1", "vendor-y")]
+        churn = installation_churn(old, new)
+        assert churn.persisted_count == 0
+        assert len(churn.appeared) == len(churn.withdrawn) == 1
+
+
+class DescribeDiffEpochs:
+    def test_transitions_and_churn(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        old = store.commit(_epoch(1, [
+            _confirmation_row("vendor-x", "a", True),
+            _confirmation_row("vendor-y", "b", True),
+        ], installations=[_installation_row("1.1.1.1", "vendor-x")]))
+        new = store.commit(_epoch(2, [
+            _confirmation_row("vendor-x", "a", True),
+            _confirmation_row("vendor-y", "b", False),
+            _confirmation_row("vendor-z", "c", True),
+        ], installations=[_installation_row("9.9.9.9", "vendor-z")]))
+        diff = diff_epochs(store, old.epoch_id[:8], new.epoch_id[:8])
+        by_kind = {
+            kind: [(t.product, t.isp) for t in diff.by_kind(kind)]
+            for kind in TransitionKind
+        }
+        assert by_kind[TransitionKind.PERSISTED] == [("vendor-x", "a")]
+        assert by_kind[TransitionKind.WITHDRAWN] == [("vendor-y", "b")]
+        assert by_kind[TransitionKind.APPEARED] == [("vendor-z", "c")]
+        assert diff.churn is not None
+        assert [e["ip"] for e in diff.churn.appeared] == ["9.9.9.9"]
+        assert [e["ip"] for e in diff.churn.withdrawn] == ["1.1.1.1"]
+
+    def test_document_round_trips_to_json_types(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        old = store.commit(_epoch(1, [_confirmation_row("x", "a", False)]))
+        new = store.commit(_epoch(2, [_confirmation_row("x", "a", True)]))
+        document = diff_epochs(store, old.epoch_id, new.epoch_id).to_document()
+        assert document["transitions"] == [
+            {"product": "x", "isp": "a", "transition": "appeared"}
+        ]
+        assert document["churn"] is None  # no installation segments
+
+    def test_summary_mentions_no_transitions(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        old = store.commit(_epoch(1, [_confirmation_row("x", "a", False)]))
+        new = store.commit(_epoch(2, [_confirmation_row("x", "a", False)]))
+        lines = diff_epochs(store, old.epoch_id, new.epoch_id).summary_lines()
+        assert any("no (product, isp) transitions" in line for line in lines)

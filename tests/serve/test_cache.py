@@ -1,0 +1,41 @@
+"""Tests for the response LRU cache in isolation."""
+
+from __future__ import annotations
+
+from repro.serve import ResponseCache
+
+
+class DescribeResponseCache:
+    def test_round_trip(self):
+        cache = ResponseCache(4)
+        cache.put("/a", "tag1", b"body")
+        assert cache.get("/a", "tag1") == b"body"
+
+    def test_etag_mismatch_misses(self):
+        cache = ResponseCache(4)
+        cache.put("/a", "tag1", b"body")
+        assert cache.get("/a", "tag2") is None
+
+    def test_lru_eviction(self):
+        cache = ResponseCache(2)
+        cache.put("/a", "t", b"a")
+        cache.put("/b", "t", b"b")
+        assert cache.get("/a", "t") == b"a"  # /a now most recent
+        cache.put("/c", "t", b"c")  # evicts /b
+        assert cache.get("/b", "t") is None
+        assert cache.get("/a", "t") == b"a"
+        assert cache.get("/c", "t") == b"c"
+        assert len(cache) == 2
+
+    def test_zero_size_disables_caching(self):
+        cache = ResponseCache(0)
+        cache.put("/a", "t", b"a")
+        assert cache.get("/a", "t") is None
+        assert len(cache) == 0
+
+    def test_overwrite_updates_entry(self):
+        cache = ResponseCache(2)
+        cache.put("/a", "t1", b"old")
+        cache.put("/a", "t2", b"new")
+        assert cache.get("/a", "t2") == b"new"
+        assert len(cache) == 1

@@ -1,0 +1,288 @@
+"""Tests for the content-addressed epoch store: commits, addressing,
+damage modes (torn segments, flipped bytes, log corruption), and index
+rebuilds."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.store import (
+    EpochData,
+    ResultsStore,
+    SegmentDamage,
+    StoreError,
+    UnknownEpoch,
+    build_epoch,
+)
+from repro.store.store import COMMIT_LOG_FILENAME, MANIFEST_FILENAME
+
+
+def tiny_epoch(seed: int = 1, *, isp: str = "testnet", confirmed: bool = True,
+               window=(0, 100)) -> EpochData:
+    """A minimal synthetic epoch: one confirmation row."""
+    return build_epoch(
+        identity={"seed": seed, "isp": isp, "confirmed": confirmed},
+        fingerprint=f"fp-{seed}-{isp}-{confirmed}",
+        seed=seed,
+        window=window,
+        records={
+            "confirmations": [
+                {
+                    "product": "vendor-x",
+                    "isp": isp,
+                    "country": "tl",
+                    "asn": 65001,
+                    "category": "Anonymizers",
+                    "confirmed": confirmed,
+                    "submitted_at_minutes": window[0],
+                    "submitted_outcomes": 3,
+                    "blocked_submitted": 3 if confirmed else 0,
+                }
+            ]
+        },
+    )
+
+
+class DescribeContentAddressing:
+    def test_identical_content_is_one_epoch(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        first = store.commit(tiny_epoch())
+        second = store.commit(tiny_epoch())
+        assert first.created
+        assert not second.created
+        assert first.epoch_id == second.epoch_id
+        assert len(store) == 1
+
+    def test_different_content_different_id(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        a = store.commit(tiny_epoch(seed=1))
+        b = store.commit(tiny_epoch(seed=2))
+        assert a.epoch_id != b.epoch_id
+        assert len(store) == 2
+
+    def test_commit_order_preserved_not_sorted(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        ids = [store.commit(tiny_epoch(seed=s)).epoch_id for s in (5, 3, 9)]
+        assert store.epoch_ids() == ids
+        # a fresh handle reads the same order back from the log
+        assert ResultsStore(tmp_path).epoch_ids() == ids
+
+    def test_content_state_tracks_commits(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        empty = store.content_state()
+        store.commit(tiny_epoch())
+        assert store.content_state() != empty
+
+    def test_records_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch = tiny_epoch()
+        committed = store.commit(epoch)
+        rows = store.records(committed.epoch_id, "confirmations")
+        assert rows == epoch.records["confirmations"]
+        assert store.records(committed.epoch_id, "installations") == []
+
+    def test_verify_clean_epoch(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        committed = store.commit(tiny_epoch())
+        assert store.verify(committed.epoch_id) == []
+
+
+class DescribeResolve:
+    def test_full_id_and_unique_prefix(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        assert store.resolve(epoch_id) == epoch_id
+        assert store.resolve(epoch_id[:8]) == epoch_id
+
+    def test_unknown_reference(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.commit(tiny_epoch())
+        with pytest.raises(UnknownEpoch):
+            store.resolve("zzzz")
+
+    def test_ambiguous_prefix(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.commit(tiny_epoch(seed=1))
+        store.commit(tiny_epoch(seed=2))
+        with pytest.raises(StoreError, match="ambiguous"):
+            store.resolve("")
+
+
+class DescribeSegmentDamage:
+    def _segment_path(self, store, epoch_id):
+        return store.root / "epochs" / epoch_id / "confirmations.seg"
+
+    def test_torn_segment_detected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        path = self._segment_path(store, epoch_id)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(SegmentDamage, match="torn or truncated"):
+            store.records(epoch_id, "confirmations")
+
+    def test_crc_mismatch_detected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        path = self._segment_path(store, epoch_id)
+        # Re-compress tampered rows: decompression succeeds but the
+        # stored CRC32 no longer matches the raw bytes.
+        raw = zlib.decompress(path.read_bytes())
+        tampered = raw.replace(b'"confirmed":true', b'"confirmed":null')
+        assert tampered != raw
+        path.write_bytes(zlib.compress(tampered, 6))
+        with pytest.raises(SegmentDamage, match="CRC32"):
+            store.records(epoch_id, "confirmations")
+
+    def test_missing_segment_detected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        self._segment_path(store, epoch_id).unlink()
+        with pytest.raises(SegmentDamage, match="unreadable"):
+            store.records(epoch_id, "confirmations")
+
+    def test_verify_reports_damage(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        path = self._segment_path(store, epoch_id)
+        path.write_bytes(b"\x00\x01")
+        problems = store.verify(epoch_id)
+        assert problems and "confirmations" in problems[0]
+
+    def test_manifest_claiming_wrong_id_detected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        manifest_path = store.root / "epochs" / epoch_id / MANIFEST_FILENAME
+        document = json.loads(manifest_path.read_text())
+        document["epoch"] = "0" * 64  # claims to be a different epoch
+        manifest_path.write_text(json.dumps(document))
+        fresh = ResultsStore(tmp_path)
+        with pytest.raises(StoreError, match="mismatch"):
+            fresh.manifest(epoch_id)
+
+    def test_verify_catches_silently_edited_manifest(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        manifest_path = store.root / "epochs" / epoch_id / MANIFEST_FILENAME
+        document = json.loads(manifest_path.read_text())
+        document["seed"] = 999  # silently altered science
+        manifest_path.write_text(json.dumps(document))
+        problems = ResultsStore(tmp_path).verify(epoch_id)
+        assert any("does not hash" in problem for problem in problems)
+
+
+class DescribeCommitLogRecovery:
+    def test_torn_tail_recovers_valid_prefix(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        ids = [store.commit(tiny_epoch(seed=s)).epoch_id for s in (1, 2)]
+        log = tmp_path / COMMIT_LOG_FILENAME
+        log.write_bytes(log.read_bytes()[:-10])  # tear the last line
+        fresh = ResultsStore(tmp_path)
+        # Both epochs still reachable: valid prefix + orphan recovery.
+        assert set(fresh.epoch_ids()) == set(ids)
+        assert fresh.epoch_ids()[0] == ids[0]
+
+    def test_garbage_line_recovers(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        ids = [store.commit(tiny_epoch(seed=s)).epoch_id for s in (1, 2, 3)]
+        log = tmp_path / COMMIT_LOG_FILENAME
+        lines = log.read_bytes().splitlines(keepends=True)
+        log.write_bytes(lines[0] + b'{"not": "valid record"}\n' + lines[2])
+        fresh = ResultsStore(tmp_path)
+        recovered = fresh.epoch_ids()
+        assert set(recovered) == set(ids)
+        assert recovered[0] == ids[0]
+
+    def test_deleted_log_recovers_from_directories(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        ids = {store.commit(tiny_epoch(seed=s)).epoch_id for s in (1, 2)}
+        (tmp_path / COMMIT_LOG_FILENAME).unlink()
+        assert set(ResultsStore(tmp_path).epoch_ids()) == ids
+
+    def test_next_commit_heals_damaged_log(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.commit(tiny_epoch(seed=1))
+        (tmp_path / COMMIT_LOG_FILENAME).unlink()
+        fresh = ResultsStore(tmp_path)
+        fresh.commit(tiny_epoch(seed=2))
+        # The rewrite healed the log: a third handle reads it cleanly.
+        final = ResultsStore(tmp_path)
+        order, = [final.epoch_ids()]
+        assert len(order) == 2
+        log_lines = (tmp_path / COMMIT_LOG_FILENAME).read_text().strip().split("\n")
+        assert len(log_lines) == 2
+
+
+class DescribeIndexes:
+    def test_lookup_by_every_dimension(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        assert store.lookup("isp", "testnet") == [epoch_id]
+        assert store.lookup("country", "tl") == [epoch_id]
+        assert store.lookup("asn", "65001") == [epoch_id]
+        assert store.lookup("product", "vendor-x") == [epoch_id]
+        assert store.lookup("category", "Anonymizers") == [epoch_id]
+        assert store.lookup("isp", "elsewhere") == []
+
+    def test_unknown_dimension_rejected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(StoreError, match="dimension"):
+            store.index("vendor")
+
+    def test_missing_index_rebuilt_from_manifests(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        index_path = tmp_path / "indexes" / "isp.json"
+        index_path.unlink()
+        fresh = ResultsStore(tmp_path)
+        assert fresh.lookup("isp", "testnet") == [epoch_id]
+        assert index_path.exists()  # rebuilt and rewritten
+
+    def test_stale_index_rebuilt(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        index_path = tmp_path / "indexes" / "isp.json"
+        document = json.loads(index_path.read_text())
+        document["epochs"] = ["deadbeef"]  # claims a different epoch set
+        document["keys"] = {"bogus": ["deadbeef"]}
+        index_path.write_text(json.dumps(document))
+        fresh = ResultsStore(tmp_path)
+        assert fresh.lookup("isp", "testnet") == [epoch_id]
+        assert fresh.lookup("isp", "bogus") == []
+
+    def test_corrupt_index_file_rebuilt(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        epoch_id = store.commit(tiny_epoch()).epoch_id
+        (tmp_path / "indexes" / "country.json").write_text("{not json")
+        assert ResultsStore(tmp_path).lookup("country", "tl") == [epoch_id]
+
+
+class DescribeEpochValidation:
+    def test_unknown_record_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown record kinds"):
+            build_epoch(
+                identity={"seed": 1},
+                fingerprint="fp",
+                seed=1,
+                window=(0, 1),
+                records={"surprises": []},
+            )
+
+    def test_backwards_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            build_epoch(
+                identity={"seed": 1},
+                fingerprint="fp",
+                seed=1,
+                window=(10, 5),
+                records={},
+            )
+
+    def test_keys_derived_from_rows(self):
+        epoch = tiny_epoch()
+        keys = epoch.keys()
+        assert keys["isp"] == ["testnet"]
+        assert keys["asn"] == ["65001"]
+        assert keys["country"] == ["tl"]

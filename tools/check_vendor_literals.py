@@ -52,6 +52,13 @@ REQUIRED_COVERED = (
     "src/repro/measure/client.py",
     "src/repro/core/pipeline.py",
     "src/repro/scan/banner.py",
+    "src/repro/store/records.py",
+    "src/repro/store/store.py",
+    "src/repro/query/diff.py",
+    "src/repro/query/engine.py",
+    "src/repro/query/views.py",
+    "src/repro/serve/api.py",
+    "tools/serve_smoke.py",
 )
 
 def docstring_nodes(tree: ast.AST) -> set:

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Smoke-test the serving API end to end over real HTTP.
+
+Builds (or reuses) a two-epoch results store, starts ``ResultsServer``
+on an ephemeral port, and drives every endpoint family the API exposes,
+asserting the full status-code contract:
+
+* 200 on every well-formed read (listing, manifest, records, tables,
+  drill-downs, diff, healthz, metrics),
+* 304 on revalidation with the ETag each 200 returned,
+* 404 on unknown paths, epochs, record kinds, and table names.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--store DIR]
+
+With ``--store`` the existing store is served as-is (it must hold at
+least two epochs so ``/diff`` has a pair to compare); without it a
+temporary store is populated by two campaign runs. Exits 0 only if
+every check passes; prints one line per check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+
+def build_store(root: Path):
+    from repro.core.pipeline import run_full_study
+    from repro.products.registry import SMARTFILTER
+    from repro.store import ResultsStore
+
+    run_full_study(products=[SMARTFILTER], store_dir=root)
+    run_full_study(store_dir=root)
+    return ResultsStore(root)
+
+
+def fetch(
+    host: str, port: int, target: str, etag: Optional[str] = None
+) -> Tuple[int, bytes, Optional[str]]:
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        headers = {} if etag is None else {"If-None-Match": etag}
+        connection.request("GET", target, headers=headers)
+        response = connection.getresponse()
+        return response.status, response.read(), response.getheader("ETag")
+    finally:
+        connection.close()
+
+
+def run_checks(store) -> List[str]:
+    from repro.serve import ResultsServer
+
+    failures: List[str] = []
+    epoch_ids = store.epoch_ids()
+    newest = epoch_ids[-1]
+    manifest = store.manifest(newest)
+    country = manifest.keys["country"][0]
+    product = manifest.keys["product"][0]
+
+    ok_targets = [
+        "/healthz",
+        "/metrics",
+        "/epochs",
+        "/epochs?page=1&per_page=1",
+        f"/epochs/{newest}",
+        f"/epochs/{newest[:10]}",  # unique prefix resolution
+        f"/epochs/{newest}/records/installations",
+        f"/epochs/{newest}/records/confirmations?country={country}",
+        f"/epochs/{newest}/tables/table1",
+        f"/epochs/{newest}/tables/table3",
+        f"/epochs/{newest}/countries/{country}",
+        f"/epochs/{newest}/products/{product.replace(' ', '%20')}",
+        "/diff",
+        f"/diff?old={epoch_ids[0][:8]}&new={epoch_ids[-1][:8]}",
+    ]
+    missing_targets = [
+        "/definitely/not/here",
+        "/epochs/ffffffffffff",
+        f"/epochs/{newest}/records/surprises",
+        f"/epochs/{newest}/tables/table9",
+        f"/epochs/{newest}/countries/zz",
+    ]
+
+    with ResultsServer(store) as server:
+        for target in ok_targets:
+            status, body, etag = fetch(server.host, server.port, target)
+            if status != 200:
+                failures.append(f"{target}: expected 200, got {status}")
+                continue
+            json.loads(body)  # every response must be valid JSON
+            print(f"  200 {target}")
+            if etag is None:
+                # Liveness and timings are deliberately uncacheable.
+                if target not in ("/healthz", "/metrics"):
+                    failures.append(f"{target}: missing ETag header")
+                continue
+            status, _body, _etag = fetch(
+                server.host, server.port, target, etag=etag
+            )
+            if status != 304:
+                failures.append(
+                    f"{target}: expected 304 on revalidation, got {status}"
+                )
+            else:
+                print(f"  304 {target} (If-None-Match)")
+        for target in missing_targets:
+            status, _body, _etag = fetch(server.host, server.port, target)
+            if status != 404:
+                failures.append(f"{target}: expected 404, got {status}")
+            else:
+                print(f"  404 {target}")
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--store",
+        help="serve an existing store instead of building a temporary one",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.store import ResultsStore
+
+    temp_root: Optional[Path] = None
+    try:
+        if args.store:
+            store = ResultsStore(Path(args.store))
+        else:
+            temp_root = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+            print("building a two-epoch store (two campaign runs)...")
+            store = build_store(temp_root)
+        if len(store.epoch_ids()) < 2:
+            print("smoke needs a store with at least two epochs", file=sys.stderr)
+            return 1
+        failures = run_checks(store)
+    finally:
+        if temp_root is not None:
+            shutil.rmtree(temp_root, ignore_errors=True)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke: every endpoint honored the 200/304/404 contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
