@@ -1,0 +1,193 @@
+"""Streaming scan engine benchmarks: speedup curve, throughput, memory.
+
+The tentpole targets: a 1M-host identify pass at >= 6x speedup on 8
+workers vs 1 (the scan is latency-bound — ``LATENCY`` models the
+per-batch network round trip that parallel workers overlap), with peak
+memory independent of host count (the population is generated lazily
+and results stream straight to store segments, so nothing scales with
+N). Results land in ``BENCH_scan.json``.
+
+The million-host pass is marked ``slow`` and excluded from tier-1; the
+10k smoke test and the committed-artifact schema check run in the CI
+scan-smoke job (`pytest benchmarks/test_perf_scan.py`).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec.executor import Executor, StreamStats
+from repro.scan.stream import StreamingScan
+from repro.store import ResultsStore
+from repro.world.population import ShardedPopulationConfig
+
+SEED = 41
+MILLION = 1_000_000
+BATCH_SIZE = 1000
+#: Simulated per-batch network RTT. Real banner grabs wait on the
+#: network, not the CPU; this is the cost the worker pool amortizes.
+LATENCY = 0.15
+WORKER_CURVE = (1, 2, 4, 8)
+BENCH_FILE = Path(__file__).parent / "BENCH_scan.json"
+
+#: Keys the scan-smoke CI job requires of the committed artifact.
+BENCH_SCHEMA_KEYS = (
+    "hosts",
+    "batch_size",
+    "latency_seconds",
+    "curve",
+    "speedup_8_workers",
+    "peak_rss_kb",
+    "epoch",
+)
+
+
+def _run_scan(
+    hosts: int,
+    workers: int,
+    *,
+    latency: float,
+    shards: int = 64,
+    backend: str = "thread",
+    batch_size: int = BATCH_SIZE,
+    window: int = None,
+):
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultsStore(Path(tmp))
+        scan = StreamingScan(
+            SEED,
+            ShardedPopulationConfig(host_count=hosts, shard_count=shards),
+            batch_size=batch_size,
+            latency=latency,
+        )
+        stats = StreamStats()
+        started = time.perf_counter()
+        summary = scan.run(
+            store,
+            Executor(workers=workers, backend=backend),
+            window=window,
+            stats=stats,
+        )
+        return summary, time.perf_counter() - started
+
+
+#: Child process for peak-RSS probes: ru_maxrss is a process-lifetime
+#: high-water mark, so each host count must be measured in a fresh
+#: interpreter.
+_RSS_PROBE = """
+import resource, sys, tempfile
+from pathlib import Path
+sys.path.insert(0, {src!r})
+from repro.exec.executor import Executor
+from repro.scan.stream import StreamingScan
+from repro.store import ResultsStore
+from repro.world.population import ShardedPopulationConfig
+
+hosts = int(sys.argv[1])
+with tempfile.TemporaryDirectory() as tmp:
+    scan = StreamingScan(
+        {seed}, ShardedPopulationConfig(host_count=hosts, shard_count=64),
+        batch_size={batch},
+    )
+    summary = scan.run(
+        ResultsStore(Path(tmp)), Executor(workers=4), window=8
+    )
+    assert summary.scanned == hosts
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def _peak_rss_kb(hosts: int) -> int:
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    probe = _RSS_PROBE.format(src=src, seed=SEED, batch=BATCH_SIZE)
+    output = subprocess.run(
+        [sys.executable, "-c", probe, str(hosts)],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout.strip()
+    return int(output)
+
+
+@pytest.mark.slow
+def test_million_host_speedup_and_memory(write_bench):
+    """The acceptance run: curve over workers, then RSS at two sizes."""
+    curve = []
+    epoch_ids = set()
+    for workers in WORKER_CURVE:
+        summary, elapsed = _run_scan(MILLION, workers, latency=LATENCY)
+        assert summary.scanned == MILLION
+        epoch_ids.add(summary.epoch_id)
+        curve.append(
+            {
+                "workers": workers,
+                "seconds": round(elapsed, 3),
+                "hosts_per_second": round(MILLION / elapsed, 1),
+            }
+        )
+    # Determinism first: every worker count commits the same epoch.
+    assert len(epoch_ids) == 1, f"epoch ids diverged: {epoch_ids}"
+    baseline = curve[0]["seconds"]
+    for point in curve:
+        point["speedup"] = round(baseline / point["seconds"], 2)
+    speedup_8 = curve[-1]["speedup"]
+
+    rss = {
+        str(hosts): _peak_rss_kb(hosts) for hosts in (100_000, MILLION)
+    }
+
+    write_bench(
+        BENCH_FILE.name,
+        {
+            "hosts": MILLION,
+            "batch_size": BATCH_SIZE,
+            "latency_seconds": LATENCY,
+            "curve": curve,
+            "speedup_8_workers": speedup_8,
+            "peak_rss_kb": rss,
+            "epoch": next(iter(epoch_ids)),
+        },
+    )
+
+    assert speedup_8 >= 6.0, f"8-worker speedup {speedup_8} < 6x"
+    # Peak memory must not scale with host count: 10x the hosts may
+    # cost at most 30% more RSS (interpreter noise), or 20 MB absolute.
+    small, large = rss["100000"], rss[str(MILLION)]
+    assert large <= max(small * 1.3, small + 20_000), (
+        f"peak RSS grew with host count: {small} KB -> {large} KB"
+    )
+
+
+def test_scan_smoke_10k_invariance():
+    """CI scan-smoke: sharded 10k pass, invariant across backends."""
+    base, _ = _run_scan(10_000, 1, latency=0.0, shards=8, batch_size=500)
+    assert base.scanned == 10_000
+    assert base.hits > 0
+    for workers, backend in ((4, "thread"), (4, "process")):
+        summary, _ = _run_scan(
+            10_000, workers, latency=0.0, shards=8,
+            batch_size=500, backend=backend,
+        )
+        assert summary.epoch_id == base.epoch_id
+        assert summary.hits == base.hits
+
+
+def test_bench_scan_artifact_schema():
+    """The committed BENCH_scan.json carries the fields CI checks."""
+    document = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+    for key in BENCH_SCHEMA_KEYS:
+        assert key in document, f"BENCH_scan.json missing {key!r}"
+    assert document["hosts"] == MILLION
+    curve = document["curve"]
+    assert [point["workers"] for point in curve] == list(WORKER_CURVE)
+    for point in curve:
+        assert point["hosts_per_second"] > 0
+    assert document["speedup_8_workers"] >= 6.0
+    assert len(document["epoch"]) == 64

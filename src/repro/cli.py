@@ -111,6 +111,68 @@ def build_parser() -> argparse.ArgumentParser:
         "store at DIR as one immutable epoch (query it back with "
         "'repro query', serve it with 'repro serve')",
     )
+    study.add_argument(
+        "--shards", type=int, metavar="N",
+        help="drive the §3 banner scan as N bounded-in-flight target "
+        "chunks instead of one future per host (same records, flat "
+        "memory; epoch ids are invariant to this)",
+    )
+    study.add_argument(
+        "--scan-backend", choices=("thread", "process"), default="thread",
+        help="where CPU-bound signature matching runs (default thread; "
+        "'process' fans it over a process pool — results identical)",
+    )
+
+    scan = commands.add_parser(
+        "scan", help="streaming identify pass over a synthetic host space"
+    )
+    scan.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="results store directory; matched installations stream "
+        "into one immutable epoch",
+    )
+    scan.add_argument(
+        "--hosts", type=int, default=100_000, metavar="N",
+        help="synthetic host population size (default 100000)",
+    )
+    scan.add_argument(
+        "--shards", type=int, default=16, metavar="N",
+        help="population shards; shard k regenerates from (seed, k) "
+        "alone, and the epoch id is invariant to N (default 16)",
+    )
+    scan.add_argument(
+        "--batch-size", type=int, default=1000, metavar="N",
+        help="hosts per scan batch (default 1000)",
+    )
+    scan.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel batch workers (default 1; results are "
+        "byte-identical at any worker count)",
+    )
+    scan.add_argument(
+        "--scan-backend", choices=("thread", "process"), default="thread",
+        help="batch execution backend (default thread)",
+    )
+    scan.add_argument(
+        "--window", type=int, metavar="N",
+        help="max in-flight batches (default 2x workers); the "
+        "backpressure bound that keeps memory flat",
+    )
+    scan.add_argument(
+        "--latency", type=float, default=0.0, metavar="SECONDS",
+        help="simulated network round-trip per batch (default 0)",
+    )
+    scan.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="scan under a seeded chaos plan (connection faults drop "
+        "hosts, corruption degrades banners), e.g. "
+        "'seed=7,reset=0.02,truncate=0.05'",
+    )
+    scan.add_argument(
+        "--products", action="append", metavar="NAME",
+        help="repeatable: restrict the signature set to these "
+        "registered products (default: the paper's four vendors)",
+    )
 
     query = commands.add_parser(
         "query", help="query a longitudinal results store"
@@ -267,6 +329,9 @@ def _cmd_study(args) -> int:
     if args.resume and not args.journal:
         print("--resume requires --journal DIR", file=sys.stderr)
         return EXIT_USAGE
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
     fault_plan = None
     if args.fault_plan:
         try:
@@ -284,6 +349,8 @@ def _cmd_study(args) -> int:
         fault_plan=fault_plan,
         max_retries=args.max_retries,
         fail_fast=args.fail_fast,
+        scan_shards=args.shards,
+        scan_backend=args.scan_backend,
     )
     partial = None
     try:
@@ -343,6 +410,78 @@ def _cmd_study(args) -> int:
     print(validate_report(report).summary())
     if partial is not None and not partial.complete:
         return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _cmd_scan(args) -> int:
+    from pathlib import Path
+
+    from repro.exec.executor import Executor, StreamStats
+    from repro.scan.stream import StreamingScan
+    from repro.store import ResultsStore
+    from repro.world.population import ShardedPopulationConfig
+
+    if args.hosts < 0:
+        print("--hosts must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if args.window is not None and args.window < 1:
+        print("--window must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if args.latency < 0:
+        print("--latency must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"bad --fault-plan: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    products = _validated_products(args)
+    try:
+        config = ShardedPopulationConfig(
+            host_count=args.hosts,
+            shard_count=args.shards,
+            products=None if products is None else tuple(products),
+        )
+    except ValueError as exc:
+        print(f"bad population: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    store = ResultsStore(Path(args.store))
+    scan = StreamingScan(
+        args.seed,
+        config,
+        batch_size=args.batch_size,
+        latency=args.latency,
+        fault_plan=fault_plan,
+    )
+    stats = StreamStats()
+    summary = scan.run(
+        store,
+        Executor(workers=args.workers, backend=args.scan_backend),
+        window=args.window,
+        stats=stats,
+    )
+    verb = "committed" if summary.created else "already committed"
+    print(f"epoch {summary.epoch_id[:12]} {verb} to {args.store}")
+    print(
+        f"scanned {summary.scanned} hosts in {summary.batches} batches: "
+        f"{summary.hits} installations, {summary.decoys} decoys "
+        f"dismissed, {summary.missed} unreachable"
+    )
+    print(
+        f"{summary.hosts_per_second:,.0f} hosts/sec, "
+        f"peak {summary.peak_inflight} batches in flight"
+    )
     return EXIT_OK
 
 
@@ -529,6 +668,7 @@ def _cmd_netalyzr(args) -> int:
 
 _COMMANDS = {
     "study": _cmd_study,
+    "scan": _cmd_scan,
     "identify": _cmd_identify,
     "confirm": _cmd_confirm,
     "probe": _cmd_probe,

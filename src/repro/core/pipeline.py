@@ -41,7 +41,12 @@ from repro.exec.checkpoint import (
     load_latest_snapshot,
     write_snapshot,
 )
-from repro.exec.executor import Executor
+from repro.exec.executor import (
+    BACKENDS,
+    Executor,
+    PROCESS_BACKEND,
+    THREAD_BACKEND,
+)
 from repro.exec.journal import (
     JOURNAL_FILENAME,
     JournalError,
@@ -59,7 +64,7 @@ from repro.geo.cymru import WhoisService
 from repro.geo.maxmind import GeoDatabase
 from repro.products.registry import NETSWEEPER, SMARTFILTER, default_registry
 from repro.scan.banner import scan_world
-from repro.scan.shodan import ShodanIndex
+from repro.scan.shodan import ShodanIndex, build_prematch
 from repro.store import CommitResult, ResultsStore, study_epoch
 from repro.scan.whatweb import WhatWebEngine, world_probe
 from repro.world.clock import SimTime
@@ -250,11 +255,19 @@ class FullStudy:
         fault_plan: Optional[FaultPlan] = None,
         max_retries: int = 2,
         fail_fast: bool = False,
+        scan_shards: Optional[int] = None,
+        scan_backend: str = THREAD_BACKEND,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if link_latency < 0:
             raise ValueError("link_latency must be >= 0")
+        if scan_shards is not None and scan_shards < 1:
+            raise ValueError("scan_shards must be >= 1")
+        if scan_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown scan backend {scan_backend!r}; one of {BACKENDS}"
+            )
         self._scenario = scenario
         # Resolve eagerly so unknown product names fail fast; None keeps
         # the paper's default selection (the 2013 four).
@@ -268,6 +281,10 @@ class FullStudy:
         self._shodan_coverage = shodan_coverage
         self._geo_error_rate = geo_error_rate
         self._link_latency = link_latency
+        # Execution-shape knobs: like workers, they must not influence
+        # study identity — the determinism matrix pins this down.
+        self._scan_shards = scan_shards
+        self._scan_backend = scan_backend
         self._max_retries = max_retries
         self._fail_fast = fail_fast
         self.metrics = metrics if metrics is not None else Metrics()
@@ -319,6 +336,7 @@ class FullStudy:
                 executor=self.executor,
                 probe_latency=self._link_latency,
                 resilience=self.resilience,
+                shards=self._scan_shards,
             )
             geo_rng = None
             if self._geo_error_rate:
@@ -331,10 +349,32 @@ class FullStudy:
             # The banner index geolocates every record up front; routing
             # it through the shared cache turns the §3 candidate
             # re-lookups into hits.
+            prematch = None
+            if self._scan_backend == PROCESS_BACKEND:
+                # CPU-bound signature matching is the half of the sweep
+                # a process pool can genuinely parallelize; records
+                # cross the boundary as plain picklable data and the
+                # per-record result table is order-independent.
+                keywords = [
+                    keyword
+                    for spec in registry.resolve(
+                        None if self._products is None
+                        else list(self._products)
+                    )
+                    for keyword in spec.shodan_keywords
+                ]
+                match_executor = Executor(
+                    workers=self.executor.workers,
+                    backend=PROCESS_BACKEND,
+                    metrics=self.metrics,
+                    name="study-match",
+                )
+                prematch = build_prematch(records, keywords, match_executor)
             shodan = ShodanIndex(
                 records,
                 geolocate=self.caches.wrap_geo(geo.country_code),
                 query_cache=self.caches.banner,
+                prematch=prematch,
             )
             whatweb = WhatWebEngine(
                 world_probe(world),
@@ -791,6 +831,8 @@ def run_full_study(
     resume: bool = False,
     checkpoint_every: int = 1,
     store_dir: Optional[Path] = None,
+    scan_shards: Optional[int] = None,
+    scan_backend: str = THREAD_BACKEND,
 ):
     """Build the scenario for ``seed`` and run the whole campaign.
 
@@ -826,6 +868,8 @@ def run_full_study(
         fault_plan=fault_plan,
         max_retries=max_retries,
         fail_fast=fail_fast,
+        scan_shards=scan_shards,
+        scan_backend=scan_backend,
     )
     if journal_dir is not None:
         outcome = study.run_journaled(

@@ -29,22 +29,30 @@ from repro.exec.cache import CacheStats, CachedFunction, MemoCache, StudyCaches
 from repro.exec.checkpoint import Snapshot, load_latest_snapshot, write_snapshot
 from repro.exec.journal import JournalRecord, JournalWriter, RecoveryReport
 from repro.exec.executor import (
+    BACKENDS,
     Campaign,
     CampaignOutcome,
     Executor,
+    PROCESS_BACKEND,
     RetryPolicy,
     Sequencer,
+    StreamStats,
     TaskFailure,
     TaskTimeout,
+    THREAD_BACKEND,
 )
 from repro.exec.metrics import Metrics, TimerStats
 
 __all__ = [
+    "BACKENDS",
     "CacheStats",
     "CachedFunction",
     "Campaign",
     "CampaignOutcome",
     "Executor",
+    "PROCESS_BACKEND",
+    "StreamStats",
+    "THREAD_BACKEND",
     "JournalRecord",
     "JournalWriter",
     "MemoCache",

@@ -30,7 +30,12 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -54,6 +59,28 @@ R = TypeVar("R")
 #: ``on_error`` modes for the fan-out APIs.
 RAISE = "raise"
 COLLECT = "collect"
+
+#: Executor backends. Threads share the world and suit latency-bound
+#: simulated I/O; processes suit CPU-bound work over plain picklable
+#: data (signature matching at scan scale) and require module-level
+#: task functions.
+THREAD_BACKEND = "thread"
+PROCESS_BACKEND = "process"
+BACKENDS = (THREAD_BACKEND, PROCESS_BACKEND)
+
+
+@dataclass
+class StreamStats:
+    """Observability for :meth:`Executor.stream` (backpressure proof).
+
+    ``peak_inflight`` is the high-water mark of simultaneously
+    outstanding tasks — the soak suite asserts it never exceeds the
+    configured window.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    peak_inflight: int = 0
 
 
 @dataclass(frozen=True)
@@ -218,12 +245,18 @@ class Executor:
         self,
         workers: int = 1,
         *,
+        backend: str = THREAD_BACKEND,
         metrics: Optional[Metrics] = None,
         name: str = "exec",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; one of {BACKENDS}"
+            )
         self.workers = workers
+        self.backend = backend
         self.name = name
         self.metrics = metrics if metrics is not None else Metrics()
 
@@ -294,6 +327,12 @@ class Executor:
                     yield index, result
             return
 
+        if self.backend == PROCESS_BACKEND:
+            yield from self._map_unordered_process(
+                fn, pending, label, retry, timeout
+            )
+            return
+
         pool_size = min(self.workers, len(pending))
         with ThreadPoolExecutor(
             max_workers=pool_size, thread_name_prefix=f"{self.name}-{label}"
@@ -332,6 +371,195 @@ class Executor:
                         yield index, failure
                     else:
                         yield index, result
+
+    def _map_unordered_process(
+        self,
+        fn: Callable[[T], R],
+        pending: List[T],
+        label: str,
+        retry: RetryPolicy,
+        timeout: Optional[float],
+    ) -> Iterator[Tuple[int, Any]]:
+        """Process-pool fan-out with parent-side retries.
+
+        ``fn`` must be a picklable module-level callable over plain
+        data. Retries are orchestrated from the parent (worker processes
+        carry no retry state); metrics accounting therefore stays in
+        this process, same counters as the thread path.
+        """
+        pool_size = min(self.workers, len(pending))
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                pool.submit(fn, item): (index, 1, item)
+                for index, item in enumerate(pending)
+            }
+            outstanding = set(futures)
+            while outstanding:
+                budget = None
+                if deadline is not None:
+                    budget = max(0.0, deadline - time.perf_counter())
+                done, outstanding = wait(
+                    outstanding, timeout=budget, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    for future in outstanding:
+                        future.cancel()
+                        index, _attempt, _item = futures[future]
+                        self.metrics.incr(f"{label}.timeouts")
+                        yield index, TaskTimeout(label, index, timeout or 0.0)
+                    return
+                for future in done:
+                    index, attempt, item = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        if retry.should_retry(exc, attempt):
+                            self.metrics.incr(f"{label}.retries")
+                            if retry.backoff_seconds:
+                                time.sleep(retry.backoff_seconds * attempt)
+                            replacement = pool.submit(fn, item)
+                            futures[replacement] = (index, attempt + 1, item)
+                            outstanding.add(replacement)
+                            continue
+                        self.metrics.incr(f"{label}.failures")
+                        failure = TaskFailure(label, index, attempt, exc)
+                        failure.__cause__ = exc
+                        yield index, failure
+                    else:
+                        yield index, result
+
+    # ------------------------------------------------------------ streaming
+    def stream(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        label: str = "task",
+        retry: RetryPolicy = NO_RETRY,
+        window: Optional[int] = None,
+        stats: Optional[StreamStats] = None,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Submission-ordered streaming fan-out with bounded in-flight.
+
+        Unlike :meth:`map_unordered`, ``items`` is consumed lazily and
+        at most ``window`` tasks are outstanding (in flight + buffered
+        awaiting their turn) at any moment — backpressure for scans
+        whose task list or result volume exceeds memory. Results are
+        yielded strictly in submission order; a consumer writing them
+        straight to a store segment therefore produces output identical
+        to a sequential run at any worker count or backend.
+
+        ``window`` defaults to ``max(2, 2 * workers)``. Failures arrive
+        in their slot as :class:`TaskFailure` values, never raised, so
+        one dead batch cannot tear down a million-host scan.
+        """
+        if window is None:
+            window = max(2, 2 * self.workers)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if stats is None:
+            stats = StreamStats()
+        iterator = enumerate(items)
+        if self.workers == 1:
+            for index, item in iterator:
+                self.metrics.incr(f"{label}.tasks")
+                stats.submitted += 1
+                if stats.peak_inflight < 1:
+                    stats.peak_inflight = 1
+                try:
+                    result, _attempts = self._run_once(
+                        fn, item, index, label, retry
+                    )
+                except TaskFailure as failure:
+                    outcome: Any = failure
+                else:
+                    outcome = result
+                stats.completed += 1
+                yield index, outcome
+            return
+
+        process = self.backend == PROCESS_BACKEND
+        buffered: Dict[int, Any] = {}
+        next_yield = 0
+        exhausted = False
+
+        def fill(pool: Any, futures: Dict[Any, Tuple[int, int, Any]]) -> None:
+            nonlocal exhausted
+            while not exhausted and len(futures) + len(buffered) < window:
+                try:
+                    index, item = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    return
+                self.metrics.incr(f"{label}.tasks")
+                stats.submitted += 1
+                if process:
+                    future = pool.submit(fn, item)
+                else:
+                    future = pool.submit(
+                        self._run_once, fn, item, index, label, retry
+                    )
+                futures[future] = (index, 1, item)
+                if len(futures) > stats.peak_inflight:
+                    stats.peak_inflight = len(futures)
+
+        def settle(
+            pool: Any,
+            futures: Dict[Any, Tuple[int, int, Any]],
+            future: Any,
+        ) -> None:
+            index, attempt, item = futures.pop(future)
+            try:
+                result = future.result()
+            except TaskFailure as failure:
+                buffered[index] = failure
+                stats.completed += 1
+            except Exception as exc:
+                # Only the process path surfaces raw exceptions here;
+                # thread tasks wrap retries inside _run_once.
+                if process and retry.should_retry(exc, attempt):
+                    self.metrics.incr(f"{label}.retries")
+                    if retry.backoff_seconds:
+                        time.sleep(retry.backoff_seconds * attempt)
+                    replacement = pool.submit(fn, item)
+                    futures[replacement] = (index, attempt + 1, item)
+                    return
+                self.metrics.incr(f"{label}.failures")
+                failure = TaskFailure(label, index, attempt, exc)
+                failure.__cause__ = exc
+                buffered[index] = failure
+                stats.completed += 1
+            else:
+                if not process:
+                    result, _attempts = result
+                buffered[index] = result
+                stats.completed += 1
+
+        pool_size = min(self.workers, window)
+        if process:
+            pool_context: Any = ProcessPoolExecutor(max_workers=pool_size)
+        else:
+            pool_context = ThreadPoolExecutor(
+                max_workers=pool_size,
+                thread_name_prefix=f"{self.name}-{label}",
+            )
+        with pool_context as pool:
+            futures: Dict[Any, Tuple[int, int, Any]] = {}
+            while True:
+                while next_yield in buffered:
+                    yield next_yield, buffered.pop(next_yield)
+                    next_yield += 1
+                fill(pool, futures)
+                if not futures:
+                    break
+                done, _pending = wait(
+                    set(futures), return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    settle(pool, futures, future)
 
     def map(
         self,

@@ -7,12 +7,28 @@ from repro.scan.banner import (
     scan_world,
 )
 from repro.scan.census import CensusDataset, run_census
-from repro.scan.shodan import DEFAULT_RESULT_CAP, ShodanIndex, ShodanQueryLog
+from repro.scan.shodan import (
+    DEFAULT_RESULT_CAP,
+    PrematchTable,
+    ShodanIndex,
+    ShodanQueryLog,
+    build_prematch,
+    keyword_tokens,
+)
 from repro.products.registry import (
     BLUE_COAT,
     NETSWEEPER,
     SMARTFILTER,
     WEBSENSE,
+)
+from repro.scan.stream import (
+    BatchJob,
+    BatchResult,
+    DEFAULT_BATCH_SIZE,
+    SCAN_VANTAGE,
+    ScanSummary,
+    StreamingScan,
+    scan_batch,
 )
 from repro.scan.signatures import (
     DEFAULT_PROBE_PLAN,
@@ -32,13 +48,21 @@ from repro.scan.whatweb import (
 __all__ = [
     "BLUE_COAT",
     "BannerRecord",
+    "BatchJob",
+    "BatchResult",
     "CensusDataset",
+    "DEFAULT_BATCH_SIZE",
     "DEFAULT_PROBE_PLAN",
     "DEFAULT_RESULT_CAP",
     "DEFAULT_SCAN_PORTS",
     "Evidence",
+    "SCAN_VANTAGE",
+    "ScanSummary",
+    "StreamingScan",
+    "scan_batch",
     "NETSWEEPER",
     "PRODUCT_NAMES",
+    "PrematchTable",
     "ProbeObservation",
     "ProductMatch",
     "SHODAN_KEYWORDS",
@@ -49,7 +73,9 @@ __all__ = [
     "WHATWEB_SIGNATURES",
     "WhatWebEngine",
     "WhatWebReport",
+    "build_prematch",
     "grab_banner",
+    "keyword_tokens",
     "run_census",
     "scan_world",
     "world_probe",

@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.exec.executor import Executor
+from repro.exec.executor import Executor, TaskFailure, THREAD_BACKEND
 from repro.exec.resilience import ResilientRunner
 from repro.net.fetch import FetchOutcome
 from repro.net.ip import Ipv4Address
@@ -119,6 +119,7 @@ def scan_world(
     executor: Optional[Executor] = None,
     probe_latency: float = 0.0,
     resilience: Optional[ResilientRunner] = None,
+    shards: Optional[int] = None,
 ) -> List[BannerRecord]:
     """Banner-grab every visible service in the world.
 
@@ -137,9 +138,20 @@ def scan_world(
     scan coverage counters report the gap. No circuit breaker attaches
     here: the fan-out is unordered, and breaker state would then depend
     on scheduling.
+
+    ``shards`` switches the fan-out to contiguous target chunks driven
+    through :meth:`Executor.stream` — bounded in-flight work instead of
+    one pending future per host, which is what keeps memory flat when
+    the target list is large. Chunked or not, batches merge in address
+    order, so the record list is identical either way. World objects
+    cannot cross process boundaries, so sharded world scans require the
+    thread backend; the process backend's home is
+    :class:`repro.scan.stream.StreamingScan`.
     """
     if not 0.0 <= coverage <= 1.0:
         raise ValueError("coverage must be within [0, 1]")
+    if shards is not None and shards < 1:
+        raise ValueError("shards must be >= 1")
     targets: List[Ipv4Address] = []
     for ip_value in sorted(world.hosts):
         ip = Ipv4Address(ip_value)
@@ -170,6 +182,33 @@ def scan_world(
 
     if executor is None or executor.workers == 1:
         batches = [scan_host(ip) for ip in targets]
+    elif shards is not None:
+        if executor.backend != THREAD_BACKEND:
+            raise ValueError(
+                "sharded world scans require the thread backend "
+                "(worlds are not picklable); use "
+                "repro.scan.stream.StreamingScan for process-pool scans"
+            )
+        from repro.world.population import shard_bounds_for
+
+        shard_count = min(shards, len(targets)) or 1
+
+        def scan_chunk(bounds: tuple) -> List[List[BannerRecord]]:
+            start, stop = bounds
+            return [scan_host(ip) for ip in targets[start:stop]]
+
+        batches = []
+        for _index, outcome in executor.stream(
+            scan_chunk,
+            [
+                shard_bounds_for(len(targets), shard_count, shard)
+                for shard in range(shard_count)
+            ],
+            label="scan",
+        ):
+            if isinstance(outcome, TaskFailure):
+                raise outcome
+            batches.extend(outcome)
     else:
         batches = executor.map(scan_host, targets, label="scan")
     return [record for batch in batches for record in batch]

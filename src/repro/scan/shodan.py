@@ -23,6 +23,77 @@ from repro.scan.banner import BannerRecord
 DEFAULT_RESULT_CAP = 100
 
 
+@dataclass(frozen=True)
+class PrematchTable:
+    """Precomputed keyword-token matches for a fixed banner corpus.
+
+    Signature matching is the CPU-bound half of a Shodan sweep: every
+    query token is substring-checked against every banner. A prematch
+    table moves that work to a fan-out stage — for each record, which
+    of the known keyword ``tokens`` its banner contains — so queries
+    become set lookups. Built by :func:`build_prematch`, consumed by
+    :class:`ShodanIndex`; query semantics are byte-identical with or
+    without one (the table is keyed on the exact ``matches_keyword``
+    predicate).
+    """
+
+    tokens: frozenset
+    matches: Dict[Tuple[int, int], Tuple[str, ...]]
+
+
+def keyword_tokens(keywords: Iterable[str]) -> frozenset:
+    """The lowered token universe of a set of query keywords."""
+    tokens: Set[str] = set()
+    for keyword in keywords:
+        for token in _tokenize(keyword):
+            tokens.add(token.lower())
+    return frozenset(tokens)
+
+
+def prematch_chunk(
+    payload: Tuple[List[BannerRecord], Tuple[str, ...]],
+) -> Dict[Tuple[int, int], Tuple[str, ...]]:
+    """Match one record chunk against the token universe.
+
+    Module-level and fed plain picklable data so a process-pool
+    :class:`~repro.exec.executor.Executor` can run it.
+    """
+    records, tokens = payload
+    matched: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+    for record in records:
+        matched[(record.ip.value, record.port)] = tuple(
+            token for token in tokens if record.matches_keyword(token)
+        )
+    return matched
+
+
+def build_prematch(
+    records: Iterable[BannerRecord],
+    keywords: Iterable[str],
+    executor,
+    *,
+    chunk_size: int = 256,
+) -> PrematchTable:
+    """Fan signature matching out over an executor (any backend).
+
+    Chunks merge in submission order, but the result is a per-record
+    mapping, so the table — and every query answered from it — is
+    independent of worker count and backend.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    tokens = tuple(sorted(keyword_tokens(keywords)))
+    pool = list(records)
+    payloads = [
+        (pool[start: start + chunk_size], tokens)
+        for start in range(0, len(pool), chunk_size)
+    ]
+    matches: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+    for chunk in executor.map(prematch_chunk, payloads, label="prematch"):
+        matches.update(chunk)
+    return PrematchTable(tokens=frozenset(tokens), matches=matches)
+
+
 @dataclass
 class ShodanQueryLog:
     """Bookkeeping: queries issued and how many results each returned."""
@@ -47,6 +118,7 @@ class ShodanIndex:
         result_cap: int = DEFAULT_RESULT_CAP,
         geolocate: Optional[Callable[[Ipv4Address], Optional[str]]] = None,
         query_cache: Optional[MemoCache] = None,
+        prematch: Optional[PrematchTable] = None,
     ) -> None:
         """``geolocate`` overrides each record's country tag (e.g. with a
         MaxMind-style database including its errors); records the
@@ -56,6 +128,10 @@ class ShodanIndex:
         models *not issuing the API query again*, so it is answered
         without touching the query log — the paper counts queries
         actually sent to the service.
+
+        ``prematch`` (see :func:`build_prematch`) answers keyword
+        tokens from a precomputed table; tokens outside its universe
+        fall back to direct substring matching.
         """
         self._records: List[BannerRecord] = []
         for record in records:
@@ -69,6 +145,7 @@ class ShodanIndex:
         self.result_cap = result_cap
         self.log = ShodanQueryLog()
         self._query_cache = query_cache
+        self._prematch = prematch
 
     def __len__(self) -> int:
         return len(self._records)
@@ -109,11 +186,21 @@ class ShodanIndex:
         tokens = _tokenize(query)
         hits: List[BannerRecord] = []
         for record in self._records:
-            if all(_token_matches(record, token) for token in tokens):
+            if all(self._matches(record, token) for token in tokens):
                 hits.append(record)
                 if len(hits) >= self.result_cap:
                     break
         return hits
+
+    def _matches(self, record: BannerRecord, token: str) -> bool:
+        prematch = self._prematch
+        if prematch is not None:
+            lowered = token.lower()
+            if lowered in prematch.tokens:
+                return lowered in prematch.matches.get(
+                    (record.ip.value, record.port), ()
+                )
+        return _token_matches(record, token)
 
     def search_expanded(
         self,

@@ -15,6 +15,7 @@ from repro.store.records import (
     confirmation_record,
     study_epoch,
 )
+from repro.store.segments import EpochStream, SegmentWriter
 from repro.store.store import (
     CommitResult,
     EpochManifest,
@@ -30,9 +31,11 @@ __all__ = [
     "CommitResult",
     "EpochData",
     "EpochManifest",
+    "EpochStream",
     "INDEX_DIMENSIONS",
     "RECORD_KINDS",
     "ResultsStore",
+    "SegmentWriter",
     "STORE_SCHEMA_VERSION",
     "SegmentDamage",
     "SegmentInfo",

@@ -257,8 +257,7 @@ class ResultsStore:
                 stored_bytes=info.stored_bytes,
             )
             payloads[filename] = compressed
-        manifest = EpochManifest(
-            epoch_id="",
+        manifest = self._seal_manifest(
             fingerprint=epoch.fingerprint,
             seed=epoch.seed,
             identity=epoch.identity,
@@ -268,20 +267,7 @@ class ResultsStore:
             segments=segments,
             keys={dim: tuple(vals) for dim, vals in epoch.keys().items()},
         )
-        epoch_id = hashlib.sha256(
-            _canonical(manifest.core_document()).encode("utf-8")
-        ).hexdigest()
-        manifest = EpochManifest(
-            epoch_id=epoch_id,
-            fingerprint=manifest.fingerprint,
-            seed=manifest.seed,
-            identity=manifest.identity,
-            window_start=manifest.window_start,
-            window_end=manifest.window_end,
-            partial=manifest.partial,
-            segments=manifest.segments,
-            keys=manifest.keys,
-        )
+        epoch_id = manifest.epoch_id
         final = self._epochs_dir / epoch_id
         if final.is_dir():
             # Content-addressed: the identical epoch is already durable.
@@ -296,23 +282,94 @@ class ResultsStore:
                     handle.write(payload)
                     handle.flush()
                     os.fsync(handle.fileno())
-            manifest_bytes = (
-                json.dumps(manifest.to_document(), indent=2, sort_keys=True)
-                + "\n"
-            ).encode("utf-8")
-            with open(staging / MANIFEST_FILENAME, "wb") as handle:
-                handle.write(manifest_bytes)
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._write_manifest(staging, manifest)
             os.replace(staging, final)
             _fsync_file(self._epochs_dir)
         except OSError as exc:
             _remove_tree(staging)
             raise StoreError(f"cannot commit epoch {epoch_id}: {exc}") from exc
-        self._manifest_cache[epoch_id] = manifest
-        self._append_commit_log(epoch_id)
-        self._write_indexes()
+        self._register_commit(manifest)
         return CommitResult(epoch_id=epoch_id, created=True, path=final)
+
+    def begin_stream(
+        self,
+        *,
+        identity: Dict[str, Any],
+        fingerprint: str,
+        seed: int,
+        window_start: int,
+    ):
+        """Open a streaming epoch (rows written incrementally to disk).
+
+        Returns an :class:`repro.store.segments.EpochStream`; identical
+        rows finalize to the identical epoch id :meth:`commit` would
+        produce, so the two paths are interchangeable per study.
+        """
+        from repro.store.segments import EpochStream
+
+        return EpochStream(
+            self,
+            identity=identity,
+            fingerprint=fingerprint,
+            seed=seed,
+            window_start=window_start,
+        )
+
+    @staticmethod
+    def _seal_manifest(
+        *,
+        fingerprint: str,
+        seed: int,
+        identity: Dict[str, Any],
+        window_start: int,
+        window_end: int,
+        partial: Tuple[str, ...],
+        segments: Dict[str, SegmentInfo],
+        keys: Dict[str, Tuple[str, ...]],
+    ) -> EpochManifest:
+        """Hash a manifest core into its content-addressed epoch id."""
+        unsealed = EpochManifest(
+            epoch_id="",
+            fingerprint=fingerprint,
+            seed=seed,
+            identity=identity,
+            window_start=window_start,
+            window_end=window_end,
+            partial=partial,
+            segments=segments,
+            keys=keys,
+        )
+        epoch_id = hashlib.sha256(
+            _canonical(unsealed.core_document()).encode("utf-8")
+        ).hexdigest()
+        return EpochManifest(
+            epoch_id=epoch_id,
+            fingerprint=fingerprint,
+            seed=seed,
+            identity=identity,
+            window_start=window_start,
+            window_end=window_end,
+            partial=partial,
+            segments=segments,
+            keys=keys,
+        )
+
+    @staticmethod
+    def _write_manifest(directory: Path, manifest: EpochManifest) -> None:
+        manifest_bytes = (
+            json.dumps(manifest.to_document(), indent=2, sort_keys=True)
+            + "\n"
+        ).encode("utf-8")
+        with open(directory / MANIFEST_FILENAME, "wb") as handle:
+            handle.write(manifest_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _register_commit(self, manifest: EpochManifest) -> None:
+        """Post-rename bookkeeping shared by both commit paths."""
+        self._manifest_cache[manifest.epoch_id] = manifest
+        self._append_commit_log(manifest.epoch_id)
+        self._write_indexes()
 
     # ----------------------------------------------------------- commit log
     def _append_commit_log(self, epoch_id: str) -> None:

@@ -18,7 +18,12 @@ from repro.world.population import (
     DEFAULT_CLASS_MIX,
     DomainSynthesizer,
     PopulationConfig,
+    ShardedPopulation,
+    ShardedPopulationConfig,
+    SyntheticHost,
     populate,
+    populate_sharded,
+    shard_bounds_for,
 )
 from repro.world.rng import (
     derive_rng,
@@ -60,14 +65,19 @@ __all__ = [
     "Organization",
     "OrgKind",
     "PopulationConfig",
+    "ShardedPopulation",
+    "ShardedPopulationConfig",
     "SimClock",
     "SimTime",
+    "SyntheticHost",
     "Vantage",
     "WebSite",
     "World",
     "derive_rng",
     "derive_seed",
     "populate",
+    "populate_sharded",
+    "shard_bounds_for",
     "stable_sample",
     "stable_shuffle",
     "weighted_choice",

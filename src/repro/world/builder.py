@@ -39,7 +39,11 @@ from repro.products.registry import default_registry
 from repro.products.submission import ReviewPolicy
 from repro.world.content import ContentClass
 from repro.world.entities import OrgKind
-from repro.world.population import PopulationConfig, populate
+from repro.world.population import (
+    PopulationConfig,
+    populate,
+    populate_sharded,
+)
 from repro.world.rng import derive_rng
 from repro.world.world import World
 
@@ -79,6 +83,7 @@ class WorldBuilder:
         self._pool = PrefixPool(Ipv4Prefix.parse(address_space), prefix_length)
         self._hosting_asns: List[int] = []
         self._population_size = 0
+        self._population_shards: Optional[int] = None
         self._seed_coverage: Dict[str, float] = {}
         self._product_specs: List[Tuple[str, ReviewPolicy]] = []
         self._deploy_specs: List[dict] = []
@@ -119,8 +124,19 @@ class WorldBuilder:
         return self
 
     # ------------------------------------------------------------ content
-    def population(self, site_count: int) -> "WorldBuilder":
+    def population(
+        self, site_count: int, *, shards: Optional[int] = None
+    ) -> "WorldBuilder":
+        """Request a synthetic web of ``site_count`` sites.
+
+        With ``shards``, generation is sharded: each shard's sites are a
+        pure function of ``(seed, shard)``, so partial builds agree with
+        full builds shard-for-shard (see :func:`populate_sharded`).
+        """
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
         self._population_size = site_count
+        self._population_shards = shards
         return self
 
     def website(
@@ -191,11 +207,16 @@ class WorldBuilder:
             raise ValueError("declare at least one hosting AS")
 
         if self._population_size:
-            populate(
-                world,
-                self._hosting_asns,
-                PopulationConfig(site_count=self._population_size),
-            )
+            config = PopulationConfig(site_count=self._population_size)
+            if self._population_shards is not None:
+                populate_sharded(
+                    world,
+                    self._hosting_asns,
+                    config,
+                    shard_count=self._population_shards,
+                )
+            else:
+                populate(world, self._hosting_asns, config)
 
         scenario = CustomScenario(
             world=world,

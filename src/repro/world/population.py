@@ -5,15 +5,31 @@ spread over hosting ASes, each with a ground-truth content class. Vendor
 databases pre-categorize a (vendor-specific) fraction of the population,
 mirroring how real products ship large pre-categorized URL databases
 (§2.1).
+
+Two population models live here:
+
+- :func:`populate` — the original materialized model: every site is a
+  full :class:`~repro.world.entities.WebSite` registered in world DNS.
+  Right for the paper-scale scenario (~2k sites), too heavy for
+  internet-scale scans.
+- :class:`ShardedPopulation` — a lazy, sharded host population for the
+  streaming scan engine (:mod:`repro.scan.stream`). Every host is a
+  pure function of ``(seed, global host index)`` — *not* of the shard
+  count — so shard *k* built in isolation is exactly the slice
+  ``[shard_bounds(k))`` of a full build, a full build equals the
+  concatenation of per-shard builds, and the committed scan epoch is
+  identical at any shard count. Nothing is materialized until asked
+  for, so peak memory is a function of batch size, not host count.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.net.http import ok_response
+from repro.net.ip import Ipv4Address
 from repro.world.content import ContentClass
 from repro.world.rng import derive_rng
 from repro.world.words import SYLLABLES, WORDS_A, WORDS_B
@@ -166,4 +182,387 @@ def populate(
             "/", ok_response(domain, _page_body(content_class, domain))
         )
         sites.append(site)
+    return sites
+
+
+# --------------------------------------------------------------------------
+# Sharded lazy population (internet-scale scans)
+# --------------------------------------------------------------------------
+
+#: First address of the sharded host space (100.0.0.0/8): disjoint from
+#: the scenario pool (20.0.0.0/6) and the builder pool (24.0.0.0/6), so
+#: synthetic scan targets can never collide with world hosts.
+SHARDED_ADDRESS_BASE = 100 << 24
+
+#: One /8 of room — the hard ceiling on ``host_count``.
+SHARDED_ADDRESS_CAPACITY = 1 << 24
+
+#: Private-use AS number range the synthetic ASN universe draws from.
+SHARDED_ASN_BASE = 64512
+
+#: Marker every genuine product console banner carries; the validation
+#: stage requires it, which is what rejects keyword-colliding decoys.
+CONSOLE_MARKER = "deployment console ready"
+
+#: Server strings for background (non-product) hosts. None may contain
+#: a registry keyword, or the false-positive rate stops being the
+#: decoys' job.
+_BACKGROUND_SERVERS = (
+    "nginx/1.4.1",
+    "Apache/2.2.22 (Unix)",
+    "Microsoft-IIS/6.0",
+    "lighttpd/1.4.28",
+    "squid/3.1.10",
+)
+
+#: ccTLD spread for scanner-side geolocation tags, weighted toward the
+#: paper's study region by listing its codes first (selection is
+#: uniform; the tuple just fixes the universe).
+_DEFAULT_SCAN_COUNTRIES = (
+    "ae", "ye", "qa", "kw", "sa", "bh", "om", "eg", "tn", "sy",
+    "in", "pk", "id", "tr", "ma", "us", "gb", "de", "ca", "fr",
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: a cheap, platform-stable 64-bit mixer.
+
+    Host generation needs a few uniform draws per host at million-host
+    scale; SHA-256 per host would dominate the scan's CPU budget, while
+    this stays in small-int arithmetic. Determinism across Python
+    versions holds because only integer ops are involved.
+    """
+    value &= _MASK64
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & _MASK64
+    value ^= value >> 27
+    value = (value * 0x94D049BB133111EB) & _MASK64
+    value ^= value >> 31
+    return value
+
+
+def _draw(seed: int, index: int, salt: int) -> int:
+    """One 64-bit draw addressed by (seed, host index, purpose salt)."""
+    return _mix64(
+        seed * 0x9E3779B97F4A7C15
+        + index * 0xD1B54A32D192ED03
+        + salt * 0x8CB92BA72F3D8DD7
+        + 0x2545F4914F6CDD1D
+    )
+
+
+@dataclass(frozen=True)
+class ShardedPopulationConfig:
+    """Knobs for the lazy sharded host population.
+
+    ``shard_count`` controls build partitioning only — it is excluded
+    from :meth:`identity` because host content must be (and is)
+    invariant to it. ``install_rate``/``decoy_rate`` are per-host
+    probabilities: installs answer with a genuine product console
+    banner, decoys carry a product keyword without the console marker
+    (the false positives §3.2 validates away).
+    """
+
+    host_count: int = 100_000
+    shard_count: int = 16
+    install_rate: float = 0.012
+    decoy_rate: float = 0.02
+    country_codes: Tuple[str, ...] = _DEFAULT_SCAN_COUNTRIES
+    asn_count: int = 512
+    products: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.host_count < 0:
+            raise ValueError("host_count must be >= 0")
+        if self.host_count > SHARDED_ADDRESS_CAPACITY:
+            raise ValueError(
+                f"host_count exceeds the /8 host space "
+                f"({SHARDED_ADDRESS_CAPACITY})"
+            )
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        for name in ("install_rate", "decoy_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.install_rate + self.decoy_rate > 1.0:
+            raise ValueError("install_rate + decoy_rate must be <= 1")
+        if not self.country_codes:
+            raise ValueError("country_codes must not be empty")
+        if self.asn_count < 1:
+            raise ValueError("asn_count must be >= 1")
+
+    def identity(self) -> Dict[str, object]:
+        """The content-determining knobs (deliberately not shard_count)."""
+        return {
+            "host_count": self.host_count,
+            "install_rate": self.install_rate,
+            "decoy_rate": self.decoy_rate,
+            "country_codes": list(self.country_codes),
+            "asn_count": self.asn_count,
+            "products": (
+                None if self.products is None else list(self.products)
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class SyntheticHost:
+    """One lazily generated scan target (plain data, picklable)."""
+
+    index: int
+    ip: int  # raw IPv4 value; `address` wraps it on demand
+    port: int
+    country_code: str
+    asn: int
+    banner: str
+    product: Optional[str] = None
+    keyword: Optional[str] = None
+
+    @property
+    def host_id(self) -> str:
+        """Globally unique host identifier (index-addressed)."""
+        return f"host-{self.index}"
+
+    @property
+    def address(self) -> Ipv4Address:
+        return Ipv4Address(self.ip)
+
+    @property
+    def is_install(self) -> bool:
+        return self.product is not None
+
+
+@dataclass(frozen=True)
+class _ProductProfile:
+    """Registry-derived banner ingredients for one product (picklable)."""
+
+    name: str
+    keyword: str  # primary Shodan keyword, quotes stripped
+    port: int
+    all_keywords: Tuple[str, ...]
+
+
+def _product_profiles(
+    products: Optional[Tuple[str, ...]],
+) -> Tuple[_ProductProfile, ...]:
+    """Build per-product banner profiles from the registry.
+
+    Imported lazily: ``repro.world`` loads this module at package init,
+    and a top-level registry import would close the world <-> products
+    import cycle.
+    """
+    from repro.products.registry import default_registry
+
+    profiles = []
+    for spec in default_registry().resolve(
+        None if products is None else list(products)
+    ):
+        keywords = tuple(kw.strip('"') for kw in spec.shodan_keywords)
+        port = spec.probe_endpoints[0][0] if spec.probe_endpoints else 8080
+        profiles.append(
+            _ProductProfile(
+                name=spec.name,
+                keyword=keywords[0],
+                port=port,
+                all_keywords=keywords,
+            )
+        )
+    return tuple(profiles)
+
+
+class ShardedPopulation:
+    """A lazy host population generated shard-by-shard from ``(seed, k)``.
+
+    Every host attribute is a pure function of ``(seed, global index)``
+    via counter-based hashing — no sequential RNG stream — so any index
+    range can be generated independently, in any order, on any process.
+    Shards are contiguous, balanced index ranges; ``shard(k)`` in
+    isolation equals the same slice of a full build by construction.
+    """
+
+    def __init__(
+        self, seed: int, config: Optional[ShardedPopulationConfig] = None
+    ) -> None:
+        self.seed = seed
+        self.config = config or ShardedPopulationConfig()
+        self._profiles = _product_profiles(self.config.products)
+
+    def __len__(self) -> int:
+        return self.config.host_count
+
+    @property
+    def shard_count(self) -> int:
+        return self.config.shard_count
+
+    def identity(self) -> Dict[str, object]:
+        """What scan output is a function of: seed + content knobs."""
+        return {"seed": self.seed, "population": self.config.identity()}
+
+    # ---------------------------------------------------------- sharding
+    def shard_bounds(self, shard: int) -> Tuple[int, int]:
+        """The contiguous ``[start, stop)`` index range of one shard."""
+        count = self.config.shard_count
+        if not 0 <= shard < count:
+            raise IndexError(f"shard {shard} out of range [0, {count})")
+        base, extra = divmod(self.config.host_count, count)
+        start = shard * base + min(shard, extra)
+        stop = start + base + (1 if shard < extra else 0)
+        return start, stop
+
+    def iter_shard(self, shard: int) -> Iterator[SyntheticHost]:
+        start, stop = self.shard_bounds(shard)
+        return self.iter_range(start, stop)
+
+    def shard(self, shard: int) -> List[SyntheticHost]:
+        return list(self.iter_shard(shard))
+
+    def iter_range(self, start: int, stop: int) -> Iterator[SyntheticHost]:
+        if start < 0 or stop > self.config.host_count:
+            raise IndexError(
+                f"range [{start}, {stop}) outside population "
+                f"[0, {self.config.host_count})"
+            )
+        for index in range(start, stop):
+            yield self.host_at(index)
+
+    def iter_hosts(self) -> Iterator[SyntheticHost]:
+        return self.iter_range(0, self.config.host_count)
+
+    # --------------------------------------------------------- generation
+    def raw_at(
+        self, index: int
+    ) -> Tuple[int, int, int, str, int, str, Optional[str], Optional[str]]:
+        """Host ``index`` as a plain tuple — the million-host hot path.
+
+        Returns ``(index, ip, port, country, asn, banner, product,
+        keyword)``; the scan engine works from this directly to avoid
+        paying frozen-dataclass construction per background host.
+        """
+        config = self.config
+        if not 0 <= index < config.host_count:
+            raise IndexError(f"host index {index} out of range")
+        seed = self.seed
+        role_word = _draw(seed, index, 1)
+        geo_word = _draw(seed, index, 2)
+        pick_word = _draw(seed, index, 3)
+        country = config.country_codes[geo_word % len(config.country_codes)]
+        asn = SHARDED_ASN_BASE + (geo_word >> 16) % config.asn_count
+        ip = SHARDED_ADDRESS_BASE + index
+        fraction = role_word / 18446744073709551616.0  # / 2**64
+        profiles = self._profiles
+        if profiles and fraction < config.install_rate:
+            profile = profiles[pick_word % len(profiles)]
+            banner = (
+                f"HTTP/1.1 200 OK\nServer: {profile.keyword}\n"
+                f"Content-Type: text/html\n"
+                f"{profile.keyword} {CONSOLE_MARKER}"
+            )
+            return (
+                index, ip, profile.port, country, asn, banner,
+                profile.name, profile.keyword,
+            )
+        if profiles and fraction < config.install_rate + config.decoy_rate:
+            profile = profiles[pick_word % len(profiles)]
+            keywords = profile.all_keywords
+            keyword = keywords[(pick_word >> 32) % len(keywords)]
+            server = _BACKGROUND_SERVERS[
+                (pick_word >> 48) % len(_BACKGROUND_SERVERS)
+            ]
+            banner = (
+                f"HTTP/1.1 200 OK\nServer: {server}\n"
+                f"Content-Type: text/html\n"
+                f"surplus {keyword} unit price list"
+            )
+            return (index, ip, 80, country, asn, banner, None, None)
+        server = _BACKGROUND_SERVERS[pick_word % len(_BACKGROUND_SERVERS)]
+        banner = (
+            f"HTTP/1.1 200 OK\nServer: {server}\n"
+            f"Content-Type: text/html\nwelcome index page"
+        )
+        return (index, ip, 80, country, asn, banner, None, None)
+
+    def host_at(self, index: int) -> SyntheticHost:
+        """Generate host ``index`` — pure in (seed, index, config)."""
+        (
+            index, ip, port, country, asn, banner, product, keyword
+        ) = self.raw_at(index)
+        return SyntheticHost(
+            index=index,
+            ip=ip,
+            port=port,
+            country_code=country,
+            asn=asn,
+            banner=banner,
+            product=product,
+            keyword=keyword,
+        )
+
+
+def shard_bounds_for(
+    host_count: int, shard_count: int, shard: int
+) -> Tuple[int, int]:
+    """Balanced contiguous bounds, reusable without a population object."""
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    if not 0 <= shard < shard_count:
+        raise IndexError(f"shard {shard} out of range [0, {shard_count})")
+    base, extra = divmod(host_count, shard_count)
+    start = shard * base + min(shard, extra)
+    stop = start + base + (1 if shard < extra else 0)
+    return start, stop
+
+
+def populate_sharded(
+    world: World,
+    hosting_asns: Sequence[int],
+    config: Optional[PopulationConfig] = None,
+    *,
+    shard_count: int,
+    shards: Optional[Iterable[int]] = None,
+    rng_label: str = "population",
+) -> List[WebSite]:
+    """Fill a world with websites generated shard-by-shard.
+
+    Each shard draws from its own ``derive_rng(seed, label, shard-k)``
+    stream with a fresh domain synthesizer, so shard *k*'s domain/class/
+    AS choices depend only on ``(seed, k)`` — a partial build (``shards``
+    selects which) produces exactly the same sites for those shards as
+    a full build does. Domains are shard-qualified (``name-sK.tld``) so
+    cross-shard uniqueness is structural, not coordinated. IP addresses
+    still come from the world's sequential AS pools, so isolation
+    equality covers (domain, class, ASN) — the generation choices — not
+    the allocator cursor.
+    """
+    if not hosting_asns:
+        raise ValueError("need at least one hosting AS")
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    config = config or PopulationConfig()
+    wanted = sorted(set(shards)) if shards is not None else range(shard_count)
+    classes = list(config.class_mix)
+    weights = [config.class_mix[c] for c in classes]
+    cctlds = sorted(world.countries)
+    asn_list = list(hosting_asns)
+    sites: List[WebSite] = []
+    for shard in wanted:
+        start, stop = shard_bounds_for(config.site_count, shard_count, shard)
+        rng = derive_rng(world.seed, rng_label, f"shard-{shard}")
+        synthesizer = DomainSynthesizer(rng)
+        for _index in range(start, stop):
+            content_class = rng.choices(classes, weights=weights, k=1)[0]
+            if cctlds and rng.random() < config.local_tld_fraction:
+                tld = rng.choice(cctlds)
+            else:
+                tld = rng.choice(_TLD_CHOICES)
+            name, _, tld = synthesizer.filler(tld).partition(".")
+            domain = f"{name}-s{shard}.{tld}"
+            asn = rng.choice(asn_list)
+            site = world.register_website(domain, content_class, asn)
+            site.add_page(
+                "/", ok_response(domain, _page_body(content_class, domain))
+            )
+            sites.append(site)
     return sites

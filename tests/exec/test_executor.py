@@ -346,3 +346,124 @@ class DescribeFailureAttribution:
         assert failed.error is not None
         assert failed.error.campaign == "yemen"
         assert "campaign 'yemen'" in str(failed.error)
+
+
+# ---------------------------------------------------------------------------
+# Streaming fan-out and the process backend
+# ---------------------------------------------------------------------------
+
+def _square(x):
+    """Module-level so process pools can pickle it."""
+    return x * x
+
+
+def _explode_on_seven(x):
+    if x == 7:
+        raise ValueError("seven is right out")
+    return x + 1
+
+
+class DescribeStream:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        items=st.lists(st.integers(-100, 100), max_size=30),
+        workers=st.integers(1, 8),
+        window=st.integers(1, 12),
+    )
+    def test_stream_is_an_ordered_enumeration(self, items, workers, window):
+        executor = Executor(workers=workers)
+        out = list(
+            executor.stream(lambda x: x * 3, items, window=window)
+        )
+        assert out == [(i, x * 3) for i, x in enumerate(items)]
+
+    def test_window_bounds_inflight(self):
+        from repro.exec.executor import StreamStats
+
+        stats = StreamStats()
+        executor = Executor(workers=8)
+        results = list(
+            executor.stream(
+                lambda x: time.sleep(0.002) or x,
+                range(60),
+                window=5,
+                stats=stats,
+            )
+        )
+        assert len(results) == 60
+        assert stats.peak_inflight <= 5
+        assert stats.submitted == stats.completed == 60
+
+    def test_failures_arrive_in_slot_not_raised(self):
+        executor = Executor(workers=4)
+        out = list(executor.stream(_explode_on_seven, range(10), window=4))
+        for index, value in out:
+            if index == 7:
+                assert isinstance(value, TaskFailure)
+            else:
+                assert value == index + 1
+
+    def test_stream_consumes_items_lazily(self):
+        pulled = []
+
+        def items():
+            for i in range(100):
+                pulled.append(i)
+                yield i
+
+        executor = Executor(workers=2)
+        stream = executor.stream(lambda x: x, items(), window=4)
+        first = [next(stream) for _ in range(3)]
+        assert first == [(0, 0), (1, 1), (2, 2)]
+        # Backpressure: nowhere near 100 items drawn while only 3 yielded.
+        assert len(pulled) <= 3 + 4 + 1
+        stream.close()
+
+    def test_stream_retries_through_policy(self):
+        flaky = Flaky(failures_before_success=1)
+        executor = Executor(workers=3)
+        retry = RetryPolicy(attempts=3, backoff_seconds=0.0)
+        out = list(executor.stream(flaky, [1, 2, 3], retry=retry, window=3))
+        assert out == [(0, 2), (1, 4), (2, 6)]
+
+    def test_window_must_be_positive(self):
+        executor = Executor(workers=2)
+        with pytest.raises(ValueError):
+            list(executor.stream(_square, [1], window=0))
+
+
+class DescribeProcessBackend:
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            Executor(workers=2, backend="carrier-pigeon")
+
+    def test_map_matches_thread_backend(self):
+        items = list(range(25))
+        thread = Executor(workers=4).map(_square, items)
+        process = Executor(workers=4, backend="process").map(_square, items)
+        assert thread == process == [x * x for x in items]
+
+    def test_map_unordered_covers_every_index(self):
+        executor = Executor(workers=4, backend="process")
+        got = sorted(executor.map_unordered(_square, range(20)))
+        assert got == [(i, i * i) for i in range(20)]
+
+    def test_stream_ordered_under_process_pool(self):
+        executor = Executor(workers=4, backend="process")
+        out = list(executor.stream(_square, range(30), window=6))
+        assert out == [(i, i * i) for i in range(30)]
+
+    def test_process_failures_stay_in_slot(self):
+        executor = Executor(workers=3, backend="process")
+        out = list(executor.stream(_explode_on_seven, range(9), window=4))
+        assert isinstance(out[7][1], TaskFailure)
+        assert [v for i, v in out if i != 7] == [
+            i + 1 for i in range(9) if i != 7
+        ]
+
+    def test_process_metrics_counted_parent_side(self):
+        metrics = Metrics()
+        executor = Executor(workers=2, backend="process", metrics=metrics)
+        list(executor.stream(_explode_on_seven, range(8), label="batch"))
+        assert metrics.count("batch.tasks") == 8
+        assert metrics.count("batch.failures") == 1

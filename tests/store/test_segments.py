@@ -1,0 +1,179 @@
+"""Streaming epoch construction: byte parity with in-memory commits.
+
+The load-bearing invariant of :mod:`repro.store.segments`: an epoch
+streamed row-by-row through :class:`EpochStream` is **byte-identical**
+(segment files, manifest, epoch id) to :meth:`ResultsStore.commit` of
+the same rows — so content addressing never forks on the code path the
+data arrived through.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import EpochStream, ResultsStore, StoreError
+from repro.store.records import EpochData
+
+
+def _rows(n: int):
+    return [
+        {
+            "ip": f"10.0.{i // 256}.{i % 256}",
+            "port": 80,
+            "product": "ProductA" if i % 2 else "ProductB",
+            "country": "AA" if i % 3 else "BB",
+            "asn": 64500 + (i % 7),
+            "evidence": [f"keyword:k{i % 4}"],
+        }
+        for i in range(n)
+    ]
+
+
+IDENTITY = {"kind": "segment-parity-test", "seed": 7}
+
+
+def _commit_in_memory(root, rows):
+    store = ResultsStore(root)
+    result = store.commit(
+        EpochData(
+            identity=dict(IDENTITY),
+            fingerprint="fp-parity",
+            seed=7,
+            window=(0, 0),
+            records={"installations": list(rows)},
+        )
+    )
+    return store, result
+
+
+def _commit_streamed(root, rows):
+    store = ResultsStore(root)
+    stream = store.begin_stream(
+        identity=dict(IDENTITY),
+        fingerprint="fp-parity",
+        seed=7,
+        window_start=0,
+    )
+    stream.writer("installations")
+    for row in rows:
+        stream.write("installations", row)
+    return store, stream.finalize(window_end=0)
+
+
+@pytest.mark.parametrize("count", [0, 1, 57])
+def test_streamed_commit_is_byte_identical(tmp_path, count):
+    rows = _rows(count)
+    store_a, memory = _commit_in_memory(tmp_path / "memory", rows)
+    store_b, streamed = _commit_streamed(tmp_path / "stream", rows)
+    assert streamed.epoch_id == memory.epoch_id
+    a_dir = store_a.root / "epochs" / memory.epoch_id
+    b_dir = store_b.root / "epochs" / streamed.epoch_id
+    for name in ("installations.seg", "manifest.json"):
+        assert (a_dir / name).read_bytes() == (b_dir / name).read_bytes()
+    assert store_b.records(streamed.epoch_id, "installations") == rows
+
+
+def test_streamed_commit_is_idempotent(tmp_path):
+    rows = _rows(9)
+    store = ResultsStore(tmp_path)
+    _, first = _commit_streamed(tmp_path, rows)
+    assert first.created
+    # Same content again — content addressing says "already durable".
+    stream = store.begin_stream(
+        identity=dict(IDENTITY), fingerprint="fp-parity",
+        seed=7, window_start=0,
+    )
+    for row in rows:
+        stream.write("installations", row)
+    second = stream.finalize(window_end=0)
+    assert not second.created
+    assert second.epoch_id == first.epoch_id
+    # Cross-path idempotence too: the in-memory commit sees it durable.
+    assert not store.commit(
+        EpochData(
+            identity=dict(IDENTITY), fingerprint="fp-parity", seed=7,
+            window=(0, 0), records={"installations": list(rows)},
+        )
+    ).created
+
+
+def test_abort_leaves_no_trace(tmp_path):
+    store = ResultsStore(tmp_path)
+    stream = store.begin_stream(
+        identity=dict(IDENTITY), fingerprint="fp", seed=1, window_start=0
+    )
+    stream.write("installations", _rows(1)[0])
+    stream.abort()
+    leftovers = [
+        p for p in (store.root / "epochs").iterdir()
+        if p.name.startswith(".stream-")
+    ]
+    assert leftovers == []
+    assert store.epoch_ids() == []
+
+
+def test_context_manager_aborts_on_exception(tmp_path):
+    store = ResultsStore(tmp_path)
+    with pytest.raises(RuntimeError):
+        with store.begin_stream(
+            identity=dict(IDENTITY), fingerprint="fp", seed=1,
+            window_start=0,
+        ) as stream:
+            stream.write("installations", _rows(1)[0])
+            raise RuntimeError("scan blew up mid-stream")
+    assert store.epoch_ids() == []
+
+
+def test_stream_rejects_unknown_kind_and_reuse(tmp_path):
+    store = ResultsStore(tmp_path)
+    stream = store.begin_stream(
+        identity=dict(IDENTITY), fingerprint="fp", seed=1, window_start=0
+    )
+    with pytest.raises(StoreError, match="unknown record kind"):
+        stream.writer("weblogs")
+    stream.writer("installations")
+    stream.finalize(window_end=0)
+    with pytest.raises(StoreError, match="already finalized"):
+        stream.write("installations", _rows(1)[0])
+    with pytest.raises(StoreError, match="already finalized"):
+        stream.finalize(window_end=0)
+
+
+def test_finalize_rejects_backwards_window(tmp_path):
+    store = ResultsStore(tmp_path)
+    stream = store.begin_stream(
+        identity=dict(IDENTITY), fingerprint="fp", seed=1, window_start=10
+    )
+    with pytest.raises(StoreError, match="window"):
+        stream.finalize(window_end=3)
+    assert store.epoch_ids() == []
+
+
+def test_sealed_writer_rejects_further_rows(tmp_path):
+    store = ResultsStore(tmp_path)
+    stream = store.begin_stream(
+        identity=dict(IDENTITY), fingerprint="fp", seed=1, window_start=0
+    )
+    writer = stream.writer("installations")
+    writer.write(_rows(1)[0])
+    writer.close()
+    with pytest.raises(StoreError, match="already sealed"):
+        writer.write(_rows(1)[0])
+    with pytest.raises(StoreError, match="already sealed"):
+        writer.close()
+    stream.abort(_force=True)
+
+
+def test_multi_kind_stream_commits_every_segment(tmp_path):
+    store = ResultsStore(tmp_path)
+    stream = store.begin_stream(
+        identity=dict(IDENTITY), fingerprint="fp", seed=1, window_start=0
+    )
+    install = _rows(3)
+    stream.writer("confirmations")  # empty segment, touched only
+    for row in install:
+        stream.write("installations", row)
+    result = stream.finalize(window_end=5)
+    assert result.created
+    assert store.records(result.epoch_id, "installations") == install
+    assert store.records(result.epoch_id, "confirmations") == []

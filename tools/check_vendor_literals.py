@@ -58,6 +58,9 @@ REQUIRED_COVERED = (
     "src/repro/query/engine.py",
     "src/repro/query/views.py",
     "src/repro/serve/api.py",
+    "src/repro/world/population.py",
+    "src/repro/scan/stream.py",
+    "src/repro/store/segments.py",
     "tools/serve_smoke.py",
 )
 
