@@ -37,49 +37,63 @@ def installations_rows(report: "StudyReport") -> List[Dict[str, Any]]:
     ]
 
 
-def confirmations_rows(report: "StudyReport") -> List[Dict[str, Any]]:
-    """Table 3 backing data: one row per case study."""
+def confirmations_rows(
+    report: "StudyReport", *, include_confidence: bool = False
+) -> List[Dict[str, Any]]:
+    """Table 3 backing data: one row per case study.
+
+    ``include_confidence`` adds the fused verdict confidence and the
+    per-classifier signal breakdown. Off by default: the extra keys
+    change row bytes, and the default export (like default epoch ids)
+    must stay byte-identical to pre-fusion output.
+    """
     rows = []
     for result in report.confirmations:
         config = result.config
-        rows.append(
-            {
-                "product": config.product_name,
-                "isp": config.isp_name,
-                "category": config.category_label,
-                "submitted_at": str(result.submitted_at),
-                "retested_at": str(result.retested_at),
-                "domains_total": config.total_domains,
-                "domains_submitted": config.submit_count,
-                "blocked_submitted": result.blocked_submitted,
-                "blocked_control": result.blocked_control,
-                "confirmed": result.confirmed,
-                "pre_check_accessible": result.pre_check_accessible,
-            }
-        )
+        row = {
+            "product": config.product_name,
+            "isp": config.isp_name,
+            "category": config.category_label,
+            "submitted_at": str(result.submitted_at),
+            "retested_at": str(result.retested_at),
+            "domains_total": config.total_domains,
+            "domains_submitted": config.submit_count,
+            "blocked_submitted": result.blocked_submitted,
+            "blocked_control": result.blocked_control,
+            "confirmed": result.confirmed,
+            "pre_check_accessible": result.pre_check_accessible,
+        }
+        if include_confidence:
+            row["confidence"] = round(result.confidence, 4)
+            row["signals"] = result.signal_summary()
+        rows.append(row)
     return rows
 
 
-def characterization_rows(report: "StudyReport") -> List[Dict[str, Any]]:
+def characterization_rows(
+    report: "StudyReport", *, include_confidence: bool = False
+) -> List[Dict[str, Any]]:
     """Table 4 backing data: one row per (ISP, list category)."""
     rows = []
     for isp_key, result in sorted(report.characterizations.items()):
         for name, stats in sorted(result.stats.items()):
-            rows.append(
-                {
-                    "isp": isp_key,
-                    "asn": result.asn,
-                    "country": result.country_code,
-                    "product": result.product_name,
-                    "category": name,
-                    "theme": stats.category.theme.value,
-                    "tested": stats.tested,
-                    "blocked": stats.blocked,
-                    "table4_column": stats.category.table4_column.value
-                    if stats.category.table4_column
-                    else None,
-                }
-            )
+            row = {
+                "isp": isp_key,
+                "asn": result.asn,
+                "country": result.country_code,
+                "product": result.product_name,
+                "category": name,
+                "theme": stats.category.theme.value,
+                "tested": stats.tested,
+                "blocked": stats.blocked,
+                "table4_column": stats.category.table4_column.value
+                if stats.category.table4_column
+                else None,
+            }
+            if include_confidence:
+                row["confidence"] = round(stats.mean_confidence, 4)
+                row["signals"] = dict(sorted(stats.signal_counts.items()))
+            rows.append(row)
     return rows
 
 

@@ -122,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="where CPU-bound signature matching runs (default thread; "
         "'process' fans it over a process pool — results identical)",
     )
+    study.add_argument(
+        "--record-confidence", action="store_true",
+        help="persist fused verdict confidences and per-classifier "
+        "signal breakdowns in committed epochs (changes row bytes, so "
+        "the epoch id differs from a default run)",
+    )
 
     scan = commands.add_parser(
         "scan", help="streaming identify pass over a synthetic host space"
@@ -195,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q_records.add_argument(
         "--epoch", help="epoch id or unique prefix (default: newest)"
+    )
+    q_records.add_argument(
+        "--min-confidence", type=float, metavar="X",
+        help="filter: keep rows whose fused verdict confidence is >= X "
+        "(rows from epochs committed without --record-confidence carry "
+        "no confidence and always pass)",
     )
     q_tables = query_commands.add_parser(
         "tables", help="render a stored epoch's table views"
@@ -351,6 +363,7 @@ def _cmd_study(args) -> int:
         fail_fast=args.fail_fast,
         scan_shards=args.shards,
         scan_backend=args.scan_backend,
+        record_confidence=args.record_confidence,
     )
     partial = None
     try:
@@ -564,6 +577,7 @@ def _cli_record_filter(args):
         product=getattr(args, "product", None),
         isp=getattr(args, "isp", None),
         category=getattr(args, "category", None),
+        min_confidence=getattr(args, "min_confidence", None),
     )
 
 

@@ -13,7 +13,8 @@ from typing import Dict, List, Optional, Set
 
 from repro.exec.executor import Executor
 from repro.exec.resilience import ResilientRunner
-from repro.measure.blockpage_detect import BlockPageDetector
+from repro.measure.classifiers.blockpage import BlockPagePatternMatcher
+from repro.measure.classifiers.fusion import VerdictEngine
 from repro.measure.client import MeasurementClient, UrlTest
 from repro.measure.testlists import (
     ListCategory,
@@ -38,6 +39,11 @@ class CategoryBlockStats:
     #: built from them is annotated as partial.
     insufficient: int = 0
     vendors: Dict[str, int] = field(default_factory=dict)
+    #: Sum of fused verdict confidences over all tested URLs (a
+    #: quarantined probe adds 0.0, lowering the mean).
+    confidence_sum: float = 0.0
+    #: Classifier name -> number of URLs it contributed a signal for.
+    signal_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def measured(self) -> int:
@@ -47,6 +53,11 @@ class CategoryBlockStats:
     @property
     def block_rate(self) -> float:
         return self.blocked / self.measured if self.measured else 0.0
+
+    @property
+    def mean_confidence(self) -> float:
+        """Average fused confidence across attempts (1.0 when untested)."""
+        return self.confidence_sum / self.tested if self.tested else 1.0
 
 
 @dataclass
@@ -84,6 +95,25 @@ class CharacterizationResult:
                 totals[vendor] = totals.get(vendor, 0) + count
         return totals
 
+    @property
+    def confidence(self) -> float:
+        """Mean fused confidence across every tested URL (1.0 if none)."""
+        tested = sum(s.tested for s in self.stats.values())
+        if not tested:
+            return 1.0
+        total = sum(
+            getattr(s, "confidence_sum", 0.0) for s in self.stats.values()
+        )
+        return total / tested
+
+    def signal_summary(self) -> Dict[str, int]:
+        """Classifier name -> URLs it contributed to, sorted by name."""
+        totals: Dict[str, int] = {}
+        for stats in self.stats.values():
+            for name, count in getattr(stats, "signal_counts", {}).items():
+                totals[name] = totals.get(name, 0) + count
+        return dict(sorted(totals.items()))
+
 
 class ContentCharacterization:
     """Runs the §5 test-list measurement for one ISP."""
@@ -92,7 +122,8 @@ class ContentCharacterization:
         self,
         world: World,
         *,
-        detector: Optional[BlockPageDetector] = None,
+        detector: Optional[BlockPagePatternMatcher] = None,
+        engine: Optional[VerdictEngine] = None,
         per_category_global: int = 3,
         per_category_local: int = 2,
         executor: Optional[Executor] = None,
@@ -100,7 +131,7 @@ class ContentCharacterization:
         resilience: Optional[ResilientRunner] = None,
     ) -> None:
         self._world = world
-        self._detector = detector or BlockPageDetector()
+        self._engine = engine or VerdictEngine(matcher=detector)
         self._per_global = per_category_global
         self._per_local = per_category_local
         self._executor = executor
@@ -131,7 +162,7 @@ class ContentCharacterization:
         client = MeasurementClient(
             world.vantage(isp_name),
             world.lab_vantage(),
-            self._detector,
+            engine=self._engine,
             executor=self._executor,
             link_latency=self._link_latency,
             resilience=self._resilience,
@@ -157,6 +188,9 @@ class ContentCharacterization:
                 entry.category.name, CategoryBlockStats(entry.category)
             )
             stats.tested += 1
+            stats.confidence_sum += test.confidence
+            for name in test.comparison.signal_names():
+                stats.signal_counts[name] = stats.signal_counts.get(name, 0) + 1
             if test.insufficient:
                 stats.insufficient += 1
             elif test.blocked:

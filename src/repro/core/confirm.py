@@ -27,9 +27,10 @@ from typing import Dict, List, Optional
 
 from repro.exec.executor import Executor
 from repro.exec.resilience import ResilientRunner
-from repro.measure.blockpage_detect import BlockPageDetector
+from repro.measure.classifiers.blockpage import BlockPagePatternMatcher
+from repro.measure.classifiers.fusion import VerdictEngine
 from repro.measure.client import MeasurementClient
-from repro.measure.compare import Verdict
+from repro.measure.verdict import Verdict
 from repro.measure.domains import TestDomain, TestDomainFactory
 from repro.net.url import Url
 from repro.products.base import UrlFilterProduct
@@ -84,6 +85,11 @@ class DomainOutcome:
     #: vantage outage): the domain was neither blocked nor accessible.
     insufficient_rounds: int = 0
     vendors_seen: List[str] = field(default_factory=list)
+    #: Per-round fused verdict confidences, in round order. A quarantined
+    #: round contributes 0.0, so partial data visibly lowers aggregates.
+    confidences: List[float] = field(default_factory=list)
+    #: Classifier name -> number of rounds it contributed a signal.
+    signal_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def blocked(self) -> bool:
@@ -94,6 +100,13 @@ class DomainOutcome:
     def measured_rounds(self) -> int:
         """Rounds that actually produced a field/lab comparison."""
         return self.total_rounds - self.insufficient_rounds
+
+    @property
+    def mean_confidence(self) -> float:
+        """Average fused confidence across rounds (1.0 when untested)."""
+        if not self.confidences:
+            return 1.0
+        return sum(self.confidences) / len(self.confidences)
 
 
 @dataclass
@@ -150,6 +163,32 @@ class ConfirmationResult:
                 counts[vendor] = counts.get(vendor, 0) + 1
         return counts
 
+    @property
+    def confidence(self) -> float:
+        """Mean fused confidence across every retest round.
+
+        Quarantined rounds contribute 0.0, so a case study built on
+        partial data reports visibly lower confidence than a clean one.
+        Defaults to 1.0 when no rounds carry confidences (pre-fusion
+        snapshots).
+        """
+        values = [
+            value
+            for outcome in self.outcomes
+            for value in getattr(outcome, "confidences", [])
+        ]
+        if not values:
+            return 1.0
+        return sum(values) / len(values)
+
+    def signal_summary(self) -> Dict[str, int]:
+        """Classifier name -> domain-rounds it contributed, sorted by name."""
+        totals: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for name, count in getattr(outcome, "signal_counts", {}).items():
+                totals[name] = totals.get(name, 0) + count
+        return dict(sorted(totals.items()))
+
     def summary_row(self) -> str:
         """Render as a Table 3 style row."""
         cfg = self.config
@@ -171,7 +210,8 @@ class ConfirmationStudy:
         hosting_asn: int,
         *,
         submitter: SubmitterIdentity = DEFAULT_SUBMITTER,
-        detector: Optional[BlockPageDetector] = None,
+        detector: Optional[BlockPagePatternMatcher] = None,
+        engine: Optional[VerdictEngine] = None,
         executor: Optional[Executor] = None,
         link_latency: float = 0.0,
         resilience: Optional[ResilientRunner] = None,
@@ -180,7 +220,7 @@ class ConfirmationStudy:
         self._product = product
         self._hosting_asn = hosting_asn
         self._submitter = submitter
-        self._detector = detector or BlockPageDetector()
+        self._engine = engine or VerdictEngine(matcher=detector)
         self._executor = executor
         self._link_latency = link_latency
         self._resilience = resilience
@@ -191,7 +231,7 @@ class ConfirmationStudy:
         return MeasurementClient(
             self._world.vantage(isp_name),
             self._world.lab_vantage(),
-            self._detector,
+            engine=self._engine,
             executor=self._executor,
             link_latency=self._link_latency,
             resilience=self._resilience,
@@ -262,6 +302,11 @@ class ConfirmationStudy:
             run = client.run_list([d.test_url for d in domains])
             for outcome, test in zip(outcomes, run.tests):
                 outcome.total_rounds += 1
+                outcome.confidences.append(test.confidence)
+                for name in test.comparison.signal_names():
+                    outcome.signal_counts[name] = (
+                        outcome.signal_counts.get(name, 0) + 1
+                    )
                 if test.insufficient:
                     # A failed probe is a gap in the data, never a
                     # verdict: the §4.2 differential must not count it
@@ -321,7 +366,8 @@ def run_category_probe(
     isp_name: str,
     taxonomy: Taxonomy = NETSWEEPER_TAXONOMY,
     *,
-    detector: Optional[BlockPageDetector] = None,
+    detector: Optional[BlockPagePatternMatcher] = None,
+    engine: Optional[VerdictEngine] = None,
     executor: Optional[Executor] = None,
     link_latency: float = 0.0,
     resilience: Optional[ResilientRunner] = None,
@@ -338,7 +384,7 @@ def run_category_probe(
     client = MeasurementClient(
         world.vantage(isp_name),
         world.lab_vantage(),
-        detector or BlockPageDetector(),
+        engine=engine or VerdictEngine(matcher=detector),
         executor=executor,
         link_latency=link_latency,
         resilience=resilience,

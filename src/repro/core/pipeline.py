@@ -257,6 +257,7 @@ class FullStudy:
         fail_fast: bool = False,
         scan_shards: Optional[int] = None,
         scan_backend: str = THREAD_BACKEND,
+        record_confidence: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -287,6 +288,10 @@ class FullStudy:
         self._scan_backend = scan_backend
         self._max_retries = max_retries
         self._fail_fast = fail_fast
+        # Opt-in: persist fused confidence + signal breakdowns on epoch
+        # rows. Off by default so paper-default epoch ids (content
+        # hashes over the row bytes) stay byte-identical.
+        self._record_confidence = record_confidence
         self.metrics = metrics if metrics is not None else Metrics()
         self.executor = Executor(
             workers=workers, metrics=self.metrics, name="study"
@@ -631,6 +636,7 @@ class FullStudy:
             world=self._scenario.world,
             window=(self._window_start, self._scenario.world.now.minutes),
             partial=partial,
+            record_confidence=self._record_confidence,
         )
         result = store.commit(epoch)
         self.last_epoch_id = result.epoch_id
@@ -647,7 +653,7 @@ class FullStudy:
         produce byte-identical output. Retry budget and fail-fast are
         included because an active fault plan makes them output-visible.
         """
-        return {
+        identity: Dict[str, Any] = {
             "schema": SNAPSHOT_SCHEMA_VERSION,
             "seed": self._scenario.world.seed,
             "scenario": dataclasses.asdict(self._scenario.config),
@@ -662,6 +668,12 @@ class FullStudy:
             "max_retries": self._max_retries,
             "fail_fast": self._fail_fast,
         }
+        if self._record_confidence:
+            # Keyed in only when enabled: confidence fields change the
+            # committed row bytes, so the identity must differ — but a
+            # default study's fingerprint (and epoch ids) must not move.
+            identity["record_confidence"] = True
+        return identity
 
     def config_fingerprint(self) -> str:
         return fingerprint(self.identity())
@@ -833,6 +845,7 @@ def run_full_study(
     store_dir: Optional[Path] = None,
     scan_shards: Optional[int] = None,
     scan_backend: str = THREAD_BACKEND,
+    record_confidence: bool = False,
 ):
     """Build the scenario for ``seed`` and run the whole campaign.
 
@@ -870,6 +883,7 @@ def run_full_study(
         fail_fast=fail_fast,
         scan_shards=scan_shards,
         scan_backend=scan_backend,
+        record_confidence=record_confidence,
     )
     if journal_dir is not None:
         outcome = study.run_journaled(

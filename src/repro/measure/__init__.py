@@ -6,8 +6,20 @@ from repro.measure.blockpage_detect import (
     DEFAULT_PATTERNS,
     Detection,
 )
+from repro.measure.classifiers import (
+    BlockPagePatternMatcher,
+    FusionPolicy,
+    PageRecord,
+    PageView,
+    VerdictEngine,
+    default_classifiers,
+    default_filters,
+    fuse,
+    legacy_compare,
+)
 from repro.measure.client import MeasurementClient, MeasurementRun, UrlTest
-from repro.measure.compare import Comparison, Verdict, compare
+from repro.measure.compare import compare
+from repro.measure.verdict import Comparison, Signal, Verdict
 from repro.measure.domains import (
     ADULT_IMAGE_PATH,
     BENIGN_IMAGE_PATH,
@@ -40,10 +52,16 @@ __all__ = [
     "BENIGN_IMAGE_PATH",
     "BlockPageDetector",
     "BlockPagePattern",
+    "BlockPagePatternMatcher",
     "CATEGORY_BY_NAME",
     "Comparison",
     "DEFAULT_PATTERNS",
     "Detection",
+    "FusionPolicy",
+    "PageRecord",
+    "PageView",
+    "Signal",
+    "VerdictEngine",
     "GLYPE_MARKER",
     "LIST_CATEGORIES",
     "ListCategory",
@@ -66,5 +84,9 @@ __all__ = [
     "build_global_list",
     "build_local_list",
     "compare",
+    "default_classifiers",
+    "default_filters",
+    "fuse",
     "glype_index_page",
+    "legacy_compare",
 ]

@@ -1,116 +1,82 @@
-"""Block-page detection via regular expressions.
+"""Deprecated shim over the classifier-layer block-page matcher.
 
-§5: "Manual analysis identified regular expressions corresponding to the
-vendors' block pages and automated analysis identified all URLs which
-matched a given block page regular expression." The corpus is built from
-the product registry's per-spec patterns and covers both branded and
-structural signals, so detection degrades gracefully as vendors strip
-branding (§2.2) — the structural patterns (deny-page paths, the 15871
-port, cfauth redirects) survive cosmetic changes, and full header
-stripping defeats attribution without hiding the *fact* of blocking (an
-unexplained 403/redirect still differs from the lab view).
+The §5 regex matching engine now lives in
+:mod:`repro.measure.classifiers.blockpage` as
+:class:`~repro.measure.classifiers.blockpage.BlockPagePatternMatcher`;
+the fusion path wraps it in a ``BlockPageClassifier`` that emits a
+weighted signal instead of deciding the verdict alone.
 
-The vendor-name constants (``BLUE_COAT`` …) are deprecated here; import
-them from :mod:`repro.products.registry` instead.
+This module keeps the old import surface alive:
+
+- ``BlockPagePattern`` / ``DEFAULT_PATTERNS`` / ``Detection`` re-export
+  unchanged (no warning);
+- ``BlockPageDetector`` still works but warns once per process on first
+  instantiation — it is now a thin subclass of the canonical matcher;
+- the vendor-name constants (``BLUE_COAT`` …) remain deprecated; import
+  them from :mod:`repro.products.registry` instead.
 """
 
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.net.fetch import FetchResult
+from repro.measure.classifiers.blockpage import (
+    BlockPagePatternMatcher,
+    BlockPagePattern,
+    default_patterns,
+)
+from repro.measure.verdict import Detection
 from repro.products import registry as _registry
-from repro.products.registry import (
-    CompiledBlockPattern as BlockPagePattern,
-    default_registry,
-)
 
-#: The §5 regex corpus for the paper's default products.  Patterns
-#: target block-page *content* and deny-redirect structure.  Generic
-#: proxy residue (Via / Via-Proxy headers) is deliberately NOT block
-#: evidence: proxy appliances stamp those on every forwarded response,
-#: censored or not (that residue is what the Netalyzr-style
-#: fingerprinting in :mod:`repro.measure.netalyzr` reads instead).
-DEFAULT_PATTERNS: Sequence[BlockPagePattern] = (
-    default_registry().block_page_patterns()
-)
+__all__ = [
+    "BlockPageDetector",
+    "BlockPagePattern",
+    "DEFAULT_PATTERNS",
+    "Detection",
+]
 
+#: The §5 regex corpus for the paper's default products (re-export).
+DEFAULT_PATTERNS: Sequence[BlockPagePattern] = default_patterns()
 
-@dataclass
-class Detection:
-    """A positive block-page identification."""
-
-    vendor: str
-    matched: List[str] = field(default_factory=list)
+# A long campaign resolves these shims thousands of times; warn once per
+# name per process so logs stay readable.
+_warned: set = set()
 
 
-class BlockPageDetector:
-    """Matches a fetch result against the block-page regex corpus."""
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the warn-once latch (test helper)."""
+    _warned.clear()
+
+
+def _warn_once(name: str, replacement: str) -> None:
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"repro.measure.blockpage_detect.{name} is deprecated; use "
+        f"{replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class BlockPageDetector(BlockPagePatternMatcher):
+    """Deprecated alias of the classifier-layer pattern matcher.
+
+    Matching behavior is identical; only the home moved. ``detect()``,
+    ``for_products()`` and ``without_branded_patterns()`` all come from
+    the base class.
+    """
 
     def __init__(
-        self, patterns: Sequence[BlockPagePattern] = DEFAULT_PATTERNS
+        self, patterns: Optional[Sequence[BlockPagePattern]] = None
     ) -> None:
-        self._patterns = list(patterns)
-
-    @classmethod
-    def for_products(
-        cls, products: Optional[Sequence[str]] = None
-    ) -> "BlockPageDetector":
-        """A detector over the registry corpus for a product selection."""
-        return cls(default_registry().block_page_patterns(products))
-
-    def without_branded_patterns(self) -> "BlockPageDetector":
-        """A detector limited to structural signals (evasion studies)."""
-        return BlockPageDetector(
-            [p for p in self._patterns if not p.branded]
+        _warn_once(
+            "BlockPageDetector",
+            "repro.measure.classifiers.BlockPagePatternMatcher",
         )
-
-    def detect(self, result: FetchResult) -> Optional[Detection]:
-        """Attribute a fetch to a vendor's block flow, if any pattern hits.
-
-        Every hop is inspected — deny flows are redirect chains, and the
-        telltale strings often live in the *first* hop's Location header
-        rather than the final page.
-        """
-        votes: Dict[str, List[str]] = {}
-        for hop in result.hops:
-            response = hop.response
-            headers_text = f"{response.status_line()}\n{response.headers.as_text()}"
-            body_text = response.body
-            for pattern in self._patterns:
-                if pattern.scope == "headers":
-                    haystacks = [headers_text]
-                elif pattern.scope == "body":
-                    haystacks = [body_text]
-                else:
-                    haystacks = [headers_text, body_text]
-                if any(pattern.pattern.search(h) for h in haystacks):
-                    votes.setdefault(pattern.vendor, []).append(
-                        pattern.pattern.pattern
-                    )
-            # Request URLs matter too: after following a deny redirect the
-            # final request path contains webadmin/deny or blockpage.cgi.
-            # Only *structural* (non-branded) patterns apply here — a
-            # vendor's own hostname (denypagetests.netsweeper.com) must
-            # not read as a block page.
-            request_url = str(hop.request.url)
-            for pattern in self._patterns:
-                if (
-                    pattern.scope == "any"
-                    and not pattern.branded
-                    and pattern.pattern.search(request_url)
-                ):
-                    votes.setdefault(pattern.vendor, []).append(
-                        pattern.pattern.pattern
-                    )
-        if not votes:
-            return None
-        # Most distinct patterns wins; ties break lexicographically by
-        # vendor name so the verdict never depends on corpus order.
-        best_vendor = min(votes, key=lambda v: (-len(set(votes[v])), v))
-        return Detection(best_vendor, sorted(set(votes[best_vendor])))
+        super().__init__(DEFAULT_PATTERNS if patterns is None else patterns)
 
 
 _DEPRECATED_CONSTANTS = {
@@ -120,25 +86,9 @@ _DEPRECATED_CONSTANTS = {
     "WEBSENSE": _registry.WEBSENSE,
 }
 
-# A long campaign resolves these shims thousands of times; warn once per
-# constant per process so logs stay readable.
-_warned: set = set()
-
-
-def _reset_deprecation_warnings() -> None:
-    """Re-arm the warn-once latch (test helper)."""
-    _warned.clear()
-
 
 def __getattr__(name: str) -> str:
     if name in _DEPRECATED_CONSTANTS:
-        if name not in _warned:
-            _warned.add(name)
-            warnings.warn(
-                f"repro.measure.blockpage_detect.{name} is deprecated; import "
-                "it from repro.products.registry",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+        _warn_once(name, "repro.products.registry")
         return _DEPRECATED_CONSTANTS[name]
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,139 @@
+"""Block-page similarity against the registry's §5 regex corpus.
+
+§5: "Manual analysis identified regular expressions corresponding to the
+vendors' block pages and automated analysis identified all URLs which
+matched a given block page regular expression." The corpus comes from
+the product registry's per-spec patterns and covers both branded and
+structural signals, so detection degrades gracefully as vendors strip
+branding (§2.2) — the structural patterns (deny-page paths, the 15871
+port, cfauth redirects) survive cosmetic changes.
+
+The matching engine lived in :mod:`repro.measure.blockpage_detect`
+(which now shims onto this module); the classifier wraps it to emit a
+fusion :class:`~repro.measure.verdict.Signal` instead of deciding the
+verdict alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.measure.classifiers.record import PageRecord
+from repro.measure.verdict import Detection, Signal, Verdict
+from repro.net.fetch import FetchResult
+from repro.products.registry import (
+    CompiledBlockPattern as BlockPagePattern,
+    default_registry,
+)
+
+
+def default_patterns() -> Sequence[BlockPagePattern]:
+    """The §5 regex corpus for the paper's default products."""
+    return default_registry().block_page_patterns()
+
+
+class BlockPagePatternMatcher:
+    """Matches a fetch result against the block-page regex corpus.
+
+    Generic proxy residue (Via / Via-Proxy headers) is deliberately NOT
+    block evidence: proxy appliances stamp those on every forwarded
+    response, censored or not (that residue is what the Netalyzr-style
+    fingerprinting in :mod:`repro.measure.netalyzr` reads instead).
+    """
+
+    def __init__(
+        self, patterns: Optional[Sequence[BlockPagePattern]] = None
+    ) -> None:
+        self._patterns = list(
+            default_patterns() if patterns is None else patterns
+        )
+
+    @classmethod
+    def for_products(
+        cls, products: Optional[Sequence[str]] = None
+    ) -> "BlockPagePatternMatcher":
+        """A matcher over the registry corpus for a product selection."""
+        return cls(default_registry().block_page_patterns(products))
+
+    def without_branded_patterns(self) -> "BlockPagePatternMatcher":
+        """A matcher limited to structural signals (evasion studies)."""
+        return type(self)([p for p in self._patterns if not p.branded])
+
+    def detect(self, result: FetchResult) -> Optional[Detection]:
+        """Attribute a fetch to a vendor's block flow, if any pattern hits.
+
+        Every hop is inspected — deny flows are redirect chains, and the
+        telltale strings often live in the *first* hop's Location header
+        rather than the final page.
+        """
+        votes: Dict[str, List[str]] = {}
+        for hop in result.hops:
+            response = hop.response
+            headers_text = f"{response.status_line()}\n{response.headers.as_text()}"
+            body_text = response.body
+            for pattern in self._patterns:
+                if pattern.scope == "headers":
+                    haystacks = [headers_text]
+                elif pattern.scope == "body":
+                    haystacks = [body_text]
+                else:
+                    haystacks = [headers_text, body_text]
+                if any(pattern.pattern.search(h) for h in haystacks):
+                    votes.setdefault(pattern.vendor, []).append(
+                        pattern.pattern.pattern
+                    )
+            # Request URLs matter too: after following a deny redirect the
+            # final request path contains webadmin/deny or blockpage.cgi.
+            # Only *structural* (non-branded) patterns apply here — a
+            # vendor's own hostname (denypagetests.netsweeper.com) must
+            # not read as a block page.
+            request_url = str(hop.request.url)
+            for pattern in self._patterns:
+                if (
+                    pattern.scope == "any"
+                    and not pattern.branded
+                    and pattern.pattern.search(request_url)
+                ):
+                    votes.setdefault(pattern.vendor, []).append(
+                        pattern.pattern.pattern
+                    )
+        if not votes:
+            return None
+        # Most distinct patterns wins; ties break lexicographically by
+        # vendor name so the verdict never depends on corpus order.
+        best_vendor = min(votes, key=lambda v: (-len(set(votes[v])), v))
+        return Detection(best_vendor, sorted(set(votes[best_vendor])))
+
+
+class BlockPageClassifier:
+    """The least ambiguous evidence the paper uses: an explicit block page.
+
+    Fires only on a completed field exchange; a vendor pattern match is
+    near-certain, so the confidence outranks any stack of circumstantial
+    content signals at default fusion weights.
+    """
+
+    name = "blockpage"
+    confidence = 0.95
+
+    def __init__(
+        self, matcher: Optional[BlockPagePatternMatcher] = None
+    ) -> None:
+        self.matcher = matcher or BlockPagePatternMatcher()
+
+    def classify(self, record: PageRecord) -> Optional[Signal]:
+        if not record.field.ok:
+            return None
+        detection = self.matcher.detect(record.field_result)
+        if detection is None:
+            return None
+        return Signal(
+            classifier=self.name,
+            verdict=Verdict.BLOCKED_BLOCKPAGE,
+            confidence=self.confidence,
+            evidence=(
+                f"{detection.vendor} block flow: "
+                f"{len(detection.matched)} pattern(s) matched"
+            ),
+            detection=detection,
+        )

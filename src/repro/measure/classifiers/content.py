@@ -1,0 +1,111 @@
+"""Content classifiers: status-code anomaly and page-length/structure delta.
+
+Both require a completed field exchange and a healthy lab view: they
+compare what the two vantages *saw*, the §4.1 field/lab differential.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.measure.classifiers.record import PageRecord
+from repro.measure.verdict import Signal, Verdict
+
+#: Word-overlap floor below which two differently-titled pages count as
+#: different documents — the legacy comparator's Jaccard threshold.
+DIVERGENT_JACCARD = 0.4
+
+#: Stricter overlap floor applied when the titles *match*: a censorship
+#: page that spoofs the origin's title (HTTP-200 plain block pages) still
+#: shares almost no body text with the real page, while benign A/B copy
+#: variations share most of it.
+SPOOFED_TITLE_JACCARD = 0.3
+
+
+class StatusAnomalyClassifier:
+    """An error status the lab does not see.
+
+    An unexplained field-side 403/451/5xx against a lab 200 is what a
+    fully unbranded block page looks like at the status line (§2.2,
+    §6.1).
+    """
+
+    name = "status-anomaly"
+    confidence = 0.7
+
+    def classify(self, record: PageRecord) -> Optional[Signal]:
+        if not record.field.ok:
+            return None
+        field_status = record.field.status or 0
+        lab_status = record.lab.status or 0
+        if field_status < 400 or lab_status >= 400:
+            return None
+        return Signal(
+            classifier=self.name,
+            verdict=Verdict.BLOCKED_UNATTRIBUTED,
+            confidence=self.confidence,
+            evidence=f"field HTTP {field_status} vs lab {lab_status}",
+        )
+
+
+class PageDeltaClassifier:
+    """The field saw a different document than the lab did.
+
+    Both views fetched the SAME URL, so heavy divergence in body words
+    and page structure means an interposed page — e.g. Netsweeper's
+    HTTP-200 deny page, or a plain censorship page that even spoofs the
+    origin's title. Title equality narrows but never ends the analysis:
+    a spoofed title with an alien body still fires (the case the legacy
+    title short-circuit provably missed).
+    """
+
+    name = "page-delta"
+    divergent_confidence = 0.75
+    spoofed_confidence = 0.7
+
+    def classify(self, record: PageRecord) -> Optional[Signal]:
+        if not record.field.ok or not record.lab.ok:
+            return None
+        jaccard = record.word_jaccard()
+        field_title = record.field.title
+        lab_title = record.lab.title
+        if field_title and lab_title:
+            # Both views fetched the SAME URL, so differing titles are
+            # decisive divergence (the legacy rule, kept verbatim).
+            if field_title != lab_title:
+                return Signal(
+                    classifier=self.name,
+                    verdict=Verdict.BLOCKED_UNATTRIBUTED,
+                    confidence=self.divergent_confidence,
+                    evidence=(
+                        "field content differs from lab (title "
+                        f"{field_title!r} vs {lab_title!r}, word overlap "
+                        f"{jaccard:.2f})"
+                    ),
+                )
+            # Matching titles narrow but do not end the analysis: a
+            # spoofed-title censorship page still has an alien body.
+            if jaccard >= SPOOFED_TITLE_JACCARD:
+                return None
+            return Signal(
+                classifier=self.name,
+                verdict=Verdict.BLOCKED_UNATTRIBUTED,
+                confidence=self.spoofed_confidence,
+                evidence=(
+                    "title matches but body diverges "
+                    f"(word overlap {jaccard:.2f}, structure overlap "
+                    f"{record.tag_jaccard():.2f}, length ratio "
+                    f"{record.length_ratio():.2f})"
+                ),
+            )
+        if jaccard >= DIVERGENT_JACCARD:
+            return None
+        return Signal(
+            classifier=self.name,
+            verdict=Verdict.BLOCKED_UNATTRIBUTED,
+            confidence=self.divergent_confidence,
+            evidence=(
+                f"field content differs from lab (word overlap "
+                f"{jaccard:.2f}, length ratio {record.length_ratio():.2f})"
+            ),
+        )

@@ -1,0 +1,85 @@
+"""Inconclusive filters: evidence that poisons a censorship claim.
+
+A filter does not vote for a verdict — it recognizes page shapes that
+*look* like blocking but are not attributable to a censor: CDN
+anti-abuse captchas, law-enforcement domain seizures, and ISP
+login/payment portals. When one matches, fusion demotes any blocked
+verdict to INSUFFICIENT (the classifurlr "inconclusive" pattern): a
+measurement tainted this way must degrade to "we do not know", never
+count as censorship.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.measure.classifiers.record import PageRecord
+from repro.measure.verdict import Signal, Verdict
+
+
+class _MarkerFilter:
+    """Shared engine: case-insensitive body/header markers in the field view."""
+
+    name = "marker"
+    confidence = 0.8
+    markers: Sequence[str] = ()
+    reason = ""
+
+    def applies(self, record: PageRecord) -> Optional[Signal]:
+        if not record.field.ok:
+            return None
+        haystack = (
+            f"{record.field.headers_text}\n{record.field.body}".lower()
+        )
+        matched = [marker for marker in self.markers if marker in haystack]
+        if not matched:
+            return None
+        return Signal(
+            classifier=self.name,
+            verdict=Verdict.INSUFFICIENT,
+            confidence=self.confidence,
+            evidence=f"{self.reason}: matched {matched[0]!r}",
+        )
+
+
+class CdnCaptchaFilter(_MarkerFilter):
+    """CDN anti-abuse interstitials: rate-limits, not censorship."""
+
+    name = "cdn-captcha"
+    markers = (
+        "checking your browser before accessing",
+        "complete the captcha",
+        "cf-chl",
+        "attention required!",
+    )
+    reason = "CDN anti-abuse interstitial"
+
+
+class SeizedDomainFilter(_MarkerFilter):
+    """Law-enforcement seizure banners: the domain is gone everywhere."""
+
+    name = "seized-domain"
+    markers = (
+        "this domain has been seized",
+        "seized pursuant to",
+        "domain seizure",
+    )
+    reason = "law-enforcement domain seizure"
+
+
+class IspLoginPortalFilter(_MarkerFilter):
+    """Captive subscriber portals: the vantage is unauthenticated, not censored."""
+
+    name = "isp-login-portal"
+    markers = (
+        "subscriber login",
+        "sign in to continue browsing",
+        "account suspended - please pay",
+        "captive portal",
+    )
+    reason = "ISP subscriber/captive portal"
+
+
+def default_filters() -> tuple:
+    """The standard inconclusive-filter set, in canonical order."""
+    return (CdnCaptchaFilter(), SeizedDomainFilter(), IspLoginPortalFilter())

@@ -1,0 +1,118 @@
+"""Network-level classifiers: DNS tampering, resets, timeouts, SNI.
+
+Each classifier reads one :class:`~repro.measure.classifiers.record.PageRecord`
+and emits at most one :class:`~repro.measure.verdict.Signal`. They are
+deliberately narrow: a TCP reset is *evidence* of reset-based blocking,
+not a verdict — the fusion stage weighs it against everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.measure.classifiers.record import PageRecord
+from repro.measure.verdict import Signal, Verdict
+from repro.net.fetch import FetchOutcome
+
+
+class DnsTamperingClassifier:
+    """NXDOMAIN in the field while the lab resolves the same name.
+
+    The products studied block over HTTP, but the comparator must be
+    able to tell DNS tampering apart (§4.1); resolvable-in-lab is what
+    separates tampering from a dead domain.
+    """
+
+    name = "dns-tampering"
+    confidence = 0.85
+
+    def classify(self, record: PageRecord) -> Optional[Signal]:
+        if record.field.outcome is not FetchOutcome.DNS_FAILURE:
+            return None
+        return Signal(
+            classifier=self.name,
+            verdict=Verdict.DNS_TAMPERED,
+            confidence=self.confidence,
+            evidence="NXDOMAIN in field, resolvable in lab",
+        )
+
+
+class ResetTimeoutClassifier:
+    """Connection-level denial: injected RSTs and silent drops.
+
+    Resets carry more weight than timeouts — a timeout is also what an
+    overloaded path looks like, so its confidence is deliberately lower.
+    """
+
+    name = "rst-timeout"
+    reset_confidence = 0.8
+    timeout_confidence = 0.7
+
+    def classify(self, record: PageRecord) -> Optional[Signal]:
+        if record.field.outcome is FetchOutcome.TCP_RESET:
+            return Signal(
+                classifier=self.name,
+                verdict=Verdict.BLOCKED_RESET,
+                confidence=self.reset_confidence,
+                evidence="field connection reset; lab exchange completed",
+            )
+        if record.field.outcome is FetchOutcome.TIMEOUT:
+            return Signal(
+                classifier=self.name,
+                verdict=Verdict.BLOCKED_TIMEOUT,
+                confidence=self.timeout_confidence,
+                evidence="field connection timed out; lab exchange completed",
+            )
+        return None
+
+
+class RstInjectionClassifier:
+    """A middlebox RST that lost the race with the origin's response.
+
+    "Where The Light Gets In"-style injection middleboxes fire an RST at
+    the client *alongside* the origin's packets; when the content wins
+    the race the page arrives intact and a content comparison sees
+    nothing. The on-wire RST recorded in the page record is the only
+    evidence — exactly the case a one-shot regex verdict cannot reach.
+    """
+
+    name = "rst-injection"
+    confidence = 0.85
+
+    def classify(self, record: PageRecord) -> Optional[Signal]:
+        if not record.field.ok or not record.field.rst_injected:
+            return None
+        return Signal(
+            classifier=self.name,
+            verdict=Verdict.BLOCKED_RESET,
+            confidence=self.confidence,
+            evidence=(
+                "RST injected mid-flow; origin content still received "
+                "(injection lost the race)"
+            ),
+        )
+
+
+class SniFilterClassifier:
+    """TLS handshakes torn down on the server name while HTTP passes.
+
+    SNI-based filtering ("How India Censors the Web") never touches page
+    content: the only evidence is the TLS-layer reset in the field view
+    against a clean lab handshake.
+    """
+
+    name = "sni-filter"
+    confidence = 0.85
+
+    def classify(self, record: PageRecord) -> Optional[Signal]:
+        if record.field.outcome is not FetchOutcome.TLS_RESET:
+            return None
+        return Signal(
+            classifier=self.name,
+            verdict=Verdict.BLOCKED_SNI,
+            confidence=self.confidence,
+            evidence=(
+                "TLS handshake reset on SNI in field; lab handshake "
+                "completed"
+            ),
+        )

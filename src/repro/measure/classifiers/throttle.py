@@ -1,0 +1,50 @@
+"""Throttling detection via field/lab timing deltas.
+
+Timings in the page record come from the world's deterministic latency
+model (per-hop base cost plus any on-path device delay), never from
+wall-clock measurement or chaos-plan noise — so a throttling signal is a
+pure function of what middleboxes actually did to the flow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.measure.classifiers.record import PageRecord
+from repro.measure.verdict import Signal, Verdict
+
+#: The field fetch must be at least this many times slower than the lab
+#: fetch, AND slower by at least the absolute floor, before throttling
+#: is claimed. Redirect-chain length differences alone (a few base hop
+#: costs) can never clear the floor.
+RATIO_THRESHOLD = 3.0
+ABSOLUTE_FLOOR_MS = 500.0
+
+
+class ThrottlingClassifier:
+    """Soft censorship: the page arrives, but pathologically slowly."""
+
+    name = "throttle"
+    confidence = 0.7
+
+    def classify(self, record: PageRecord) -> Optional[Signal]:
+        if not record.field.ok or not record.lab.ok:
+            return None
+        field_ms = record.field.elapsed_ms
+        lab_ms = record.lab.elapsed_ms
+        if field_ms <= 0 or lab_ms < 0:
+            return None
+        delta = field_ms - lab_ms
+        if delta < ABSOLUTE_FLOOR_MS:
+            return None
+        if lab_ms > 0 and field_ms / lab_ms < RATIO_THRESHOLD:
+            return None
+        return Signal(
+            classifier=self.name,
+            verdict=Verdict.THROTTLED,
+            confidence=self.confidence,
+            evidence=(
+                f"field {field_ms:.0f}ms vs lab {lab_ms:.0f}ms "
+                f"(+{delta:.0f}ms)"
+            ),
+        )

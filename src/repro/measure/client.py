@@ -15,8 +15,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.exec.executor import Executor, Sequencer
 from repro.exec.resilience import ResilientRunner
-from repro.measure.blockpage_detect import BlockPageDetector
-from repro.measure.compare import Comparison, Verdict, compare
+from repro.measure.classifiers.blockpage import BlockPagePatternMatcher
+from repro.measure.classifiers.fusion import VerdictEngine
+from repro.measure.verdict import Comparison, Verdict
 from repro.net.fetch import FetchOutcome, FetchResult
 from repro.net.url import Url
 from repro.world.clock import SimTime
@@ -49,6 +50,11 @@ class UrlTest:
     @property
     def vendor(self) -> Optional[str]:
         return self.comparison.vendor
+
+    @property
+    def confidence(self) -> float:
+        """The fused confidence behind this verdict (0.0 = unmeasured)."""
+        return self.comparison.confidence
 
 
 @dataclass
@@ -101,8 +107,9 @@ class MeasurementClient:
         self,
         field_vantage: Vantage,
         lab_vantage: Vantage,
-        detector: Optional[BlockPageDetector] = None,
+        detector: Optional[BlockPagePatternMatcher] = None,
         *,
+        engine: Optional[VerdictEngine] = None,
         executor: Optional[Executor] = None,
         link_latency: float = 0.0,
         resilience: Optional[ResilientRunner] = None,
@@ -117,7 +124,9 @@ class MeasurementClient:
             raise ValueError("link_latency must be >= 0")
         self._field = field_vantage
         self._lab = lab_vantage
-        self._detector = detector or BlockPageDetector()
+        # A full VerdictEngine wins over a bare matcher; passing both is
+        # an error only in spirit — the matcher is simply ignored.
+        self._engine = engine or VerdictEngine(matcher=detector)
         self._executor = executor
         self._link_latency = link_latency
         self._resilience = resilience
@@ -137,7 +146,7 @@ class MeasurementClient:
         """One field+lab exchange and its comparison (no resilience)."""
         field_result = self._field.fetch(url)
         lab_result = self._lab.fetch(url)
-        comparison = compare(field_result, lab_result, self._detector)
+        comparison = self._engine.compare(field_result, lab_result)
         return UrlTest(
             url,
             field_result,
@@ -159,7 +168,7 @@ class MeasurementClient:
             url,
             placeholder,
             placeholder,
-            Comparison(Verdict.INSUFFICIENT, note=note),
+            Comparison(Verdict.INSUFFICIENT, note=note, confidence=0.0),
             self._field.world.now,
         )
 
@@ -212,7 +221,7 @@ class MeasurementClient:
             with sequencer.turn(index):
                 field_result = self._field.fetch(url)
             lab_result = self._lab.fetch(url)
-            comparison = compare(field_result, lab_result, self._detector)
+            comparison = self._engine.compare(field_result, lab_result)
             return UrlTest(
                 url,
                 field_result,

@@ -1,135 +1,64 @@
-"""Field-vs-lab comparison: the §4.1 accessibility verdict.
+"""Deprecated shim over the evidence-based verdict path.
 
-"The results of the Web page accesses in the field and lab are compared
-to determine if the page was blocked in the field location." The
-comparator distinguishes explicit block pages (the products studied all
-serve them) from the ambiguous failure modes the paper sidesteps —
-resets, drops, DNS tampering — and from sites that are simply down
-everywhere.
+The §4.1 field-vs-lab comparator now lives in
+:mod:`repro.measure.classifiers`: fetch pairs become
+:class:`~repro.measure.classifiers.record.PageRecord` evidence,
+independent classifiers emit signals, and a deterministic fusion stage
+produces the final :class:`~repro.measure.verdict.Comparison`.
+
+This module keeps the old import surface alive:
+
+- ``Verdict`` / ``Comparison`` / ``Detection`` re-export from
+  :mod:`repro.measure.verdict` (no warning — the types are canonical,
+  only their home moved);
+- ``compare()`` warns once per process, then delegates to the preserved
+  legacy if-chain (:func:`repro.measure.classifiers.legacy.legacy_compare`).
+  New code should construct a
+  :class:`~repro.measure.classifiers.VerdictEngine` instead.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
+import warnings
 from typing import Optional
 
-from repro.measure.blockpage_detect import BlockPageDetector, Detection
-from repro.net.fetch import FetchOutcome, FetchResult
+from repro.measure.classifiers.blockpage import BlockPagePatternMatcher
+from repro.measure.classifiers.legacy import legacy_compare
+from repro.measure.verdict import Comparison, Detection, Verdict
+from repro.net.fetch import FetchResult
+
+__all__ = ["Comparison", "Detection", "Verdict", "compare"]
+
+# A long campaign resolves this shim thousands of times; warn once per
+# process so logs stay readable.
+_warned: set = set()
 
 
-class Verdict(enum.Enum):
-    """Accessibility of one URL from one field vantage."""
-
-    ACCESSIBLE = "accessible"
-    BLOCKED_BLOCKPAGE = "blocked_blockpage"
-    #: Field sees an interference page that matches no vendor pattern —
-    #: what a fully unbranded block page (§2.2, §6.1) looks like. The
-    #: confirmation differential still counts it as blocked; §5
-    #: attribution cannot.
-    BLOCKED_UNATTRIBUTED = "blocked_unattributed"
-    BLOCKED_RESET = "blocked_reset"
-    BLOCKED_TIMEOUT = "blocked_timeout"
-    DNS_TAMPERED = "dns_tampered"
-    SITE_DOWN = "site_down"  # lab could not reach it either
-    ANOMALY = "anomaly"  # field differs from lab, cause unclear
-    #: The measurement itself failed (retries exhausted, vantage down,
-    #: breaker open): no field/lab pair exists to compare. Explicitly
-    #: neither blocked nor accessible — a flaky probe must degrade to
-    #: "we do not know", never to a censorship claim.
-    INSUFFICIENT = "insufficient_data"
-
-    @property
-    def is_blocked(self) -> bool:
-        return self in (
-            Verdict.BLOCKED_BLOCKPAGE,
-            Verdict.BLOCKED_UNATTRIBUTED,
-            Verdict.BLOCKED_RESET,
-            Verdict.BLOCKED_TIMEOUT,
-            Verdict.DNS_TAMPERED,
-        )
-
-
-@dataclass
-class Comparison:
-    """The outcome of comparing one field fetch against the lab fetch."""
-
-    verdict: Verdict
-    detection: Optional[Detection] = None
-    note: str = ""
-
-    @property
-    def blocked(self) -> bool:
-        return self.verdict.is_blocked
-
-    @property
-    def vendor(self) -> Optional[str]:
-        return self.detection.vendor if self.detection else None
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the warn-once latch (test helper)."""
+    _warned.clear()
 
 
 def compare(
     field: FetchResult,
     lab: FetchResult,
-    detector: Optional[BlockPageDetector] = None,
+    detector: Optional[BlockPagePatternMatcher] = None,
 ) -> Comparison:
-    """Classify a field result given the lab's view of the same URL."""
-    detector = detector or BlockPageDetector()
-    lab_ok = lab.outcome is FetchOutcome.OK and (lab.status or 0) < 400
+    """Classify a field result given the lab's view of the same URL.
 
-    if not lab_ok:
-        # The control fetch failed: nothing can be said about censorship.
-        return Comparison(Verdict.SITE_DOWN, note=f"lab outcome {lab.outcome.value}")
-
-    if field.outcome is FetchOutcome.TCP_RESET:
-        return Comparison(Verdict.BLOCKED_RESET)
-    if field.outcome is FetchOutcome.TIMEOUT:
-        return Comparison(Verdict.BLOCKED_TIMEOUT)
-    if field.outcome is FetchOutcome.DNS_FAILURE:
-        return Comparison(
-            Verdict.DNS_TAMPERED, note="NXDOMAIN in field, resolvable in lab"
+    Deprecated: this is the pre-fusion if-chain, kept verbatim for
+    callers that have not migrated. Use
+    ``repro.measure.classifiers.VerdictEngine`` for the evidence-based
+    path with confidence fusion.
+    """
+    if "compare" not in _warned:
+        _warned.add("compare")
+        warnings.warn(
+            "repro.measure.compare.compare() is deprecated; use "
+            "repro.measure.classifiers.VerdictEngine for fused verdicts "
+            "(or classifiers.legacy.legacy_compare for the historical "
+            "if-chain)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if field.outcome is not FetchOutcome.OK:
-        return Comparison(Verdict.ANOMALY, note=f"field outcome {field.outcome.value}")
-
-    detection = detector.detect(field)
-    if detection is not None:
-        return Comparison(Verdict.BLOCKED_BLOCKPAGE, detection)
-
-    field_status = field.status or 0
-    if field_status >= 400 and (lab.status or 0) < 400:
-        # An error page the lab does not see and no vendor pattern
-        # matched: an unbranded block page (§2.2, §6.1).
-        return Comparison(
-            Verdict.BLOCKED_UNATTRIBUTED,
-            note=f"field HTTP {field_status} vs lab {lab.status}",
-        )
-    if not _content_similar(field, lab):
-        # Both 200 but the field saw a different page — e.g. Netsweeper
-        # serves its deny page with HTTP 200. The field/lab comparison
-        # (§4.1) is exactly what catches this.
-        return Comparison(
-            Verdict.BLOCKED_UNATTRIBUTED, note="field content differs from lab"
-        )
-    return Comparison(Verdict.ACCESSIBLE)
-
-
-def _content_similar(field: FetchResult, lab: FetchResult) -> bool:
-    """Coarse page-equality check between the field and lab views."""
-    field_response = field.response
-    lab_response = lab.response
-    if field_response is None or lab_response is None:
-        return field_response is lab_response
-    field_title = field_response.html_title()
-    lab_title = lab_response.html_title()
-    if field_title and lab_title:
-        # Both views fetched the SAME URL: the title is decisive.
-        return field_title == lab_title
-    field_words = set(field_response.body.lower().split())
-    lab_words = set(lab_response.body.lower().split())
-    if not field_words and not lab_words:
-        return True
-    union = field_words | lab_words
-    if not union:
-        return True
-    jaccard = len(field_words & lab_words) / len(union)
-    return jaccard >= 0.4
+    return legacy_compare(field, lab, matcher=detector)

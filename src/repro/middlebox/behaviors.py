@@ -1,0 +1,33 @@
+"""Censorship behaviors beyond vendor block pages.
+
+The paper's products all serve explicit block pages; real deployments
+also censor in ways no block-page regex can see. This module builds the
+responses/actions for those modes (:class:`~repro.middlebox.policy.BlockMode`
+HTTP200_PLAIN, SNI_RESET, RST_INJECT, THROTTLE) — the cases only the
+evidence-based verdict path (:mod:`repro.measure.classifiers`) can
+classify correctly.
+"""
+
+from __future__ import annotations
+
+from repro.net.http import HttpRequest, HttpResponse, ok_response
+
+#: Body of the unbranded HTTP-200 censorship page. Deliberately free of
+#: every vendor marker in the §5 corpus: nothing here is attributable.
+PLAIN_BLOCK_BODY = (
+    "<h1>Access denied</h1>"
+    "<p>The requested web resource is unavailable on this network "
+    "by order of the competent authority.</p>"
+)
+
+
+def plain_block_response(request: HttpRequest) -> HttpResponse:
+    """An HTTP-200 censorship page that spoofs the origin's title.
+
+    Status 200, no vendor strings, and an ``<title>`` equal to the
+    requested host (the origin's usual title): invisible to status-code
+    anomaly checks, to the block-page corpus, and to any comparator
+    whose content check short-circuits on matching titles. Only a body
+    structure/word comparison against the lab view reveals it.
+    """
+    return ok_response(request.url.host, PLAIN_BLOCK_BODY)

@@ -29,6 +29,7 @@ from repro.products.base import (
 from repro.products.database import DatabaseSubscription
 from repro.products.licensing import LicenseModel
 from repro.products.registry import default_registry
+from repro.middlebox.behaviors import plain_block_response
 from repro.middlebox.policy import BlockMode, CUSTOM_CATEGORY, FilterPolicy
 from repro.world.clock import SimTime
 from repro.world.entities import Host, InterceptAction, InterceptKind
@@ -117,16 +118,26 @@ class FilterMiddlebox:
         assert engine is not None
         url = request.url
         if self.policy.custom_blocks_host(url.host):
-            self.block_count += 1
-            return self._block(request, CUSTOM_CATEGORY)
+            return self._deny(request, CUSTOM_CATEGORY)
         if not self.policy.honor_category_test_pages and self._is_probe(url):
             return InterceptAction.passthrough()
         category = engine.decide(url, self.subscription, now)
         if category is not None and self.policy.blocks(category):
-            self.block_count += 1
-            return self._block(request, category)
+            return self._deny(request, category)
         engine.on_passthrough(url, now)
         return InterceptAction.passthrough()
+
+    def _deny(self, request: HttpRequest, category) -> InterceptAction:
+        """Apply the block mode and count what actually interfered.
+
+        A plain PASS with no delay (e.g. SNI mode seeing an HTTP
+        request it cannot touch) is not a block and must not inflate
+        the counter the monitoring surfaces report.
+        """
+        action = self._block(request, category)
+        if action.kind is not InterceptKind.PASS or action.delay_ms > 0:
+            self.block_count += 1
+        return action
 
     def _is_probe(self, url) -> bool:
         assert self.engine is not None
@@ -139,6 +150,22 @@ class FilterMiddlebox:
             return InterceptAction(InterceptKind.RESET)
         if mode is BlockMode.DROP:
             return InterceptAction(InterceptKind.DROP)
+        if mode is BlockMode.SNI_RESET:
+            # SNI filtering only sees TLS handshakes; a plain-HTTP
+            # request carries no server name to match on and sails by.
+            if request.url.scheme == "https":
+                return InterceptAction(InterceptKind.TLS_RESET)
+            return InterceptAction.passthrough()
+        if mode is BlockMode.RST_INJECT:
+            return InterceptAction(InterceptKind.RST_INJECT)
+        if mode is BlockMode.THROTTLE:
+            return InterceptAction(
+                InterceptKind.PASS, delay_ms=self.policy.throttle_delay_ms
+            )
+        if mode is BlockMode.HTTP200_PLAIN:
+            return InterceptAction(
+                InterceptKind.RESPOND, plain_block_response(request)
+            )
         assert self.engine is not None
         response = self.engine.block_response(
             request, category, self.deployment_context()

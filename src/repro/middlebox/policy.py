@@ -24,6 +24,18 @@ class BlockMode(enum.Enum):
     BLOCKPAGE = "blockpage"  # explicit block page (the products studied)
     RESET = "reset"  # inject TCP RST (other censorship styles)
     DROP = "drop"  # silently drop (client times out)
+    #: Serve an unbranded HTTP-200 censorship page that even spoofs the
+    #: origin's title — invisible to status-code checks and to any
+    #: comparator that trusts matching titles.
+    HTTP200_PLAIN = "http200_plain"
+    #: Tear down TLS handshakes on the server name; plain HTTP passes.
+    SNI_RESET = "sni_reset"
+    #: Fire an RST at the client while the origin's content races it;
+    #: the page usually arrives intact.
+    RST_INJECT = "rst_inject"
+    #: Let the page through, but hold the flow — soft censorship by
+    #: delay rather than denial.
+    THROTTLE = "throttle"
 
 
 #: The pseudo-category used for operator custom lists (§2.1: products
@@ -43,6 +55,9 @@ class FilterPolicy:
     block_page: BlockPageConfig = field(default_factory=BlockPageConfig)
     block_mode: BlockMode = BlockMode.BLOCKPAGE
     honor_category_test_pages: bool = True
+    #: Flow hold applied per hop under :data:`BlockMode.THROTTLE`, in
+    #: model milliseconds (world latency units, not wall clock).
+    throttle_delay_ms: float = 2000.0
 
     def custom_blocks_host(self, host: str) -> bool:
         return host.lower() in self.custom_blocked_hosts
@@ -72,4 +87,5 @@ class FilterPolicy:
             block_page=self.block_page,
             block_mode=self.block_mode,
             honor_category_test_pages=self.honor_category_test_pages,
+            throttle_delay_ms=self.throttle_delay_ms,
         )

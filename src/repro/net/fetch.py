@@ -24,6 +24,11 @@ class FetchOutcome(enum.Enum):
     OK = "ok"  # an HTTP response was received (any status)
     DNS_FAILURE = "dns_failure"
     TCP_RESET = "tcp_reset"
+    #: The TLS handshake was torn down before any HTTP exchange — what
+    #: SNI-based filtering looks like from the client. Distinct from
+    #: TCP_RESET (the TCP layer connected fine) so the comparator can
+    #: tell server-name filtering from connection-level denial.
+    TLS_RESET = "tls_reset"
     TIMEOUT = "timeout"
     UNREACHABLE = "unreachable"
     TOO_MANY_REDIRECTS = "too_many_redirects"
@@ -50,12 +55,20 @@ class FetchResult:
     ``hops`` records each exchange including redirects; ``response`` is
     the final response (None unless outcome is OK or TOO_MANY_REDIRECTS
     with at least one hop).
+
+    ``elapsed_ms`` is the world's deterministic latency model (per-hop
+    base cost plus any on-path device delay), not wall-clock time;
+    ``rst_injected`` records an on-wire RST that lost the race with the
+    origin's content — the page arrived anyway, but the wire-level
+    evidence of injection remains.
     """
 
     url: Url
     outcome: FetchOutcome
     hops: List[Hop] = field(default_factory=list)
     error: Optional[str] = None
+    elapsed_ms: float = 0.0
+    rst_injected: bool = False
 
     @property
     def response(self) -> Optional[HttpResponse]:

@@ -32,11 +32,17 @@ class RecordFilter:
     product: Optional[str] = None
     isp: Optional[str] = None
     category: Optional[str] = None
+    #: Minimum fused verdict confidence. Not an indexed dimension: rows
+    #: committed without ``record_confidence`` carry no confidence field
+    #: and are treated as fully confident (1.0), so they always pass.
+    min_confidence: Optional[float] = None
 
     def constraints(self) -> List[Tuple[str, str]]:
-        """(dimension, value-as-string) for every set field."""
+        """(dimension, value-as-string) for every set indexed field."""
         found = []
         for spec in fields(self):
+            if spec.name == "min_confidence":
+                continue
             value = getattr(self, spec.name)
             if value is not None:
                 found.append((spec.name, str(value)))
@@ -46,11 +52,14 @@ class RecordFilter:
         for dimension, value in self.constraints():
             if str(row.get(dimension)) != value:
                 return False
+        if self.min_confidence is not None:
+            if float(row.get("confidence", 1.0)) < self.min_confidence:
+                return False
         return True
 
     @property
     def empty(self) -> bool:
-        return not self.constraints()
+        return not self.constraints() and self.min_confidence is None
 
 
 class QueryEngine:

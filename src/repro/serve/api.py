@@ -17,7 +17,9 @@ harness can also drive in-process. Endpoints::
 
 Epoch ids may be unique prefixes. Listing/record endpoints accept
 ``page`` / ``per_page`` plus the record-filter dimensions (``country``,
-``asn``, ``product``, ``isp``, ``category``).
+``asn``, ``product``, ``isp``, ``category``) and ``min_confidence`` (a
+row-level floor on fused verdict confidence; rows committed without
+confidence recording pass any floor).
 
 Caching: every cacheable response carries a *strong* ETag derived from
 epoch content hashes (epoch ids are SHA-256s of epoch content, so a
@@ -153,12 +155,23 @@ def _record_filter(params: Dict[str, str]) -> RecordFilter:
             asn = int(params["asn"])
         except ValueError as exc:
             raise ApiError(400, f"bad asn parameter: {exc}") from exc
+    min_confidence: Optional[float] = None
+    if "min_confidence" in params:
+        try:
+            min_confidence = float(params["min_confidence"])
+        except ValueError as exc:
+            raise ApiError(
+                400, f"bad min_confidence parameter: {exc}"
+            ) from exc
+        if not 0.0 <= min_confidence <= 1.0:
+            raise ApiError(400, "min_confidence must be in [0, 1]")
     return RecordFilter(
         country=params.get("country"),
         asn=asn,
         product=params.get("product"),
         isp=params.get("isp"),
         category=params.get("category"),
+        min_confidence=min_confidence,
     )
 
 

@@ -79,9 +79,17 @@ def _isp_geography(world: "World", isp_name: str) -> Dict[str, Any]:
 
 
 def confirmation_record(
-    result: "ConfirmationResult", world: "World"
+    result: "ConfirmationResult",
+    world: "World",
+    *,
+    include_confidence: bool = False,
 ) -> Dict[str, Any]:
-    """One stored confirmation row (Table 3 cell + index geography)."""
+    """One stored confirmation row (Table 3 cell + index geography).
+
+    ``include_confidence`` persists the fused verdict confidence and
+    per-classifier signal breakdown. Opt-in: epoch ids are content
+    hashes over the row bytes, so the default row shape must not change.
+    """
     config = result.config
     row = {
         "product": config.product_name,
@@ -98,6 +106,9 @@ def confirmation_record(
         "confirmed": result.confirmed,
         "pre_check_accessible": result.pre_check_accessible,
     }
+    if include_confidence:
+        row["confidence"] = round(result.confidence, 4)
+        row["signals"] = result.signal_summary()
     row.update(_isp_geography(world, config.isp_name))
     return row
 
@@ -148,15 +159,25 @@ def study_epoch(
     world: "World",
     window: Tuple[int, int],
     partial: Sequence[str] = (),
+    record_confidence: bool = False,
 ) -> EpochData:
-    """Flatten one completed (or partial) campaign into an epoch."""
+    """Flatten one completed (or partial) campaign into an epoch.
+
+    ``record_confidence`` opts the confirmation/characterization rows
+    into carrying fused confidences and signal breakdowns; the default
+    keeps row bytes (hence epoch ids) identical to pre-fusion commits.
+    """
     records: Dict[str, List[Dict[str, Any]]] = {
         "installations": installations_rows(report),
         "confirmations": [
-            confirmation_record(result, world)
+            confirmation_record(
+                result, world, include_confidence=record_confidence
+            )
             for result in report.confirmations
         ],
-        "characterizations": characterization_rows(report),
+        "characterizations": characterization_rows(
+            report, include_confidence=record_confidence
+        ),
     }
     if report.category_probe is not None:
         records["category_probe"] = [

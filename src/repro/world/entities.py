@@ -85,16 +85,33 @@ class InterceptKind(enum.Enum):
     RESPOND = "respond"  # synthesize a response (block page / redirect)
     RESET = "reset"  # inject a TCP RST
     DROP = "drop"  # silently drop packets (client sees a timeout)
+    #: Tear down the TLS handshake on the server name (SNI filtering);
+    #: the TCP connection itself completed, no HTTP exchange happens.
+    TLS_RESET = "tls_reset"
+    #: Fire an RST at the client but let the origin's packets race it;
+    #: when the content wins, the page arrives with an on-wire RST as
+    #: the only evidence of interference.
+    RST_INJECT = "rst_inject"
 
 
 @dataclass
 class InterceptAction:
+    """A device's decision plus any latency it imposed on the flow.
+
+    ``delay_ms`` composes with PASS for throttling middleboxes: the
+    request continues toward the origin, but the device holds the flow —
+    soft censorship the verdict layer reads from fetch timings.
+    """
+
     kind: InterceptKind
     response: Optional[HttpResponse] = None
+    delay_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind is InterceptKind.RESPOND and self.response is None:
             raise ValueError("RESPOND action requires a response")
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be >= 0")
 
     @classmethod
     def passthrough(cls) -> "InterceptAction":

@@ -35,6 +35,15 @@ from repro.world.entities import (
 
 MAX_REDIRECTS = 8
 
+#: Deterministic per-hop latency (ms) of the simulated path. Every
+#: request/redirect exchange costs one base unit; on-path devices add
+#: their :attr:`~repro.world.entities.InterceptAction.delay_ms` on top.
+#: Purely model time — unrelated to the wall-clock ``link_latency`` the
+#: measurement client sleeps, and never touched by chaos fault plans
+#: (injected faults raise, so a fault can never masquerade as
+#: throttling).
+HOP_BASE_MS = 40.0
+
 
 def _is_ip_literal(host: str) -> bool:
     parts = host.split(".")
@@ -319,44 +328,61 @@ class World:
             )
         hops: List[Hop] = []
         current = url
+        elapsed = 0.0
+        rst_injected = False
+
+        def done(
+            outcome: FetchOutcome, error: Optional[str] = None
+        ) -> FetchResult:
+            return FetchResult(
+                url,
+                outcome,
+                hops,
+                error,
+                elapsed_ms=elapsed,
+                rst_injected=rst_injected,
+            )
+
         for _hop_index in range(MAX_REDIRECTS + 1):
+            elapsed += HOP_BASE_MS
             try:
                 destination = self._resolve(isp, current.host)
             except InjectedFault:
                 raise
             except NxDomain as exc:
-                return FetchResult(url, FetchOutcome.DNS_FAILURE, hops, str(exc))
+                return done(FetchOutcome.DNS_FAILURE, str(exc))
             request = HttpRequest.get(current, client_ip)
             response = None
             if isp is not None:
                 for device in isp.devices:
                     action = device.intercept(request, self.clock.now)
+                    elapsed += action.delay_ms
                     if action.kind is InterceptKind.PASS:
                         continue
                     if action.kind is InterceptKind.RESET:
-                        return FetchResult(
-                            url, FetchOutcome.TCP_RESET, hops, "connection reset"
-                        )
+                        return done(FetchOutcome.TCP_RESET, "connection reset")
                     if action.kind is InterceptKind.DROP:
-                        return FetchResult(
-                            url, FetchOutcome.TIMEOUT, hops, "connection timed out"
+                        return done(FetchOutcome.TIMEOUT, "connection timed out")
+                    if action.kind is InterceptKind.TLS_RESET:
+                        return done(
+                            FetchOutcome.TLS_RESET, "tls handshake reset"
                         )
+                    if action.kind is InterceptKind.RST_INJECT:
+                        # The injected RST lost the race with the origin's
+                        # content: record the wire evidence, keep going.
+                        rst_injected = True
+                        continue
                     response = action.response
                     break
             if response is None:
                 host = self.hosts.get(destination.value)
                 if host is None:
-                    return FetchResult(
-                        url,
-                        FetchOutcome.UNREACHABLE,
-                        hops,
-                        f"no route to {destination}",
+                    return done(
+                        FetchOutcome.UNREACHABLE, f"no route to {destination}"
                     )
                 if host.internal_only and not self._same_network(isp, host):
-                    return FetchResult(
-                        url,
+                    return done(
                         FetchOutcome.UNREACHABLE,
-                        hops,
                         f"{destination} not externally reachable",
                     )
                 response = host.serve(request)
@@ -370,7 +396,7 @@ class World:
                             response = annotate(request, response)
             hops.append(Hop(request, response))
             if not (follow_redirects and response.is_redirect):
-                return FetchResult(url, FetchOutcome.OK, hops)
+                return done(FetchOutcome.OK)
             location = response.location or ""
             try:
                 if "://" in location:
@@ -378,12 +404,10 @@ class World:
                 elif location.startswith("/"):
                     current = current.with_path(location)
                 else:
-                    return FetchResult(url, FetchOutcome.OK, hops)
+                    return done(FetchOutcome.OK)
             except Exception:
-                return FetchResult(url, FetchOutcome.OK, hops)
-        return FetchResult(
-            url, FetchOutcome.TOO_MANY_REDIRECTS, hops, "redirect loop"
-        )
+                return done(FetchOutcome.OK)
+        return done(FetchOutcome.TOO_MANY_REDIRECTS, "redirect loop")
 
 
 @dataclass

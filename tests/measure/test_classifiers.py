@@ -1,0 +1,298 @@
+"""Unit tests for the pluggable verdict classifiers.
+
+Each classifier is exercised over crafted :class:`PageRecord` evidence —
+no world, no middlebox — exactly the isolation the evidence layer
+exists to provide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measure.classifiers import (
+    BlockPageClassifier,
+    BlockPagePatternMatcher,
+    CdnCaptchaFilter,
+    DnsTamperingClassifier,
+    IspLoginPortalFilter,
+    PageDeltaClassifier,
+    PageRecord,
+    ResetTimeoutClassifier,
+    RstInjectionClassifier,
+    SeizedDomainFilter,
+    SniFilterClassifier,
+    StatusAnomalyClassifier,
+    ThrottlingClassifier,
+    VerdictEngine,
+    default_filters,
+)
+from repro.measure.verdict import Verdict
+from repro.net.fetch import FetchOutcome, FetchResult, Hop
+from repro.net.http import Headers, HttpRequest, HttpResponse, ok_response
+from repro.net.url import Url
+
+URL = Url.parse("http://site.example.com/")
+
+
+def fetched(
+    response=None,
+    *,
+    outcome=FetchOutcome.OK,
+    error=None,
+    elapsed_ms=40.0,
+    rst_injected=False,
+) -> FetchResult:
+    hops = [] if response is None else [Hop(HttpRequest.get(URL), response)]
+    return FetchResult(
+        URL, outcome, hops, error, elapsed_ms=elapsed_ms,
+        rst_injected=rst_injected,
+    )
+
+
+def page(title: str, body: str = "regular page words here") -> HttpResponse:
+    return ok_response(title, f"<p>{body}</p>")
+
+
+def record(field: FetchResult, lab=None) -> PageRecord:
+    if lab is None:
+        lab = fetched(page("site"))
+    return PageRecord.from_results(field, lab)
+
+
+class DescribeDnsTampering:
+    def test_fires_on_field_nxdomain(self):
+        signal = DnsTamperingClassifier().classify(
+            record(fetched(outcome=FetchOutcome.DNS_FAILURE))
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.DNS_TAMPERED
+        assert signal.confidence == 0.85
+
+    def test_silent_on_completed_fetch(self):
+        assert DnsTamperingClassifier().classify(
+            record(fetched(page("site")))
+        ) is None
+
+
+class DescribeResetTimeout:
+    def test_reset_outweighs_timeout(self):
+        classifier = ResetTimeoutClassifier()
+        reset = classifier.classify(
+            record(fetched(outcome=FetchOutcome.TCP_RESET))
+        )
+        timeout = classifier.classify(
+            record(fetched(outcome=FetchOutcome.TIMEOUT))
+        )
+        assert reset.verdict is Verdict.BLOCKED_RESET
+        assert timeout.verdict is Verdict.BLOCKED_TIMEOUT
+        assert reset.confidence > timeout.confidence
+
+    def test_silent_on_other_outcomes(self):
+        classifier = ResetTimeoutClassifier()
+        assert classifier.classify(record(fetched(page("site")))) is None
+        assert classifier.classify(
+            record(fetched(outcome=FetchOutcome.DNS_FAILURE))
+        ) is None
+
+
+class DescribeRstInjection:
+    def test_fires_when_content_won_the_race(self):
+        signal = RstInjectionClassifier().classify(
+            record(fetched(page("site"), rst_injected=True))
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.BLOCKED_RESET
+        assert "race" in signal.evidence
+
+    def test_needs_both_content_and_the_injected_rst(self):
+        classifier = RstInjectionClassifier()
+        assert classifier.classify(record(fetched(page("site")))) is None
+        assert classifier.classify(
+            record(
+                fetched(outcome=FetchOutcome.TCP_RESET, rst_injected=True)
+            )
+        ) is None
+
+
+class DescribeSniFilter:
+    def test_fires_on_tls_reset(self):
+        signal = SniFilterClassifier().classify(
+            record(fetched(outcome=FetchOutcome.TLS_RESET))
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.BLOCKED_SNI
+
+    def test_silent_on_tcp_reset(self):
+        assert SniFilterClassifier().classify(
+            record(fetched(outcome=FetchOutcome.TCP_RESET))
+        ) is None
+
+
+class DescribeStatusAnomaly:
+    def test_field_error_against_lab_success(self):
+        forbidden = HttpResponse(403, Headers(), "<p>forbidden</p>")
+        signal = StatusAnomalyClassifier().classify(
+            record(fetched(forbidden))
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.BLOCKED_UNATTRIBUTED
+        assert "403" in signal.evidence
+
+    def test_silent_when_both_succeed(self):
+        assert StatusAnomalyClassifier().classify(
+            record(fetched(page("site")))
+        ) is None
+
+    def test_silent_when_lab_errors_too(self):
+        forbidden = HttpResponse(403, Headers(), "x")
+        assert StatusAnomalyClassifier().classify(
+            record(fetched(forbidden), lab=fetched(forbidden))
+        ) is None
+
+
+class DescribePageDelta:
+    def test_differing_titles_are_decisive(self):
+        signal = PageDeltaClassifier().classify(
+            record(
+                fetched(page("Access denied", "regular page words here")),
+                lab=fetched(page("site")),
+            )
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.BLOCKED_UNATTRIBUTED
+        assert signal.confidence == 0.75
+
+    def test_spoofed_title_with_alien_body_still_fires(self):
+        """The case the legacy title short-circuit provably missed."""
+        signal = PageDeltaClassifier().classify(
+            record(
+                fetched(
+                    page(
+                        "site",
+                        "the requested web resource is unavailable on "
+                        "this network by order of the competent authority",
+                    )
+                ),
+                lab=fetched(page("site")),
+            )
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.BLOCKED_UNATTRIBUTED
+        assert signal.confidence == 0.7
+        assert "title matches" in signal.evidence
+
+    def test_identical_pages_are_silent(self):
+        assert PageDeltaClassifier().classify(
+            record(fetched(page("site")))
+        ) is None
+
+    def test_minor_copy_edits_under_a_shared_title_are_silent(self):
+        signal = PageDeltaClassifier().classify(
+            record(
+                fetched(page("site", "regular page words here updated")),
+                lab=fetched(page("site")),
+            )
+        )
+        assert signal is None
+
+
+class DescribeThrottling:
+    def throttle_record(self, field_ms, lab_ms):
+        return record(
+            fetched(page("site"), elapsed_ms=field_ms),
+            lab=fetched(page("site"), elapsed_ms=lab_ms),
+        )
+
+    def test_fires_on_slow_field_fast_lab(self):
+        signal = ThrottlingClassifier().classify(
+            self.throttle_record(2040.0, 40.0)
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.THROTTLED
+
+    def test_needs_the_absolute_floor(self):
+        """A big ratio over tiny times is jitter, not throttling."""
+        assert ThrottlingClassifier().classify(
+            self.throttle_record(400.0, 40.0)
+        ) is None
+
+    def test_needs_the_ratio(self):
+        """A fixed delta on an already-slow path is not throttling."""
+        assert ThrottlingClassifier().classify(
+            self.throttle_record(2600.0, 2000.0)
+        ) is None
+
+
+class DescribeBlockPageClassifier:
+    def test_carries_the_detection(self):
+        from tests.measure.test_blockpage_detect import blocked_fetch
+
+        field = blocked_fetch("Netsweeper")
+        signal = BlockPageClassifier(BlockPagePatternMatcher()).classify(
+            PageRecord.from_results(field, fetched(page("site")))
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.BLOCKED_BLOCKPAGE
+        assert signal.confidence == 0.95
+        assert signal.detection.vendor == "Netsweeper"
+
+    def test_silent_on_plain_page(self):
+        assert BlockPageClassifier(BlockPagePatternMatcher()).classify(
+            record(fetched(page("site")))
+        ) is None
+
+
+class DescribeInconclusiveFilters:
+    @pytest.mark.parametrize(
+        "filter_cls, body",
+        [
+            (CdnCaptchaFilter, "Checking your browser before accessing"),
+            (SeizedDomainFilter, "THIS DOMAIN HAS BEEN SEIZED"),
+            (IspLoginPortalFilter, "Subscriber login required"),
+        ],
+    )
+    def test_marker_demotes_to_insufficient(self, filter_cls, body):
+        signal = filter_cls().applies(
+            record(fetched(page("interstitial", body)))
+        )
+        assert signal is not None
+        assert signal.verdict is Verdict.INSUFFICIENT
+        assert "matched" in signal.evidence
+
+    def test_plain_page_passes_every_filter(self):
+        plain = record(fetched(page("site")))
+        assert all(f.applies(plain) is None for f in default_filters())
+
+    def test_filter_demotes_a_blocked_engine_verdict(self):
+        """A 'seized' banner that also reads as a block must not count."""
+        field = fetched(
+            page("Access denied", "this domain has been seized")
+        )
+        comparison = VerdictEngine().compare(field, fetched(page("site")))
+        assert comparison.verdict is Verdict.INSUFFICIENT
+        assert "demoted" in comparison.note
+
+
+class DescribeEngineGates:
+    def test_infra_failure_is_zero_confidence_insufficient(self):
+        field = fetched(
+            outcome=FetchOutcome.INFRA_FAILURE, error="breaker open"
+        )
+        comparison = VerdictEngine().compare(field, fetched(page("site")))
+        assert comparison.verdict is Verdict.INSUFFICIENT
+        assert comparison.confidence == 0.0
+
+    def test_dead_control_is_site_down(self):
+        comparison = VerdictEngine().compare(
+            fetched(page("site")),
+            fetched(outcome=FetchOutcome.TIMEOUT),
+        )
+        assert comparison.verdict is Verdict.SITE_DOWN
+
+    def test_clean_pair_is_fully_confident_accessible(self):
+        comparison = VerdictEngine().compare(
+            fetched(page("site")), fetched(page("site"))
+        )
+        assert comparison.verdict is Verdict.ACCESSIBLE
+        assert comparison.confidence == 1.0
+        assert comparison.signals == ()

@@ -106,6 +106,8 @@ class DescribeVerdicts:
                 Verdict.BLOCKED_UNATTRIBUTED,
                 Verdict.BLOCKED_RESET,
                 Verdict.BLOCKED_TIMEOUT,
+                Verdict.BLOCKED_SNI,
+                Verdict.THROTTLED,
                 Verdict.DNS_TAMPERED,
             )
             assert verdict.is_blocked is expected

@@ -1,0 +1,109 @@
+"""Deprecation-shim contract tests for the pre-fusion verdict modules.
+
+``repro.measure.compare`` and ``repro.measure.blockpage_detect`` are
+warn-once shims now: the old callables keep working (delegating to the
+classifier layer), warn exactly once per process, and re-export the
+canonical types unchanged.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import importlib
+
+from repro.measure import blockpage_detect
+from repro.measure.blockpage_detect import BlockPageDetector
+from repro.measure.classifiers import (
+    BlockPagePatternMatcher,
+    legacy_compare,
+)
+from repro.measure.compare import Comparison, Detection, Verdict, compare
+from repro.measure import verdict as verdict_module
+from repro.net.fetch import FetchOutcome, FetchResult, Hop
+from repro.net.http import HttpRequest, ok_response
+from repro.net.url import Url
+
+# The package re-exports the compare() *function* under the same name,
+# so the submodule has to be resolved explicitly.
+compare_module = importlib.import_module("repro.measure.compare")
+
+URL = Url.parse("http://site.example.com/")
+
+
+def ok_result() -> FetchResult:
+    return FetchResult(
+        URL,
+        FetchOutcome.OK,
+        [Hop(HttpRequest.get(URL), ok_response("site", "<p>words</p>"))],
+    )
+
+
+@pytest.fixture(autouse=True)
+def rearmed_shims():
+    """Each test sees freshly armed warn-once latches."""
+    compare_module._reset_deprecation_warnings()
+    blockpage_detect._reset_deprecation_warnings()
+    yield
+    compare_module._reset_deprecation_warnings()
+    blockpage_detect._reset_deprecation_warnings()
+
+
+class DescribeCompareShim:
+    def test_warns_exactly_once_across_repeated_calls(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                compare(ok_result(), ok_result())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "VerdictEngine" in str(deprecations[0].message)
+
+    def test_matches_the_preserved_legacy_chain(self):
+        field, lab = ok_result(), ok_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            shimmed = compare(field, lab)
+        direct = legacy_compare(field, lab)
+        assert shimmed.verdict is direct.verdict
+        assert shimmed.note == direct.note
+
+    def test_reexports_the_canonical_types(self):
+        assert Comparison is verdict_module.Comparison
+        assert Detection is verdict_module.Detection
+        assert Verdict is verdict_module.Verdict
+
+
+class DescribeBlockPageDetectorShim:
+    def test_warns_exactly_once_across_instantiations(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                BlockPageDetector()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "BlockPagePatternMatcher" in str(deprecations[0].message)
+
+    def test_is_the_canonical_matcher(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            detector = BlockPageDetector()
+        assert isinstance(detector, BlockPagePatternMatcher)
+        assert detector.detect(ok_result()) is None
+
+    def test_reset_helper_rearms_the_latch(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            BlockPageDetector()
+            blockpage_detect._reset_deprecation_warnings()
+            BlockPageDetector()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2

@@ -61,6 +61,16 @@ REQUIRED_COVERED = (
     "src/repro/world/population.py",
     "src/repro/scan/stream.py",
     "src/repro/store/segments.py",
+    "src/repro/measure/verdict.py",
+    "src/repro/measure/classifiers/__init__.py",
+    "src/repro/measure/classifiers/blockpage.py",
+    "src/repro/measure/classifiers/content.py",
+    "src/repro/measure/classifiers/filters.py",
+    "src/repro/measure/classifiers/fusion.py",
+    "src/repro/measure/classifiers/legacy.py",
+    "src/repro/measure/classifiers/network.py",
+    "src/repro/measure/classifiers/record.py",
+    "src/repro/measure/classifiers/throttle.py",
     "tools/serve_smoke.py",
 )
 

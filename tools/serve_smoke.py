@@ -5,9 +5,11 @@ Builds (or reuses) a two-epoch results store, starts ``ResultsServer``
 on an ephemeral port, and drives every endpoint family the API exposes,
 asserting the full status-code contract:
 
-* 200 on every well-formed read (listing, manifest, records, tables,
-  drill-downs, diff, healthz, metrics),
+* 200 on every well-formed read (listing, manifest, records — including
+  a ``min_confidence`` filter — tables, drill-downs, diff, healthz,
+  metrics),
 * 304 on revalidation with the ETag each 200 returned,
+* 400 on malformed filter parameters (``min_confidence``),
 * 404 on unknown paths, epochs, record kinds, and table names.
 
 Usage::
@@ -74,12 +76,17 @@ def run_checks(store) -> List[str]:
         f"/epochs/{newest[:10]}",  # unique prefix resolution
         f"/epochs/{newest}/records/installations",
         f"/epochs/{newest}/records/confirmations?country={country}",
+        f"/epochs/{newest}/records/confirmations?min_confidence=0.5",
         f"/epochs/{newest}/tables/table1",
         f"/epochs/{newest}/tables/table3",
         f"/epochs/{newest}/countries/{country}",
         f"/epochs/{newest}/products/{product.replace(' ', '%20')}",
         "/diff",
         f"/diff?old={epoch_ids[0][:8]}&new={epoch_ids[-1][:8]}",
+    ]
+    bad_request_targets = [
+        f"/epochs/{newest}/records/confirmations?min_confidence=high",
+        f"/epochs/{newest}/records/confirmations?min_confidence=1.5",
     ]
     missing_targets = [
         "/definitely/not/here",
@@ -111,6 +118,12 @@ def run_checks(store) -> List[str]:
                 )
             else:
                 print(f"  304 {target} (If-None-Match)")
+        for target in bad_request_targets:
+            status, _body, _etag = fetch(server.host, server.port, target)
+            if status != 400:
+                failures.append(f"{target}: expected 400, got {status}")
+            else:
+                print(f"  400 {target}")
         for target in missing_targets:
             status, _body, _etag = fetch(server.host, server.port, target)
             if status != 404:
@@ -149,7 +162,7 @@ def main(argv: List[str]) -> int:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)
         return 1
-    print("serve smoke: every endpoint honored the 200/304/404 contract")
+    print("serve smoke: every endpoint honored the 200/304/400/404 contract")
     return 0
 
 
