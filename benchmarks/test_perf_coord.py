@@ -1,0 +1,205 @@
+"""Distributed scan coordinator benchmarks: throughput and recovery.
+
+Two questions the coordinator PR must answer with numbers, committed to
+``BENCH_coord.json``:
+
+- what does fanning one scan out over N independent worker *processes*
+  buy against the single-process streaming baseline (the scan is
+  latency-bound, so real concurrency should approach linear); and
+- how long does the queue take to notice a SIGKILLed worker and get its
+  leased shard re-scanned by a survivor (recovery latency is bounded by
+  the lease TTL plus one shard's scan time, not by luck).
+
+The measuring run is ``slow``-marked (it sleeps through simulated
+network latency); tier-1 and the CI coord-chaos job run the committed
+artifact's schema check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.coord import Coordinator, spawn_workers
+from repro.exec.executor import Executor
+from repro.scan.stream import StreamingScan
+from repro.store import ResultsStore
+from repro.world.population import ShardedPopulationConfig
+
+SEED = 47
+HOSTS = 10_000
+SHARDS = 10
+BATCH_SIZE = 500
+#: Simulated per-batch network RTT (what worker processes overlap).
+LATENCY = 0.15
+WORKER_CURVE = (1, 2, 4)
+BENCH_FILE = Path(__file__).parent / "BENCH_coord.json"
+
+#: Keys the CI coord-chaos job requires of the committed artifact.
+BENCH_SCHEMA_KEYS = (
+    "hosts",
+    "shards",
+    "batch_size",
+    "latency_seconds",
+    "single_process_seconds",
+    "curve",
+    "recovery",
+    "epoch",
+)
+
+
+def _scan(latency: float = LATENCY) -> StreamingScan:
+    config = ShardedPopulationConfig(host_count=HOSTS, shard_count=SHARDS)
+    return StreamingScan(SEED, config, batch_size=BATCH_SIZE, latency=latency)
+
+
+def _single_process(tmp: Path):
+    store = ResultsStore(tmp / "single")
+    started = time.perf_counter()
+    summary = _scan().run(store, Executor(1, backend="thread"))
+    return summary, time.perf_counter() - started
+
+
+def _distributed(tmp: Path, workers: int):
+    coordinator = Coordinator(
+        tmp / f"coord-{workers}", _scan(), lease_ttl=30.0
+    )
+    store = ResultsStore(tmp / f"dist-{workers}")
+    fleet = spawn_workers(tmp / f"coord-{workers}", workers, poll=0.02)
+    started = time.perf_counter()
+    try:
+        outcome = coordinator.run(store, poll=0.05, timeout=300.0)
+    finally:
+        for proc in fleet:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+    return outcome, time.perf_counter() - started
+
+
+def _recovery(tmp: Path):
+    """SIGKILL one of three workers mid-lease; time the re-scan.
+
+    Returns (kill_to_shard_done, kill_to_terminal, epoch_id).
+    """
+    lease_ttl = 2.0
+    coordinator = Coordinator(
+        tmp / "coord-recovery", _scan(), lease_ttl=lease_ttl, max_attempts=5
+    )
+    store = ResultsStore(tmp / "recovery")
+    fleet = spawn_workers(tmp / "coord-recovery", 3, poll=0.02)
+    victim = fleet[0]
+    try:
+        deadline = time.monotonic() + 15.0
+        victim_shards = ()
+        while time.monotonic() < deadline and not victim_shards:
+            victim_shards = tuple(
+                lease.shard
+                for lease in coordinator.status().leases
+                if lease.worker == victim.name
+            )
+            time.sleep(0.02)
+        assert victim_shards, "victim never acquired a lease"
+        os.kill(victim.pid, signal.SIGKILL)
+        killed_at = time.monotonic()
+        shard_done_at = None
+        while shard_done_at is None:
+            snapshot = coordinator.status()
+            if all(s in snapshot.done for s in victim_shards):
+                shard_done_at = time.monotonic()
+            coordinator.queue.reap()
+            time.sleep(0.05)
+        outcome = coordinator.run(store, poll=0.05, timeout=300.0)
+        terminal_at = time.monotonic()
+    finally:
+        for proc in fleet:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+    assert outcome.complete
+    return (
+        shard_done_at - killed_at,
+        terminal_at - killed_at,
+        outcome.epoch_id,
+        lease_ttl,
+    )
+
+
+@pytest.mark.slow
+def test_distributed_throughput_and_recovery(tmp_path, write_bench):
+    """The measuring run: worker curve, baseline, kill recovery."""
+    single, single_seconds = _single_process(tmp_path)
+    curve = []
+    epoch_ids = {single.epoch_id}
+    for workers in WORKER_CURVE:
+        outcome, elapsed = _distributed(tmp_path, workers)
+        assert outcome.complete
+        epoch_ids.add(outcome.epoch_id)
+        curve.append(
+            {
+                "workers": workers,
+                "seconds": round(elapsed, 3),
+                "hosts_per_second": round(HOSTS / elapsed, 1),
+                "speedup_vs_single": round(single_seconds / elapsed, 2),
+            }
+        )
+    # Every arrangement commits the identical epoch.
+    assert len(epoch_ids) == 1, f"epoch ids diverged: {epoch_ids}"
+
+    recovery_shard, recovery_total, recovery_epoch, lease_ttl = _recovery(
+        tmp_path
+    )
+    assert recovery_epoch in epoch_ids
+    # One shard costs (HOSTS/SHARDS)/BATCH_SIZE batches of LATENCY each;
+    # detection costs at most the lease TTL. Allow generous scheduling
+    # slack on top.
+    shard_seconds = (HOSTS / SHARDS) / BATCH_SIZE * LATENCY
+    assert recovery_shard <= lease_ttl + 3 * shard_seconds + 5.0, (
+        f"recovery took {recovery_shard:.1f}s"
+    )
+
+    write_bench(
+        BENCH_FILE.name,
+        {
+            "hosts": HOSTS,
+            "shards": SHARDS,
+            "batch_size": BATCH_SIZE,
+            "latency_seconds": LATENCY,
+            "single_process_seconds": round(single_seconds, 3),
+            "curve": curve,
+            "recovery": {
+                "workers": 3,
+                "lease_ttl_seconds": lease_ttl,
+                "kill_to_shard_rescanned_seconds": round(recovery_shard, 3),
+                "kill_to_terminal_seconds": round(recovery_total, 3),
+            },
+            "epoch": next(iter(epoch_ids)),
+        },
+    )
+
+    # 4 process workers over a latency-bound scan must actually win.
+    assert curve[-1]["speedup_vs_single"] >= 2.0
+
+
+def test_bench_coord_artifact_schema():
+    """The committed BENCH_coord.json carries the fields CI checks."""
+    document = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+    for key in BENCH_SCHEMA_KEYS:
+        assert key in document, f"BENCH_coord.json missing {key!r}"
+    assert document["hosts"] == HOSTS
+    curve = document["curve"]
+    assert [point["workers"] for point in curve] == list(WORKER_CURVE)
+    for point in curve:
+        assert point["hosts_per_second"] > 0
+    recovery = document["recovery"]
+    assert recovery["kill_to_shard_rescanned_seconds"] > 0
+    assert (
+        recovery["kill_to_terminal_seconds"]
+        >= recovery["kill_to_shard_rescanned_seconds"]
+    )
+    assert len(document["epoch"]) == 64

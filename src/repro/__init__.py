@@ -30,7 +30,12 @@ from repro.core.confirm import (
 )
 from repro.core.characterize import ContentCharacterization
 from repro.core.identify import IdentificationPipeline, IdentificationReport
-from repro.core.pipeline import FullStudy, StudyReport, run_full_study
+from repro.core.pipeline import (
+    FullStudy,
+    StudyReport,
+    run_distributed_scan,
+    run_full_study,
+)
 from repro.exec import Executor, MemoCache, Metrics, StudyCaches
 from repro.query import QueryEngine, RecordFilter
 from repro.serve import ResultsServer
@@ -73,5 +78,6 @@ __all__ = [
     "__version__",
     "build_scenario",
     "run_category_probe",
+    "run_distributed_scan",
     "run_full_study",
 ]

@@ -44,8 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="IMC'13 URL-filter censorship study (reproduction)",
     )
+    # Default None (resolved via _seed) so commands that must refuse an
+    # *explicitly* mismatched seed — scan-worker joining a coordinator —
+    # can tell "user typed --seed" from "default applied".
     parser.add_argument(
-        "--seed", type=int, default=DEFAULT_SEED,
+        "--seed", type=int, default=None,
         help=f"scenario seed (default {DEFAULT_SEED}, paper-calibrated)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -179,6 +182,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="repeatable: restrict the signature set to these "
         "registered products (default: the paper's four vendors)",
     )
+    scan.add_argument(
+        "--coordinator", metavar="DIR",
+        help="distribute the scan: initialize (or re-attach to) a "
+        "crash-tolerant shard work-queue at DIR, wait for scan-worker "
+        "processes to drain it, and reconcile their results into the "
+        "byte-identical epoch a single-machine scan commits; exits 3 "
+        "with nothing committed if retry budgets ran out",
+    )
+    scan.add_argument(
+        "--local-workers", type=int, default=3, metavar="N",
+        help="with --coordinator: also spawn N worker processes locally "
+        "(default 3; 0 waits for externally started scan-workers)",
+    )
+    scan.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="with --coordinator: heartbeat deadline per shard lease; a "
+        "worker silent this long is presumed dead and its shard is "
+        "re-leased (default 30)",
+    )
+    scan.add_argument(
+        "--straggler-after", type=float, default=None, metavar="SECONDS",
+        help="with --coordinator: a lease held this long makes its "
+        "shard eligible for speculative re-execution by an idle worker "
+        "(default 4x the lease TTL)",
+    )
+    scan.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="with --coordinator: lease attempts per shard before it is "
+        "dead-lettered and the scan degrades to explicit partiality "
+        "(default 3)",
+    )
+    scan.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --coordinator: give up (exit 1, queue kept on disk) "
+        "if the fleet has not finished by then (default: wait forever)",
+    )
+
+    worker = commands.add_parser(
+        "scan-worker",
+        help="join a distributed scan as one leased worker process",
+    )
+    worker.add_argument(
+        "coordinator", metavar="DIR",
+        help="coordinator directory created by 'repro scan --coordinator'",
+    )
+    worker.add_argument(
+        "--worker-id", metavar="NAME",
+        help="stable worker name for leases and result files "
+        "(default: worker-<pid>)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle re-check interval when no shard is claimable "
+        "(default 0.2)",
+    )
+
+    coord = commands.add_parser(
+        "coord", help="inspect a distributed-scan coordinator"
+    )
+    coord_commands = coord.add_subparsers(dest="coord_command", required=True)
+    c_status = coord_commands.add_parser(
+        "status",
+        help="show shard states: leases, heartbeats, stragglers, "
+        "dead-letters, duplicate completions",
+    )
+    c_status.add_argument(
+        "coordinator", metavar="DIR", help="coordinator directory"
+    )
 
     query = commands.add_parser(
         "query", help="query a longitudinal results store"
@@ -289,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _seed(args) -> int:
+    """The effective seed: what the user typed, or the paper default."""
+    return DEFAULT_SEED if args.seed is None else args.seed
+
+
 def _validated_products(args) -> Optional[List[str]]:
     """Check a --products selection against the registry (exit 2 style)."""
     selection = getattr(args, "products", None)
@@ -352,7 +428,7 @@ def _cmd_study(args) -> int:
             print(f"bad --fault-plan: {exc}", file=sys.stderr)
             return EXIT_USAGE
     products = _validated_products(args)
-    scenario = build_scenario(seed=args.seed)
+    scenario = build_scenario(seed=_seed(args))
     study = FullStudy(
         scenario,
         products=products,
@@ -404,7 +480,7 @@ def _cmd_study(args) -> int:
         commit = study.commit_epoch(Path(args.store), outcome)
         verb = "committed" if commit.created else "already committed"
         print(f"epoch {commit.epoch_id[:12]} {verb} to {args.store}")
-    document = write_markdown_report(report, seed=args.seed)
+    document = write_markdown_report(report, seed=_seed(args))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(document)
@@ -471,12 +547,14 @@ def _cmd_scan(args) -> int:
         return EXIT_USAGE
     store = ResultsStore(Path(args.store))
     scan = StreamingScan(
-        args.seed,
+        _seed(args),
         config,
         batch_size=args.batch_size,
         latency=args.latency,
         fault_plan=fault_plan,
     )
+    if args.coordinator:
+        return _run_coordinated_scan(args, scan, store)
     stats = StreamStats()
     summary = scan.run(
         store,
@@ -498,9 +576,155 @@ def _cmd_scan(args) -> int:
     return EXIT_OK
 
 
+def _run_coordinated_scan(args, scan, store) -> int:
+    """The --coordinator arm of ``repro scan``: fleet, wait, reconcile."""
+    from pathlib import Path
+
+    from repro.coord import (
+        CoordinationError,
+        Coordinator,
+        IdentityMismatch,
+        PartialScanResult,
+        spawn_workers,
+    )
+    from repro.store import StoreError
+
+    if args.local_workers < 0:
+        print("--local-workers must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.lease_ttl <= 0:
+        print("--lease-ttl must be > 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.straggler_after is not None and args.straggler_after <= 0:
+        print("--straggler-after must be > 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.max_attempts < 1:
+        print("--max-attempts must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        coordinator = Coordinator(
+            Path(args.coordinator),
+            scan,
+            lease_ttl=args.lease_ttl,
+            straggler_after=args.straggler_after,
+            max_attempts=args.max_attempts,
+        )
+    except IdentityMismatch as exc:
+        print(f"coordinator refused: {exc}", file=sys.stderr)
+        return EXIT_HARD
+    fleet = spawn_workers(args.coordinator, args.local_workers)
+    try:
+        try:
+            coordinator.wait(timeout=args.wait_timeout)
+        except CoordinationError as exc:
+            print(f"scan did not finish: {exc}", file=sys.stderr)
+            print(
+                f"queue kept at {args.coordinator}; start more "
+                "scan-workers and re-run this command to resume",
+                file=sys.stderr,
+            )
+            return EXIT_HARD
+        try:
+            outcome = coordinator.reconcile(store)
+        except StoreError as exc:
+            # Conflicting duplicates or damaged shard files: a typed
+            # reconciliation error, nothing committed.
+            print(f"reconciliation failed: {exc}", file=sys.stderr)
+            return EXIT_HARD
+    finally:
+        for process in fleet:
+            process.join(timeout=5.0)
+        for process in fleet:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+    if isinstance(outcome, PartialScanResult):
+        for line in outcome.describe():
+            print(line)
+        return EXIT_PARTIAL
+    verb = "committed" if outcome.created else "already committed"
+    print(f"epoch {outcome.epoch_id[:12]} {verb} to {args.store}")
+    print(
+        f"scanned {outcome.scanned} hosts across {outcome.shards} "
+        f"shards by {len(outcome.workers)} worker(s): {outcome.hits} "
+        f"installations, {outcome.decoys} decoys dismissed, "
+        f"{outcome.missed} unreachable"
+    )
+    if outcome.duplicates_discarded:
+        print(
+            f"{outcome.duplicates_discarded} duplicate shard "
+            "completion(s) discarded (speculative re-execution)"
+        )
+    return EXIT_OK
+
+
+def _cmd_scan_worker(args) -> int:
+    from pathlib import Path
+
+    from repro.coord import (
+        CoordinationError,
+        IdentityMismatch,
+        ScanWorker,
+    )
+
+    if args.poll <= 0:
+        print("--poll must be > 0", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        worker = ScanWorker(
+            Path(args.coordinator),
+            worker_id=args.worker_id,
+            poll=args.poll,
+        )
+    except IdentityMismatch as exc:
+        print(f"refusing to join: {exc}", file=sys.stderr)
+        return EXIT_HARD
+    except CoordinationError as exc:
+        print(f"cannot join: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.seed is not None and args.seed != worker.queue.seed:
+        print(
+            f"refusing to join: coordinator at {args.coordinator} was "
+            f"created for seed {worker.queue.seed}, not --seed "
+            f"{args.seed} — a cross-seed worker would scan a different "
+            "world",
+            file=sys.stderr,
+        )
+        return EXIT_HARD
+    summary = worker.run()
+    print(
+        f"{summary.worker}: {summary.shards_won} shard(s) won, "
+        f"{summary.shards_duplicate} duplicate, "
+        f"{summary.shards_released} released, "
+        f"{summary.speculative} speculative lease(s), "
+        f"{summary.heartbeats} heartbeat(s)"
+    )
+    for error in summary.errors:
+        print(f"  failed: {error}", file=sys.stderr)
+    if worker.queue.snapshot().dead:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _cmd_coord(args) -> int:
+    from pathlib import Path
+
+    from repro.coord import CoordinationError, Coordinator
+
+    try:
+        coordinator = Coordinator.attach(Path(args.coordinator))
+        snapshot = coordinator.status()
+    except CoordinationError as exc:
+        print(f"coord status failed: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    for line in snapshot.describe():
+        print(line)
+    return EXIT_OK
+
+
 def _cmd_identify(args) -> int:
     products = _validated_products(args)
-    scenario = build_scenario(seed=args.seed)
+    scenario = build_scenario(seed=_seed(args))
     report = FullStudy(
         scenario, products=products, shodan_coverage=args.coverage
     ).run_identification()
@@ -527,7 +751,7 @@ def _cmd_confirm(args) -> int:
             file=sys.stderr,
         )
         return 2
-    scenario = build_scenario(seed=args.seed)
+    scenario = build_scenario(seed=_seed(args))
     study = ConfirmationStudy(
         scenario.world,
         scenario.products[args.product],
@@ -542,7 +766,7 @@ def _cmd_confirm(args) -> int:
 
 
 def _cmd_probe(args) -> int:
-    scenario = build_scenario(seed=args.seed)
+    scenario = build_scenario(seed=_seed(args))
     if args.isp not in scenario.world.isps:
         print(f"unknown ISP {args.isp!r}", file=sys.stderr)
         return 2
@@ -662,7 +886,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_netalyzr(args) -> int:
-    scenario = build_scenario(seed=args.seed)
+    scenario = build_scenario(seed=_seed(args))
     unknown = [name for name in args.isp if name not in scenario.world.isps]
     if unknown:
         print(f"unknown ISPs: {unknown}", file=sys.stderr)
@@ -683,6 +907,8 @@ def _cmd_netalyzr(args) -> int:
 _COMMANDS = {
     "study": _cmd_study,
     "scan": _cmd_scan,
+    "scan-worker": _cmd_scan_worker,
+    "coord": _cmd_coord,
     "identify": _cmd_identify,
     "confirm": _cmd_confirm,
     "probe": _cmd_probe,

@@ -1,0 +1,115 @@
+"""Convenience fleet runner: coordinator + N local worker processes.
+
+The production shape is one ``repro scan --coordinator DIR`` process
+plus any number of ``repro scan-worker DIR`` processes, started and
+killed independently. This module packages that shape for library
+callers, pipelines, benchmarks and tests: spawn ``workers`` genuine OS
+processes (so a SIGKILL in a test kills a real worker, not a thread),
+wait, reconcile, and always reap the fleet on the way out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.coord.coordinator import (
+    Coordinator,
+    DistributedScanSummary,
+    PartialScanResult,
+)
+from repro.coord.worker import ScanWorker
+from repro.scan.stream import DEFAULT_BATCH_SIZE, StreamingScan
+from repro.world.faults import FaultPlan
+from repro.world.population import ShardedPopulationConfig
+
+
+def run_worker(
+    directory: Union[str, Path],
+    *,
+    worker_id: Optional[str] = None,
+    poll: float = 0.1,
+) -> "ScanWorker":
+    """Run one worker to queue terminality; returns it (summary inside)."""
+    worker = ScanWorker(Path(directory), worker_id=worker_id, poll=poll)
+    worker.run()
+    return worker
+
+
+def _fleet_worker(directory: str, worker_id: str, poll: float) -> None:
+    """Module-level so multiprocessing can spawn it."""
+    run_worker(directory, worker_id=worker_id, poll=poll)
+
+
+def spawn_workers(
+    directory: Union[str, Path],
+    count: int,
+    *,
+    poll: float = 0.1,
+    prefix: str = "worker",
+) -> List[multiprocessing.Process]:
+    """Start ``count`` independent worker processes against ``directory``."""
+    processes = []
+    for index in range(count):
+        process = multiprocessing.Process(
+            target=_fleet_worker,
+            args=(str(directory), f"{prefix}-{index}", poll),
+            name=f"{prefix}-{index}",
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+    return processes
+
+
+def run_distributed_scan(
+    coordinator_dir: Union[str, Path],
+    store,
+    *,
+    seed: int,
+    config: Optional[ShardedPopulationConfig] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    latency: float = 0.0,
+    fault_plan: Optional[FaultPlan] = None,
+    workers: int = 3,
+    lease_ttl: float = 30.0,
+    straggler_after: Optional[float] = None,
+    max_attempts: int = 3,
+    poll: float = 0.05,
+    timeout: Optional[float] = None,
+) -> Union[DistributedScanSummary, PartialScanResult]:
+    """Full distributed identify pass with a local worker fleet.
+
+    Equivalent in outcome to ``StreamingScan(...).run(store, ...)`` —
+    same epoch id, byte-identical segments — but executed by ``workers``
+    independent OS processes leasing shards through a crash-tolerant
+    queue at ``coordinator_dir``.
+    """
+    scan = StreamingScan(
+        seed,
+        config,
+        batch_size=batch_size,
+        latency=latency,
+        fault_plan=fault_plan,
+    )
+    coordinator = Coordinator(
+        Path(coordinator_dir),
+        scan,
+        lease_ttl=lease_ttl,
+        straggler_after=straggler_after,
+        max_attempts=max_attempts,
+    )
+    fleet = spawn_workers(coordinator_dir, workers, poll=poll)
+    try:
+        outcome = coordinator.run(store, poll=poll, timeout=timeout)
+    finally:
+        deadline = time.monotonic() + 5.0
+        for process in fleet:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in fleet:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+    return outcome

@@ -36,11 +36,13 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
+    Dict,
     Iterable,
     Iterator,
     List,
@@ -127,6 +129,12 @@ class TaskFailure(RuntimeError):
     ran, the final underlying exception (also set as ``__cause__``),
     and — when the task belonged to a named campaign — which campaign,
     so a failure surfacing far from its fan-out is still attributable.
+
+    ``transient`` marks failures of *infrastructure* rather than of the
+    task itself — e.g. a pool worker process SIGKILLed out from under
+    the task — where re-running the identical input elsewhere could
+    well succeed. Callers with their own retry ledgers (the scan
+    coordinator) treat transient failures as re-queueable.
     """
 
     def __init__(
@@ -136,6 +144,7 @@ class TaskFailure(RuntimeError):
         attempts: int,
         cause: BaseException,
         campaign: Optional[str] = None,
+        transient: bool = False,
     ) -> None:
         super().__init__()
         self.label = label
@@ -143,6 +152,7 @@ class TaskFailure(RuntimeError):
         self.attempts = attempts
         self.cause = cause
         self.campaign = campaign
+        self.transient = transient
         self.__cause__ = cause
 
     def _origin(self) -> str:
@@ -386,50 +396,90 @@ class Executor:
         data. Retries are orchestrated from the parent (worker processes
         carry no retry state); metrics accounting therefore stays in
         this process, same counters as the thread path.
+
+        A pool worker dying (SIGKILL, OOM) breaks the whole
+        ``ProcessPoolExecutor``: every in-flight future is poisoned and
+        the pool refuses new submissions. That must not take the fan-out
+        down with it — tasks the retry budget still covers re-run in a
+        fresh pool; the rest surface as *transient* :class:`TaskFailure`
+        values in their own slots, never as a raw ``BrokenProcessPool``.
         """
         pool_size = min(self.workers, len(pending))
         deadline = (
             time.perf_counter() + timeout if timeout is not None else None
         )
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = {
-                pool.submit(fn, item): (index, 1, item)
-                for index, item in enumerate(pending)
-            }
-            outstanding = set(futures)
-            while outstanding:
-                budget = None
-                if deadline is not None:
-                    budget = max(0.0, deadline - time.perf_counter())
-                done, outstanding = wait(
-                    outstanding, timeout=budget, return_when=FIRST_COMPLETED
-                )
-                if not done:
-                    for future in outstanding:
-                        future.cancel()
-                        index, _attempt, _item = futures[future]
-                        self.metrics.incr(f"{label}.timeouts")
-                        yield index, TaskTimeout(label, index, timeout or 0.0)
-                    return
-                for future in done:
-                    index, attempt, item = futures.pop(future)
-                    try:
-                        result = future.result()
-                    except Exception as exc:
-                        if retry.should_retry(exc, attempt):
+        queue: List[Tuple[int, int, Any]] = [
+            (index, 1, item) for index, item in enumerate(pending)
+        ]
+        while queue:
+            pool = ProcessPoolExecutor(max_workers=pool_size)
+            futures: Dict[Any, Tuple[int, int, Any]] = {}
+            for index, attempt, item in queue:
+                futures[pool.submit(fn, item)] = (index, attempt, item)
+            queue = []
+            broken: Optional[BaseException] = None
+            try:
+                outstanding = set(futures)
+                while outstanding and broken is None:
+                    budget = None
+                    if deadline is not None:
+                        budget = max(0.0, deadline - time.perf_counter())
+                    done, outstanding = wait(
+                        outstanding,
+                        timeout=budget,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        for future in outstanding:
+                            future.cancel()
+                            index, _attempt, _item = futures[future]
+                            self.metrics.incr(f"{label}.timeouts")
+                            yield index, TaskTimeout(
+                                label, index, timeout or 0.0
+                            )
+                        return
+                    for future in done:
+                        entry = futures.pop(future)
+                        index, attempt, item = entry
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool as exc:
+                            broken = exc
+                            futures[future] = entry
+                            break
+                        except Exception as exc:
+                            if retry.should_retry(exc, attempt):
+                                self.metrics.incr(f"{label}.retries")
+                                if retry.backoff_seconds:
+                                    time.sleep(retry.backoff_seconds * attempt)
+                                try:
+                                    replacement = pool.submit(fn, item)
+                                except BrokenProcessPool as pool_exc:
+                                    broken = pool_exc
+                                    queue.append((index, attempt + 1, item))
+                                    break
+                                futures[replacement] = (index, attempt + 1, item)
+                                outstanding.add(replacement)
+                                continue
+                            self.metrics.incr(f"{label}.failures")
+                            failure = TaskFailure(label, index, attempt, exc)
+                            failure.__cause__ = exc
+                            yield index, failure
+                        else:
+                            yield index, result
+                if broken is not None:
+                    for index, attempt, item in futures.values():
+                        if retry.should_retry(broken, attempt):
                             self.metrics.incr(f"{label}.retries")
-                            if retry.backoff_seconds:
-                                time.sleep(retry.backoff_seconds * attempt)
-                            replacement = pool.submit(fn, item)
-                            futures[replacement] = (index, attempt + 1, item)
-                            outstanding.add(replacement)
-                            continue
-                        self.metrics.incr(f"{label}.failures")
-                        failure = TaskFailure(label, index, attempt, exc)
-                        failure.__cause__ = exc
-                        yield index, failure
-                    else:
-                        yield index, result
+                            queue.append((index, attempt + 1, item))
+                        else:
+                            self.metrics.incr(f"{label}.failures")
+                            yield index, TaskFailure(
+                                label, index, attempt, broken, transient=True
+                            )
+                    queue.sort()
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------ streaming
     def stream(
@@ -485,9 +535,18 @@ class Executor:
         buffered: Dict[int, Any] = {}
         next_yield = 0
         exhausted = False
+        # Tasks pulled off the iterator whose submission itself hit a
+        # broken pool — resubmitted (same attempt: they never ran) once
+        # the pool has been replaced.
+        spilled: List[Tuple[int, int, Any]] = []
 
         def fill(pool: Any, futures: Dict[Any, Tuple[int, int, Any]]) -> None:
             nonlocal exhausted
+            while spilled and len(futures) + len(buffered) < window:
+                index, attempt, item = spilled.pop(0)
+                futures[pool.submit(fn, item)] = (index, attempt, item)
+                if len(futures) > stats.peak_inflight:
+                    stats.peak_inflight = len(futures)
             while not exhausted and len(futures) + len(buffered) < window:
                 try:
                     index, item = next(iterator)
@@ -497,7 +556,11 @@ class Executor:
                 self.metrics.incr(f"{label}.tasks")
                 stats.submitted += 1
                 if process:
-                    future = pool.submit(fn, item)
+                    try:
+                        future = pool.submit(fn, item)
+                    except BrokenProcessPool:
+                        spilled.append((index, 1, item))
+                        raise
                 else:
                     future = pool.submit(
                         self._run_once, fn, item, index, label, retry
@@ -520,11 +583,21 @@ class Executor:
             except Exception as exc:
                 # Only the process path surfaces raw exceptions here;
                 # thread tasks wrap retries inside _run_once.
+                if process and isinstance(exc, BrokenProcessPool):
+                    # The pool died under this future; hand the slot
+                    # back so the recovery path below can requeue or
+                    # fail it.
+                    futures[future] = (index, attempt, item)
+                    raise
                 if process and retry.should_retry(exc, attempt):
                     self.metrics.incr(f"{label}.retries")
                     if retry.backoff_seconds:
                         time.sleep(retry.backoff_seconds * attempt)
-                    replacement = pool.submit(fn, item)
+                    try:
+                        replacement = pool.submit(fn, item)
+                    except BrokenProcessPool:
+                        futures[future] = (index, attempt, item)
+                        raise
                     futures[replacement] = (index, attempt + 1, item)
                     return
                 self.metrics.incr(f"{label}.failures")
@@ -540,26 +613,49 @@ class Executor:
 
         pool_size = min(self.workers, window)
         if process:
-            pool_context: Any = ProcessPoolExecutor(max_workers=pool_size)
+            pool: Any = ProcessPoolExecutor(max_workers=pool_size)
         else:
-            pool_context = ThreadPoolExecutor(
+            pool = ThreadPoolExecutor(
                 max_workers=pool_size,
                 thread_name_prefix=f"{self.name}-{label}",
             )
-        with pool_context as pool:
-            futures: Dict[Any, Tuple[int, int, Any]] = {}
+        futures: Dict[Any, Tuple[int, int, Any]] = {}
+        try:
             while True:
                 while next_yield in buffered:
                     yield next_yield, buffered.pop(next_yield)
                     next_yield += 1
-                fill(pool, futures)
-                if not futures:
-                    break
-                done, _pending = wait(
-                    set(futures), return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    settle(pool, futures, future)
+                try:
+                    fill(pool, futures)
+                    if not futures:
+                        break
+                    done, _pending = wait(
+                        set(futures), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        settle(pool, futures, future)
+                except BrokenProcessPool as exc:
+                    # A pool worker died (SIGKILL, OOM) and poisoned
+                    # every in-flight future. Replace the pool, requeue
+                    # what the retry budget covers, and fail the rest in
+                    # their own slots as transient TaskFailures — a dead
+                    # worker process must never tear down the stream.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=pool_size)
+                    stranded = sorted(futures.values())
+                    futures.clear()
+                    for index, attempt, item in stranded:
+                        if retry.should_retry(exc, attempt):
+                            self.metrics.incr(f"{label}.retries")
+                            spilled.append((index, attempt + 1, item))
+                        else:
+                            self.metrics.incr(f"{label}.failures")
+                            buffered[index] = TaskFailure(
+                                label, index, attempt, exc, transient=True
+                            )
+                            stats.completed += 1
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def map(
         self,

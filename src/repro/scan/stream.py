@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterator,
     List,
@@ -185,6 +186,28 @@ def scan_batch(job: BatchJob) -> BatchResult:
 
 
 @dataclass(frozen=True)
+class ShardScanResult:
+    """Everything one shard contributed, in index order (picklable).
+
+    This is the distributed unit of work: a coordination worker leasing
+    shard *k* produces exactly this, and because every host is a pure
+    function of ``(seed, index)``, any worker that scans shard *k*
+    under the same scan identity produces a byte-identical row tuple —
+    which is what makes duplicate completions discardable and the
+    reconciled epoch id equal to the single-machine one.
+    """
+
+    shard: int
+    start: int
+    stop: int
+    scanned: int
+    missed: int
+    decoys: int
+    batches: int
+    rows: Tuple[Dict[str, Any], ...]
+
+
+@dataclass(frozen=True)
 class ScanSummary:
     """Outcome of one streamed identify pass."""
 
@@ -278,6 +301,46 @@ class StreamingScan:
                     latency=self.latency,
                     fault_plan=self.fault_plan,
                 )
+
+    def scan_shard(
+        self,
+        shard: int,
+        *,
+        after_batch: Optional[Callable[[BatchResult], None]] = None,
+    ) -> ShardScanResult:
+        """Scan one shard's batches inline, in index order.
+
+        The unit a coordination worker executes under a lease.
+        ``after_batch`` is a progress hook invoked after every batch —
+        workers use it to heartbeat their lease between batches (and
+        the chaos harness to kill a worker mid-shard); a hook that
+        raises abandons the shard with nothing written.
+        """
+        rows: List[Dict[str, Any]] = []
+        scanned = 0
+        missed = 0
+        decoys = 0
+        batches = 0
+        start, stop = self.population.shard_bounds(shard)
+        for job in self.jobs([shard]):
+            result = scan_batch(job)
+            batches += 1
+            scanned += result.scanned
+            missed += result.missed
+            decoys += result.decoys
+            rows.extend(result.rows)
+            if after_batch is not None:
+                after_batch(result)
+        return ShardScanResult(
+            shard=shard,
+            start=start,
+            stop=stop,
+            scanned=scanned,
+            missed=missed,
+            decoys=decoys,
+            batches=batches,
+            rows=tuple(rows),
+        )
 
     def run(
         self,

@@ -1,0 +1,337 @@
+"""Partial-epoch reconciliation: per-shard result sets → one epoch.
+
+Distributed scan workers each commit a durable *shard segment* — the
+rows their leased shard produced, CRC-framed like a journal record —
+rather than a full epoch. This module reconciles those per-shard files,
+in shard order with duplicate and conflict detection, into the exact
+content-addressed epoch a single-machine :class:`StreamingScan.run`
+would commit: byte-identical segments, byte-identical manifest, hence
+the identical epoch id.
+
+The reconciliation contract is all-or-nothing:
+
+- every shard in ``range(shard_count)`` must have a source, or
+  :class:`MissingShard` is raised;
+- two workers committing *different* rows for the same shard is
+  :class:`DuplicateShard` (the population is a pure function of
+  ``(seed, index)``, so divergent duplicates mean a broken worker, not
+  a race) — identical duplicates are discarded idempotently;
+- a shard file that fails its CRC, digest, or identity checks is
+  :class:`ShardSegmentDamage`.
+
+Any of these aborts the epoch stream with nothing published: a damaged
+distributed scan degrades to a typed error, never to a committed epoch
+that silently misses hosts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.store.store import StoreError, _canonical, _write_durable
+
+#: Version stamp for the shard-segment file format below.
+SHARD_SCHEMA_VERSION = 1
+
+
+class ReconciliationError(StoreError):
+    """A distributed scan's shard set could not form a complete epoch."""
+
+    def __init__(self, shard: Optional[int], message: str) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class MissingShard(ReconciliationError):
+    """A shard has no committed result set — the scan is incomplete."""
+
+
+class DuplicateShard(ReconciliationError):
+    """Two workers committed *conflicting* rows for the same shard."""
+
+
+class ShardSegmentDamage(ReconciliationError):
+    """A worker's shard file failed CRC/digest/identity verification."""
+
+
+def rows_digest(rows: Sequence[Dict[str, Any]]) -> str:
+    """Content digest of a shard's row list (canonical JSON, SHA-256).
+
+    Workers stamp this into their commit record; reconciliation uses it
+    to tell idempotent duplicates (same digest → discard) from
+    conflicts (different digest → :class:`DuplicateShard`).
+    """
+    return hashlib.sha256(_canonical(list(rows)).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardSource:
+    """Pointer to one worker's committed shard segment file."""
+
+    shard: int
+    path: Path
+    rows_sha256: str
+    worker: str = ""
+
+
+@dataclass(frozen=True)
+class ShardSegment:
+    """A verified, loaded shard segment."""
+
+    shard: int
+    worker: str
+    fingerprint: str
+    scanned: int
+    missed: int
+    decoys: int
+    rows: Tuple[Dict[str, Any], ...]
+    rows_sha256: str
+
+
+def write_shard_segment(
+    path: Path,
+    *,
+    shard: int,
+    fingerprint: str,
+    worker: str,
+    rows: Sequence[Dict[str, Any]],
+    scanned: int,
+    missed: int,
+    decoys: int,
+) -> ShardSegment:
+    """Durably write one worker's shard result set.
+
+    Same CRC-envelope framing as the journal (``{"crc": N, "rec": ...}``
+    over the canonical body) so torn or bit-flipped files are detected
+    at reconcile time, and written via temp + fsync + atomic replace so
+    a worker SIGKILLed mid-write leaves either nothing or a valid file.
+    """
+    row_list = [dict(row) for row in rows]
+    digest = rows_digest(row_list)
+    body = {
+        "schema": SHARD_SCHEMA_VERSION,
+        "shard": shard,
+        "fingerprint": fingerprint,
+        "worker": worker,
+        "scanned": scanned,
+        "missed": missed,
+        "decoys": decoys,
+        "rows_sha256": digest,
+        "rows": row_list,
+    }
+    canonical = _canonical(body)
+    envelope = _canonical(
+        {"crc": zlib.crc32(canonical.encode("utf-8")), "rec": body}
+    )
+    _write_durable(path, envelope.encode("utf-8"))
+    return ShardSegment(
+        shard=shard,
+        worker=worker,
+        fingerprint=fingerprint,
+        scanned=scanned,
+        missed=missed,
+        decoys=decoys,
+        rows=tuple(row_list),
+        rows_sha256=digest,
+    )
+
+
+def load_shard_segment(
+    path: Path,
+    *,
+    expected_shard: Optional[int] = None,
+    expected_sha256: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+) -> ShardSegment:
+    """Load and verify one shard segment file.
+
+    Every damage mode — vanished file, malformed JSON, CRC mismatch,
+    schema skew, wrong shard, wrong scan identity, row digest mismatch
+    — raises :class:`ShardSegmentDamage`; a file that loads is known
+    intact end to end.
+    """
+    shard = expected_shard
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ShardSegmentDamage(
+            shard, f"shard segment {path.name} unreadable: {exc}"
+        ) from exc
+    try:
+        envelope = json.loads(raw)
+    except ValueError as exc:
+        raise ShardSegmentDamage(
+            shard, f"shard segment {path.name} is not valid JSON (torn write?)"
+        ) from exc
+    if (
+        not isinstance(envelope, dict)
+        or set(envelope) != {"crc", "rec"}
+        or not isinstance(envelope.get("rec"), dict)
+    ):
+        raise ShardSegmentDamage(
+            shard, f"shard segment {path.name} has a malformed envelope"
+        )
+    body = envelope["rec"]
+    if zlib.crc32(_canonical(body).encode("utf-8")) != envelope["crc"]:
+        raise ShardSegmentDamage(
+            shard, f"shard segment {path.name} failed its CRC check"
+        )
+    if body.get("schema") != SHARD_SCHEMA_VERSION:
+        raise ShardSegmentDamage(
+            shard,
+            f"shard segment {path.name} has schema "
+            f"{body.get('schema')!r}, expected {SHARD_SCHEMA_VERSION}",
+        )
+    if expected_shard is not None and body.get("shard") != expected_shard:
+        raise ShardSegmentDamage(
+            expected_shard,
+            f"shard segment {path.name} claims shard {body.get('shard')!r}, "
+            f"expected {expected_shard}",
+        )
+    if fingerprint is not None and body.get("fingerprint") != fingerprint:
+        raise ShardSegmentDamage(
+            body.get("shard"),
+            f"shard segment {path.name} was produced under a different "
+            "scan identity — refusing to merge across identities",
+        )
+    rows = tuple(body.get("rows") or ())
+    digest = rows_digest(rows)
+    if digest != body.get("rows_sha256"):
+        raise ShardSegmentDamage(
+            body.get("shard"),
+            f"shard segment {path.name} row digest mismatch",
+        )
+    if expected_sha256 is not None and digest != expected_sha256:
+        raise ShardSegmentDamage(
+            body.get("shard"),
+            f"shard segment {path.name} does not match its committed "
+            "digest — file was replaced after commit",
+        )
+    return ShardSegment(
+        shard=int(body["shard"]),
+        worker=str(body.get("worker", "")),
+        fingerprint=str(body.get("fingerprint", "")),
+        scanned=int(body.get("scanned", 0)),
+        missed=int(body.get("missed", 0)),
+        decoys=int(body.get("decoys", 0)),
+        rows=rows,
+        rows_sha256=digest,
+    )
+
+
+@dataclass(frozen=True)
+class ReconcileResult:
+    """A successful reconciliation: the committed epoch plus totals."""
+
+    epoch_id: str
+    created: bool
+    shards: int
+    duplicates_discarded: int
+    scanned: int
+    missed: int
+    decoys: int
+    hits: int
+
+
+def reconcile_shards(
+    store: Any,
+    *,
+    identity: Dict[str, Any],
+    fingerprint: str,
+    seed: int,
+    shard_count: int,
+    sources: Iterable[ShardSource],
+    window: Tuple[int, int] = (0, 0),
+) -> ReconcileResult:
+    """Merge per-shard segment files into one committed epoch.
+
+    Streams rows shard-by-shard in ascending shard order through
+    ``store.begin_stream`` — the same writer path, same ``window`` and
+    same up-front ``installations`` touch as ``StreamingScan.run`` —
+    so the sealed segments and manifest are byte-identical to a
+    single-machine scan's, and the epoch id is therefore equal.
+
+    Raises a typed :class:`ReconciliationError` subclass (and aborts
+    the stream, publishing nothing) on any missing, conflicting, or
+    damaged shard.
+    """
+    if shard_count < 1:
+        raise ReconciliationError(None, "shard_count must be >= 1")
+    chosen: Dict[int, ShardSource] = {}
+    duplicates = 0
+    for source in sources:
+        if not 0 <= source.shard < shard_count:
+            raise ReconciliationError(
+                source.shard,
+                f"shard {source.shard} outside range(0, {shard_count})",
+            )
+        prior = chosen.get(source.shard)
+        if prior is None:
+            chosen[source.shard] = source
+        elif prior.rows_sha256 != source.rows_sha256:
+            raise DuplicateShard(
+                source.shard,
+                f"shard {source.shard} was committed twice with "
+                f"conflicting contents (workers {prior.worker!r} and "
+                f"{source.worker!r}) — the scan is not trustworthy",
+            )
+        else:
+            # Speculative re-execution produced the identical result;
+            # first valid commit wins, the copy is discarded.
+            duplicates += 1
+    missing = [k for k in range(shard_count) if k not in chosen]
+    if missing:
+        preview = ", ".join(str(k) for k in missing[:8])
+        raise MissingShard(
+            missing[0],
+            f"{len(missing)} shard(s) have no committed result set "
+            f"(first few: {preview}) — refusing to publish an "
+            "incomplete epoch",
+        )
+    stream = store.begin_stream(
+        identity=identity,
+        fingerprint=fingerprint,
+        seed=seed,
+        window_start=window[0],
+    )
+    scanned = 0
+    missed = 0
+    decoys = 0
+    hits = 0
+    try:
+        # Match StreamingScan.run: a zero-hit scan still commits an
+        # (empty) installations segment.
+        stream.writer("installations")
+        for shard in range(shard_count):
+            source = chosen[shard]
+            segment = load_shard_segment(
+                source.path,
+                expected_shard=shard,
+                expected_sha256=source.rows_sha256,
+                fingerprint=fingerprint,
+            )
+            scanned += segment.scanned
+            missed += segment.missed
+            decoys += segment.decoys
+            for row in segment.rows:
+                stream.write("installations", row)
+                hits += 1
+    except BaseException:
+        stream.abort()
+        raise
+    commit = stream.finalize(window_end=window[1])
+    return ReconcileResult(
+        epoch_id=commit.epoch_id,
+        created=commit.created,
+        shards=shard_count,
+        duplicates_discarded=duplicates,
+        scanned=scanned,
+        missed=missed,
+        decoys=decoys,
+        hits=hits,
+    )

@@ -26,7 +26,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.net.http import ok_response
 from repro.net.ip import Ipv4Address
@@ -306,6 +315,52 @@ class ShardedPopulationConfig:
                 None if self.products is None else list(self.products)
             ),
         }
+
+    @classmethod
+    def from_identity(
+        cls,
+        identity: Mapping[str, object],
+        *,
+        shard_count: int = 16,
+    ) -> "ShardedPopulationConfig":
+        """Rebuild a config from a persisted :meth:`identity` document.
+
+        Coordination layers durably record ``identity()`` (not the
+        config object) because identity is exactly the set of knobs
+        host content depends on; ``shard_count`` is execution policy
+        and is supplied separately. Round-trips exactly::
+
+            cls.from_identity(cfg.identity(), shard_count=cfg.shard_count)
+            == cfg
+
+        Raises ``ValueError`` on unknown or missing keys so a worker
+        attaching to a coordinator written by an incompatible version
+        fails loudly instead of scanning a subtly different world.
+        """
+        expected = {
+            "host_count",
+            "install_rate",
+            "decoy_rate",
+            "country_codes",
+            "asn_count",
+            "products",
+        }
+        unknown = sorted(set(identity) - expected)
+        if unknown:
+            raise ValueError(f"unknown identity keys: {unknown}")
+        missing = sorted(expected - set(identity))
+        if missing:
+            raise ValueError(f"missing identity keys: {missing}")
+        products = identity["products"]
+        return cls(
+            host_count=int(identity["host_count"]),  # type: ignore[call-overload]
+            shard_count=shard_count,
+            install_rate=float(identity["install_rate"]),  # type: ignore[arg-type]
+            decoy_rate=float(identity["decoy_rate"]),  # type: ignore[arg-type]
+            country_codes=tuple(identity["country_codes"]),  # type: ignore[arg-type]
+            asn_count=int(identity["asn_count"]),  # type: ignore[call-overload]
+            products=None if products is None else tuple(products),  # type: ignore[arg-type]
+        )
 
 
 @dataclass(frozen=True)

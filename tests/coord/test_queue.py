@@ -1,0 +1,364 @@
+"""Unit tests for the durable leased shard work-queue.
+
+Everything here drives :class:`repro.coord.queue.WorkQueue` directly
+with an injected fake clock, so lease expiry, straggler thresholds and
+dead-lettering are exercised deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.coord.queue import (
+    CoordinationError,
+    IdentityMismatch,
+    LeaseLost,
+    QueueConfig,
+    WorkQueue,
+)
+
+IDENTITY = {"kind": "streaming-scan", "seed": 17, "population": {"hosts": 10}}
+FINGERPRINT = "a" * 64
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _queue(tmp_path, clock, **config):
+    defaults = dict(
+        shard_count=3, lease_ttl=10.0, straggler_after=40.0, max_attempts=3
+    )
+    defaults.update(config)
+    return WorkQueue.create(
+        tmp_path / "coord",
+        identity=IDENTITY,
+        fingerprint=FINGERPRINT,
+        seed=17,
+        config=QueueConfig(**defaults),
+        clock=clock,
+    )
+
+
+def _commit(queue, worker, shard, digest="d" * 64):
+    return queue.commit(
+        worker,
+        shard,
+        file=f"shard-{shard:05d}.{worker}.json",
+        rows_sha256=digest,
+        rows=1,
+        scanned=10,
+        missed=1,
+        decoys=1,
+    )
+
+
+class DescribeQueueConfig:
+    def test_rejects_nonsense_policy(self):
+        with pytest.raises(ValueError):
+            QueueConfig(shard_count=0)
+        with pytest.raises(ValueError):
+            QueueConfig(shard_count=1, lease_ttl=0)
+        with pytest.raises(ValueError):
+            QueueConfig(shard_count=1, straggler_after=-1)
+        with pytest.raises(ValueError):
+            QueueConfig(shard_count=1, max_attempts=0)
+        with pytest.raises(ValueError):
+            QueueConfig(shard_count=1, batch_size=0)
+        with pytest.raises(ValueError):
+            QueueConfig(shard_count=1, latency=-0.1)
+
+
+class DescribeCreateAndAttach:
+    def test_create_persists_the_identity_document(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        doc = json.loads(queue.coordinator_path.read_text())
+        assert doc["fingerprint"] == FINGERPRINT
+        assert doc["identity"] == IDENTITY
+        assert doc["shard_count"] == 3
+        assert queue.shards_dir.is_dir()
+
+    def test_create_attaches_to_matching_directory(self, tmp_path):
+        clock = FakeClock()
+        first = _queue(tmp_path, clock)
+        first.claim("w1")
+        again = _queue(tmp_path, clock)
+        # Resumed coordinator sees the existing journal, not a reset.
+        assert len(again.snapshot().leases) == 1
+
+    def test_create_refuses_a_different_identity(self, tmp_path):
+        clock = FakeClock()
+        _queue(tmp_path, clock)
+        with pytest.raises(IdentityMismatch) as err:
+            WorkQueue.create(
+                tmp_path / "coord",
+                identity={"kind": "streaming-scan", "seed": 18},
+                fingerprint="b" * 64,
+                seed=18,
+                config=QueueConfig(shard_count=3),
+                clock=clock,
+            )
+        assert "refusing to coordinate across identities" in str(err.value)
+
+    def test_stored_policy_wins_on_attach(self, tmp_path):
+        clock = FakeClock()
+        _queue(tmp_path, clock, lease_ttl=10.0)
+        resumed = WorkQueue.create(
+            tmp_path / "coord",
+            identity=IDENTITY,
+            fingerprint=FINGERPRINT,
+            seed=17,
+            config=QueueConfig(shard_count=3, lease_ttl=99.0),
+            clock=clock,
+        )
+        assert resumed.config.lease_ttl == 10.0
+
+    def test_open_requires_a_document(self, tmp_path):
+        with pytest.raises(CoordinationError):
+            WorkQueue.open(tmp_path / "nowhere")
+
+    def test_open_rejects_schema_skew(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        doc = json.loads(queue.coordinator_path.read_text())
+        doc["schema"] = 99
+        queue.coordinator_path.write_text(json.dumps(doc))
+        with pytest.raises(CoordinationError):
+            WorkQueue.open(tmp_path / "coord")
+
+
+class DescribeClaiming:
+    def test_grants_lowest_pending_shard_first(self, tmp_path):
+        queue = _queue(tmp_path, FakeClock())
+        grants = [queue.claim(f"w{i}") for i in range(3)]
+        assert [g.shard for g in grants] == [0, 1, 2]
+        assert all(g.attempt == 1 for g in grants)
+        assert not any(g.speculative for g in grants)
+
+    def test_no_grant_when_everything_is_leased(self, tmp_path):
+        queue = _queue(tmp_path, FakeClock())
+        for i in range(3):
+            queue.claim(f"w{i}")
+        assert queue.claim("idle") is None
+
+    def test_expired_lease_is_reclaimed_with_attempts_preserved(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        first = queue.claim("w1")
+        assert first.shard == 0 and first.attempt == 1
+        clock.advance(11.0)  # past lease_ttl=10
+        regrant = queue.claim("w2")
+        assert regrant.shard == 0
+        assert regrant.attempt == 2
+        snapshot = queue.snapshot()
+        assert snapshot.leases[0].worker == "w2"
+
+    def test_speculative_lease_for_straggler(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock, shard_count=1, straggler_after=40.0)
+        queue.claim("slow")
+        for _ in range(4):  # heartbeat every 8s: alive, age 32 < 40
+            clock.advance(8.0)
+            queue.heartbeat("slow", 0)
+        # Lease is alive but young: no speculation yet.
+        assert queue.claim("fast") is None
+        clock.advance(8.0)  # age 40 >= straggler_after
+        queue.heartbeat("slow", 0)
+        grant = queue.claim("fast")
+        assert grant is not None and grant.shard == 0
+        assert grant.speculative is True
+        # The holder itself never gets a speculative duplicate.
+        queue.heartbeat("fast", 0)
+        assert queue.claim("slow") is None
+
+    def test_claim_never_exceeds_retry_budget(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock, shard_count=1, max_attempts=2)
+        for _ in range(2):
+            assert queue.claim("w").shard == 0
+            clock.advance(11.0)
+        # Third claim dead-letters instead of granting.
+        assert queue.claim("w") is None
+        snapshot = queue.snapshot()
+        assert snapshot.terminal and not snapshot.complete
+        assert snapshot.dead[0].attempts == 2
+
+
+class DescribeHeartbeat:
+    def test_extends_the_deadline(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        grant = queue.claim("w")
+        clock.advance(8.0)
+        deadline = queue.heartbeat("w", grant.shard)
+        assert deadline == clock.now + 10.0
+        clock.advance(8.0)  # would be past the original deadline
+        queue.heartbeat("w", grant.shard)
+
+    def test_lost_after_expiry(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        grant = queue.claim("w")
+        clock.advance(10.5)
+        with pytest.raises(LeaseLost):
+            queue.heartbeat("w", grant.shard)
+
+    def test_lost_when_shard_settled_by_someone_else(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.claim("w1")
+        _commit(queue, "w2", 0)
+        with pytest.raises(LeaseLost):
+            queue.heartbeat("w1", 0)
+
+
+class DescribeCommit:
+    def test_first_commit_wins_later_ones_are_duplicates(self, tmp_path):
+        queue = _queue(tmp_path, FakeClock())
+        assert _commit(queue, "w1", 0) is True
+        assert _commit(queue, "w2", 0) is False
+        snapshot = queue.snapshot()
+        assert snapshot.duplicates == 1
+        assert snapshot.conflicts == ()
+
+    def test_conflicting_duplicate_is_flagged(self, tmp_path):
+        queue = _queue(tmp_path, FakeClock())
+        _commit(queue, "w1", 0, digest="d" * 64)
+        _commit(queue, "w2", 0, digest="e" * 64)
+        assert queue.snapshot().conflicts == (0,)
+
+    def test_commit_accepted_from_an_expired_lease(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock, shard_count=1)
+        queue.claim("w")
+        clock.advance(60.0)
+        assert _commit(queue, "w", 0) is True
+        assert queue.snapshot().complete
+
+    def test_commits_listed_in_shard_order(self, tmp_path):
+        queue = _queue(tmp_path, FakeClock())
+        _commit(queue, "w", 2)
+        _commit(queue, "w", 0)
+        _commit(queue, "w", 1)
+        assert [c.shard for c in queue.commits()] == [0, 1, 2]
+
+
+class DescribeReleaseAndDeadLetters:
+    def test_release_returns_the_shard_to_pending(self, tmp_path):
+        queue = _queue(tmp_path, FakeClock())
+        grant = queue.claim("w")
+        queue.release("w", grant.shard, "ValueError('boom')")
+        regrant = queue.claim("w")
+        assert regrant.shard == grant.shard
+        assert regrant.attempt == 2
+
+    def test_exhausted_release_dead_letters_immediately(self, tmp_path):
+        queue = _queue(tmp_path, FakeClock(), shard_count=1, max_attempts=1)
+        queue.claim("w")
+        queue.release("w", 0, "RuntimeError('no')")
+        snapshot = queue.snapshot()
+        assert snapshot.terminal and snapshot.dead
+        assert "RuntimeError" in snapshot.dead[0].reason
+
+    def test_reap_is_how_a_dead_fleet_converges(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock, shard_count=1, max_attempts=1)
+        queue.claim("doomed")
+        # Worker SIGKILLed; nobody claims again. Coordinator reaps.
+        clock.advance(11.0)
+        assert queue.reap() == 2  # expire + dead
+        assert queue.snapshot().terminal
+
+
+class DescribeJournalDamage:
+    def test_truncated_suffix_recovers_to_valid_prefix(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.claim("w1")
+        _commit(queue, "w1", 0)
+        intact = queue.queue_path.read_bytes()
+        queue.queue_path.write_bytes(intact[:-7])  # torn final record
+        fresh = WorkQueue.open(tmp_path / "coord", clock=clock)
+        snapshot = fresh.snapshot()
+        # The commit record was torn: shard 0 is leased again, not done.
+        assert snapshot.done == ()
+        assert snapshot.leases[0].shard == 0
+
+    def test_append_after_truncation_keeps_sequence_contiguous(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.claim("w1")
+        _commit(queue, "w1", 0)
+        intact = queue.queue_path.read_bytes()
+        queue.queue_path.write_bytes(intact[:-7])
+        fresh = WorkQueue.open(tmp_path / "coord", clock=clock)
+        # Re-execute the forgotten commit: idempotent by construction.
+        _commit(fresh, "w1", 0)
+        seqs = []
+        for line in fresh.queue_path.read_bytes().splitlines():
+            seqs.append(json.loads(line)["rec"]["seq"])
+        assert seqs == list(range(len(seqs)))
+        assert fresh.snapshot().done == (0,)
+
+    def test_bitflip_in_the_middle_truncates_from_there(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        for i in range(3):
+            _commit(queue, "w", i)
+        raw = bytearray(queue.queue_path.read_bytes())
+        lines = bytes(raw).splitlines(keepends=True)
+        corrupt = bytearray(lines[1])
+        corrupt[20] ^= 0xFF
+        queue.queue_path.write_bytes(lines[0] + bytes(corrupt) + lines[2])
+        fresh = WorkQueue.open(tmp_path / "coord", clock=clock)
+        assert fresh.snapshot().done == (0,)
+
+
+class DescribeSnapshot:
+    def test_describe_covers_every_state(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(
+            tmp_path,
+            clock,
+            shard_count=4,
+            straggler_after=5.0,
+            max_attempts=1,
+        )
+        _commit(queue, "w1", 0)
+        _commit(queue, "w2", 0)  # duplicate
+        queue.claim("w3")  # shard 1 leased
+        queue.claim("doomed")  # shard 2 leased
+        queue.release("doomed", 2, "boom")  # immediately dead (budget 1)
+        clock.advance(6.0)
+        queue.heartbeat("w3", 1)  # keep alive but now a straggler
+        text = "\n".join(queue.snapshot().describe())
+        assert "1 done" in text
+        assert "leased by w3" in text
+        assert "STRAGGLER" in text
+        assert "DEAD after" in text
+        assert "duplicate completion(s) discarded" in text
+        assert "partial (dead letters)" not in text  # shard 3 still pending
+        assert "state: running" in text
+
+    def test_terminal_and_complete(self, tmp_path):
+        queue = _queue(tmp_path, FakeClock(), shard_count=2)
+        assert not queue.snapshot().terminal
+        _commit(queue, "w", 0)
+        _commit(queue, "w", 1)
+        snapshot = queue.snapshot()
+        assert snapshot.terminal and snapshot.complete
+        assert snapshot.describe()[-1] == "state: complete"

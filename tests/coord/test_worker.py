@@ -1,0 +1,225 @@
+"""Worker loop + coordinator reconcile tests (in-process, deterministic).
+
+The central invariant under test: whatever interleaving of worker
+failures, lease expiries and duplicate completions plays out, the
+distributed scan converges to the byte-identical epoch id a
+single-machine :meth:`StreamingScan.run` commits — or to an explicit
+:class:`PartialScanResult` with nothing published.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.coord import (
+    CoordinationError,
+    Coordinator,
+    IdentityMismatch,
+    PartialScanResult,
+    ScanWorker,
+)
+from repro.coord.queue import WorkQueue
+from repro.coord.worker import scan_from_coordinator
+from repro.exec.executor import Executor
+from repro.scan.stream import StreamingScan
+from repro.store import ResultsStore
+from repro.world.faults import FaultPlan
+from repro.world.population import ShardedPopulationConfig
+
+SEED = 29
+
+
+def _scan(**overrides):
+    defaults = dict(host_count=2_000, shard_count=4)
+    plan = overrides.pop("fault_plan", FaultPlan(seed=5, reset_rate=0.03))
+    config = ShardedPopulationConfig(**{**defaults, **overrides})
+    return StreamingScan(SEED, config, batch_size=250, fault_plan=plan)
+
+
+def _reference_epoch(tmp_path, scan):
+    store = ResultsStore(tmp_path / "reference")
+    summary = scan.run(store, Executor(2, backend="thread"))
+    return summary.epoch_id
+
+
+class DescribeScanFromCoordinator:
+    def test_rebuilds_the_exact_scan(self, tmp_path):
+        scan = _scan()
+        coordinator = Coordinator(tmp_path / "coord", scan)
+        rebuilt = scan_from_coordinator(coordinator.queue)
+        assert rebuilt.identity() == scan.identity()
+
+    def test_refuses_a_tampered_document(self, tmp_path):
+        scan = _scan()
+        coordinator = Coordinator(tmp_path / "coord", scan)
+        path = coordinator.queue.coordinator_path
+        doc = json.loads(path.read_text())
+        doc["identity"]["population"]["host_count"] = 9_999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(IdentityMismatch) as err:
+            ScanWorker(tmp_path / "coord")
+        assert "mismatched identity" in str(err.value)
+
+    def test_refuses_an_inconsistent_seed(self, tmp_path):
+        scan = _scan()
+        coordinator = Coordinator(tmp_path / "coord", scan)
+        path = coordinator.queue.coordinator_path
+        doc = json.loads(path.read_text())
+        doc["seed"] = SEED + 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(IdentityMismatch) as err:
+            ScanWorker(tmp_path / "coord")
+        assert "internally inconsistent" in str(err.value)
+
+    def test_refuses_a_non_scan_document(self, tmp_path):
+        scan = _scan()
+        coordinator = Coordinator(tmp_path / "coord", scan)
+        path = coordinator.queue.coordinator_path
+        doc = json.loads(path.read_text())
+        doc["identity"] = {"kind": "something-else"}
+        path.write_text(json.dumps(doc))
+        with pytest.raises(IdentityMismatch):
+            scan_from_coordinator(WorkQueue.open(tmp_path / "coord"))
+
+
+class DescribeSingleWorkerConvergence:
+    def test_one_worker_drains_the_queue_to_the_reference_epoch(
+        self, tmp_path
+    ):
+        scan = _scan()
+        reference = _reference_epoch(tmp_path, scan)
+        coordinator = Coordinator(tmp_path / "coord", scan)
+        worker = ScanWorker(tmp_path / "coord", worker_id="solo")
+        summary = worker.run()
+        assert summary.shards_won == 4
+        assert summary.errors == []
+        store = ResultsStore(tmp_path / "store")
+        outcome = coordinator.run(store, timeout=5.0)
+        assert outcome.complete
+        assert outcome.epoch_id == reference
+        assert outcome.workers == ("solo",)
+
+    def test_reconcile_is_idempotent_after_coordinator_crash(
+        self, tmp_path
+    ):
+        scan = _scan()
+        Coordinator(tmp_path / "coord", scan)
+        ScanWorker(tmp_path / "coord", worker_id="solo").run()
+        store = ResultsStore(tmp_path / "store")
+        first = Coordinator.attach(tmp_path / "coord").run(store, timeout=5.0)
+        again = Coordinator.attach(tmp_path / "coord").run(store, timeout=5.0)
+        assert first.epoch_id == again.epoch_id
+        assert first.created is True
+        assert again.created is False
+
+
+class DescribeFailureRecovery:
+    def test_failing_worker_releases_and_a_healthy_one_finishes(
+        self, tmp_path
+    ):
+        scan = _scan()
+        reference = _reference_epoch(tmp_path, scan)
+        coordinator = Coordinator(tmp_path / "coord", scan, max_attempts=3)
+
+        batches = {"seen": 0}
+
+        def explode(shard, batch):
+            batches["seen"] += 1
+            raise RuntimeError(f"chaos on shard {shard}")
+
+        flaky = ScanWorker(
+            tmp_path / "coord", worker_id="flaky", after_batch=explode
+        )
+        grant = flaky.run_one()
+        assert grant is not None
+        assert flaky.summary.shards_released == 1
+        assert "chaos" in flaky.summary.errors[0]
+
+        healthy = ScanWorker(tmp_path / "coord", worker_id="healthy")
+        healthy.run()
+        assert healthy.summary.shards_won == 4
+
+        store = ResultsStore(tmp_path / "store")
+        outcome = coordinator.run(store, timeout=5.0)
+        assert outcome.epoch_id == reference
+        # The released attempt is visible in the grant the healthy
+        # worker got for that shard (attempt 2), not in the epoch.
+        assert outcome.duplicates_discarded == 0
+
+    def test_speculative_duplicate_is_discarded_idempotently(
+        self, tmp_path
+    ):
+        scan = _scan()
+        reference = _reference_epoch(tmp_path, scan)
+        clock_now = {"value": 1000.0}
+        clock = lambda: clock_now["value"]  # noqa: E731
+        coordinator = Coordinator(
+            tmp_path / "coord",
+            scan,
+            lease_ttl=100.0,
+            straggler_after=50.0,
+            clock=clock,
+        )
+        slow = ScanWorker(tmp_path / "coord", worker_id="slow", clock=clock)
+        grant = slow.queue.claim("slow")
+        assert grant.shard == 0
+        # Other shards drain while 'slow' holds shard 0.
+        fast = ScanWorker(tmp_path / "coord", worker_id="fast", clock=clock)
+        for _ in range(3):
+            assert fast.run_one() is not None
+        assert fast.run_one() is None  # nothing pending, not a straggler yet
+        clock_now["value"] += 60.0  # shard 0 now a straggler (lease alive)
+        speculative = fast.run_one()
+        assert speculative is not None and speculative.speculative
+        assert fast.summary.shards_won == 4
+        # The original holder finally finishes: byte-identical duplicate.
+        slow.run_grant(grant)
+        assert slow.summary.shards_duplicate == 1
+        store = ResultsStore(tmp_path / "store")
+        outcome = coordinator.run(store, timeout=5.0)
+        assert outcome.epoch_id == reference
+        assert outcome.duplicates_discarded == 1
+
+    def test_exhausted_retries_degrade_to_partial_with_no_epoch(
+        self, tmp_path
+    ):
+        scan = _scan()
+        coordinator = Coordinator(tmp_path / "coord", scan, max_attempts=2)
+
+        def explode(shard, batch):
+            if shard == 2:
+                raise RuntimeError("shard 2 is cursed")
+
+        worker = ScanWorker(
+            tmp_path / "coord", worker_id="w", after_batch=explode
+        )
+        worker.run()
+        assert worker.summary.shards_won == 3
+        assert worker.summary.shards_released == 2
+        store = ResultsStore(tmp_path / "store")
+        outcome = coordinator.run(store, timeout=5.0)
+        assert isinstance(outcome, PartialScanResult)
+        assert not outcome.complete
+        assert outcome.completed_shards == 3
+        assert [letter.shard for letter in outcome.dead] == [2]
+        # Nothing published: the store has no epochs at all.
+        assert store.epoch_ids() == []
+        text = "\n".join(outcome.describe())
+        assert "no epoch committed" in text
+        assert "cursed" in text
+
+    def test_reconcile_before_terminal_is_refused(self, tmp_path):
+        scan = _scan()
+        coordinator = Coordinator(tmp_path / "coord", scan)
+        with pytest.raises(CoordinationError) as err:
+            coordinator.reconcile(ResultsStore(tmp_path / "store"))
+        assert "not terminal" in str(err.value)
+
+    def test_wait_timeout_raises_instead_of_hanging(self, tmp_path):
+        scan = _scan()
+        coordinator = Coordinator(tmp_path / "coord", scan)
+        with pytest.raises(CoordinationError) as err:
+            coordinator.wait(poll=0.01, timeout=0.05)
+        assert "terminal" in str(err.value)

@@ -13,10 +13,16 @@ class DescribeParser:
             build_parser().parse_args([])
 
     def test_seed_default(self):
-        args = build_parser().parse_args(["identify"])
+        # Parsed as None so commands can tell "user typed --seed" from
+        # "default applied"; _seed() resolves it to the paper seed.
+        from repro.cli import _seed
         from repro.world.scenario import DEFAULT_SEED
 
-        assert args.seed == DEFAULT_SEED
+        args = build_parser().parse_args(["identify"])
+        assert args.seed is None
+        assert _seed(args) == DEFAULT_SEED
+        explicit = build_parser().parse_args(["--seed", "7", "identify"])
+        assert _seed(explicit) == 7
 
     def test_netalyzr_collects_isps(self):
         args = build_parser().parse_args(
@@ -214,3 +220,170 @@ class DescribeStoreCommands:
         )
         assert code == 2
         assert "--cache-size" in capsys.readouterr().err
+
+
+class DescribeCoordinatedScanCommands:
+    """Exit-code taxonomy for scan --coordinator / scan-worker / coord:
+    0 ok, 1 hard failure, 2 usage, 3 explicit partial."""
+
+    _SCAN = [
+        "scan", "--hosts", "2000", "--shards", "4", "--batch-size", "250",
+    ]
+
+    def test_coordinated_scan_matches_sequential_epoch(
+        self, tmp_path, capsys
+    ):
+        seq = self._SCAN + ["--store", str(tmp_path / "seq")]
+        assert main(seq) == 0
+        seq_out = capsys.readouterr().out
+        dist = self._SCAN + [
+            "--store", str(tmp_path / "dist"),
+            "--coordinator", str(tmp_path / "coord"),
+            "--local-workers", "2",
+            "--lease-ttl", "10",
+        ]
+        assert main(dist) == 0
+        dist_out = capsys.readouterr().out
+        seq_epoch = next(
+            line.split()[1] for line in seq_out.splitlines()
+            if line.startswith("epoch ")
+        )
+        dist_epoch = next(
+            line.split()[1] for line in dist_out.splitlines()
+            if line.startswith("epoch ")
+        )
+        assert seq_epoch == dist_epoch
+        assert "worker(s)" in dist_out
+
+    def test_scan_usage_errors(self, tmp_path, capsys):
+        base = self._SCAN + [
+            "--store", str(tmp_path / "s"),
+            "--coordinator", str(tmp_path / "c"),
+        ]
+        assert main(base + ["--local-workers", "-1"]) == 2
+        assert "--local-workers" in capsys.readouterr().err
+        assert main(base + ["--lease-ttl", "0"]) == 2
+        assert "--lease-ttl" in capsys.readouterr().err
+        assert main(base + ["--max-attempts", "0"]) == 2
+        assert "--max-attempts" in capsys.readouterr().err
+        assert main(base + ["--straggler-after", "-5"]) == 2
+        assert "--straggler-after" in capsys.readouterr().err
+
+    def test_scan_timeout_is_a_hard_failure_with_queue_kept(
+        self, tmp_path, capsys
+    ):
+        code = main(self._SCAN + [
+            "--store", str(tmp_path / "s"),
+            "--coordinator", str(tmp_path / "c"),
+            "--local-workers", "0",  # nobody will do the work
+            "--wait-timeout", "0.2",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "did not finish" in err
+        assert "resume" in err
+        # The queue survives for a retry with workers.
+        assert (tmp_path / "c" / "coordinator.json").exists()
+
+    def test_scan_identity_mismatch_is_a_hard_failure(
+        self, tmp_path, capsys
+    ):
+        ok = self._SCAN + [
+            "--store", str(tmp_path / "s"),
+            "--coordinator", str(tmp_path / "c"),
+            "--local-workers", "2",
+            "--lease-ttl", "10",
+        ]
+        assert main(ok) == 0
+        capsys.readouterr()
+        different = [
+            "scan", "--hosts", "3000", "--shards", "4",
+            "--batch-size", "250",
+            "--store", str(tmp_path / "s"),
+            "--coordinator", str(tmp_path / "c"),
+        ]
+        assert main(different) == 1
+        assert "coordinator refused" in capsys.readouterr().err
+
+    def test_worker_usage_and_refusals(self, tmp_path, capsys):
+        assert main(["scan-worker", str(tmp_path / "absent")]) == 2
+        assert "cannot join" in capsys.readouterr().err
+        ok = self._SCAN + [
+            "--store", str(tmp_path / "s"),
+            "--coordinator", str(tmp_path / "c"),
+            "--local-workers", "2",
+            "--lease-ttl", "10",
+        ]
+        assert main(ok) == 0
+        capsys.readouterr()
+        code = main(["--seed", "999", "scan-worker", str(tmp_path / "c")])
+        assert code == 1
+        assert "cross-seed" in capsys.readouterr().err
+        assert main(
+            ["scan-worker", str(tmp_path / "c"), "--poll", "0"]
+        ) == 2
+        assert "--poll" in capsys.readouterr().err
+        # A late worker on a drained queue exits cleanly with no work.
+        code = main(
+            ["scan-worker", str(tmp_path / "c"), "--worker-id", "late"]
+        )
+        assert code == 0
+        assert "0 shard(s) won" in capsys.readouterr().out
+
+    def test_coord_status_reports_the_queue(self, tmp_path, capsys):
+        assert main(["coord", "status", str(tmp_path / "absent")]) == 2
+        assert "coord status failed" in capsys.readouterr().err
+        ok = self._SCAN + [
+            "--store", str(tmp_path / "s"),
+            "--coordinator", str(tmp_path / "c"),
+            "--local-workers", "2",
+            "--lease-ttl", "10",
+        ]
+        assert main(ok) == 0
+        capsys.readouterr()
+        assert main(["coord", "status", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "4 done" in out
+        assert "state: complete" in out
+
+    def test_dead_lettered_queue_exits_partial_with_no_epoch(
+        self, tmp_path, capsys
+    ):
+        # Exhaust a shard's retry budget out-of-band, then let the
+        # coordinator command find the terminal-but-dead queue.
+        from repro.coord import Coordinator, ScanWorker
+        from repro.scan.stream import StreamingScan
+        from repro.world.population import ShardedPopulationConfig
+        from repro.world.scenario import DEFAULT_SEED
+
+        scan = StreamingScan(
+            DEFAULT_SEED,
+            ShardedPopulationConfig(host_count=2000, shard_count=4),
+            batch_size=250,
+        )
+        Coordinator(tmp_path / "c", scan, lease_ttl=10.0, max_attempts=1)
+
+        def explode(shard, batch):
+            if shard == 3:
+                raise RuntimeError("cursed shard")
+
+        ScanWorker(
+            tmp_path / "c", worker_id="w", after_batch=explode
+        ).run()
+        code = main(self._SCAN + [
+            "--store", str(tmp_path / "s"),
+            "--coordinator", str(tmp_path / "c"),
+            "--local-workers", "0",
+            "--lease-ttl", "10",
+            "--max-attempts", "1",
+        ])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "PARTIAL scan" in out
+        assert "no epoch committed" in out
+        assert not (tmp_path / "s" / "epochs.jsonl").exists() or (
+            (tmp_path / "s" / "epochs.jsonl").read_text() == ""
+        )
+        # scan-worker on the dead queue also reports partiality.
+        code = main(["scan-worker", str(tmp_path / "c")])
+        assert code == 3

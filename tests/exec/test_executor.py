@@ -467,3 +467,109 @@ class DescribeProcessBackend:
         list(executor.stream(_explode_on_seven, range(8), label="batch"))
         assert metrics.count("batch.tasks") == 8
         assert metrics.count("batch.failures") == 1
+
+
+def _die_once_then_square(args):
+    """SIGKILL the pool worker the first time a flag file is absent.
+
+    os._exit(-9)-style death (here a raw SIGKILL to self) is what a
+    cgroup OOM-kill or operator kill -9 looks like from the parent: the
+    future breaks with BrokenProcessPool rather than raising a normal
+    exception.
+    """
+    import os as _os
+    import signal as _signal
+
+    x, flag = args
+    if x == 5 and not _os.path.exists(flag):
+        with open(flag, "w", encoding="utf-8") as handle:
+            handle.write("died once")
+        _os.kill(_os.getpid(), _signal.SIGKILL)
+    return x * x
+
+
+def _always_die(args):
+    import os as _os
+    import signal as _signal
+
+    x, _flag = args
+    if x == 5:
+        _os.kill(_os.getpid(), _signal.SIGKILL)
+    return x * x
+
+
+class DescribeProcessWorkerDeath:
+    """SIGKILLed pool workers degrade to transient TaskFailure, never
+    an uncaught BrokenProcessPool or a hang."""
+
+    def test_map_unordered_retries_through_a_worker_kill(self, tmp_path):
+        flag = str(tmp_path / "died")
+        executor = Executor(workers=2, backend="process")
+        items = [(i, flag) for i in range(8)]
+        retry = RetryPolicy(attempts=3, backoff_seconds=0.0)
+        got = sorted(
+            executor.map_unordered(_die_once_then_square, items, retry=retry)
+        )
+        assert got == [(i, i * i) for i in range(8)]
+
+    def test_map_unordered_without_retry_yields_transient_failures(
+        self, tmp_path
+    ):
+        metrics = Metrics()
+        executor = Executor(workers=2, backend="process", metrics=metrics)
+        items = [(i, str(tmp_path / "unused")) for i in range(8)]
+        results = list(
+            executor.map_unordered(
+                _always_die, items, retry=NO_RETRY, label="scan"
+            )
+        )
+        assert len(results) == 8
+        failures = [v for _, v in results if isinstance(v, TaskFailure)]
+        successes = sorted(
+            (i, v) for i, v in results if not isinstance(v, TaskFailure)
+        )
+        # Item 5 always kills its worker; collateral in-flight siblings
+        # may fail transiently too, but every failure is typed.
+        assert failures
+        assert all(f.transient for f in failures)
+        assert all(f.label == "scan" for f in failures)
+        assert metrics.count("scan.failures") == len(failures)
+        for index, value in successes:
+            assert value == index * index
+
+    def test_stream_recovers_and_keeps_slot_order(self, tmp_path):
+        flag = str(tmp_path / "died")
+        executor = Executor(workers=2, backend="process")
+        items = [(i, flag) for i in range(10)]
+        retry = RetryPolicy(attempts=3, backoff_seconds=0.0)
+        out = list(
+            executor.stream(
+                _die_once_then_square, items, retry=retry, window=4
+            )
+        )
+        assert out == [(i, i * i) for i in range(10)]
+
+    def test_stream_without_retry_marks_the_failure_transient(
+        self, tmp_path
+    ):
+        executor = Executor(workers=2, backend="process")
+        items = [(i, str(tmp_path / "unused")) for i in range(10)]
+        out = list(
+            executor.stream(
+                _always_die, items, retry=NO_RETRY, window=3, label="scan"
+            )
+        )
+        assert [i for i, _ in out] == list(range(10))
+        failures = [v for _, v in out if isinstance(v, TaskFailure)]
+        assert failures
+        assert all(f.transient and f.label == "scan" for f in failures)
+        for index, value in out:
+            if not isinstance(value, TaskFailure):
+                assert value == index * index
+
+    def test_ordinary_task_errors_are_not_transient(self):
+        executor = Executor(workers=3, backend="process")
+        out = list(executor.stream(_explode_on_seven, range(9), window=4))
+        failure = out[7][1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.transient is False

@@ -1,0 +1,154 @@
+"""Coordinator chaos: real worker processes, one SIGKILLed mid-lease.
+
+The CI ``coord-chaos`` job runs this under an active ``REPRO_FAULT_PLAN``
+so connection-level faults are injected *inside* the worker scans while
+the process level loses a whole worker. The acceptance invariant from
+the coordinator PR: a 10k-host scan split across three independent
+worker processes — one of them killed mid-lease — commits the
+byte-identical epoch id the single-machine scan produces.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.coord import Coordinator, spawn_workers
+from repro.exec.executor import Executor
+from repro.scan.stream import StreamingScan
+from repro.store import ResultsStore
+from repro.world.faults import FaultPlan
+from repro.world.population import ShardedPopulationConfig
+
+SEED = 2013
+HOSTS = 10_000
+SHARDS = 10
+
+
+def _plan() -> FaultPlan:
+    spec = os.environ.get("REPRO_FAULT_PLAN", "")
+    if spec:
+        return FaultPlan.parse(spec)
+    return FaultPlan.parse("seed=1913,reset=0.03,truncate=0.04,timeout=0.02")
+
+
+def _scan(latency: float = 0.0) -> StreamingScan:
+    config = ShardedPopulationConfig(host_count=HOSTS, shard_count=SHARDS)
+    return StreamingScan(
+        SEED, config, batch_size=500, latency=latency, fault_plan=_plan()
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_epoch(tmp_path_factory):
+    store = ResultsStore(tmp_path_factory.mktemp("reference") / "store")
+    summary = _scan().run(store, Executor(4, backend="thread"))
+    return summary.epoch_id
+
+
+def _spawn_cli_worker(coord_dir: Path, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [str(Path(__file__).resolve().parents[2] / "src"),
+                    env.get("PYTHONPATH", "")] if p
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro",
+            "scan-worker", str(coord_dir),
+            "--worker-id", worker_id,
+            "--poll", "0.05",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class DescribeCoordinatorChaos:
+    def test_three_cli_workers_one_sigkilled_converge_to_reference(
+        self, tmp_path, reference_epoch
+    ):
+        # Per-batch latency stretches shard scans (latency is execution
+        # policy, not identity, so the epoch id is unaffected) so the
+        # kill lands mid-lease, not in the idle gap between shards.
+        scan = _scan(latency=0.25)
+        coordinator = Coordinator(
+            tmp_path / "coord",
+            scan,
+            lease_ttl=2.0,
+            straggler_after=8.0,
+            max_attempts=5,
+        )
+        victim = _spawn_cli_worker(tmp_path / "coord", "victim")
+        survivors = [
+            _spawn_cli_worker(tmp_path / "coord", f"survivor-{i}")
+            for i in range(2)
+        ]
+        try:
+            # Let the victim claim a lease and scan a few batches,
+            # then kill it hard — no cleanup, no release record.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if coordinator.status().leases:
+                    break
+                time.sleep(0.05)
+            time.sleep(0.3)
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10.0)
+            assert victim.returncode == -signal.SIGKILL
+
+            store = ResultsStore(tmp_path / "store")
+            outcome = coordinator.run(store, poll=0.1, timeout=300.0)
+        finally:
+            for proc in survivors:
+                try:
+                    proc.wait(timeout=60.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        assert outcome.complete, getattr(outcome, "describe", lambda: [])()
+        assert outcome.epoch_id == reference_epoch
+        assert outcome.scanned == HOSTS
+        # The dead worker's shard really was re-leased and finished by
+        # someone else; the survivors exit 0 on the drained queue.
+        workers = set(outcome.workers)
+        assert workers & {"survivor-0", "survivor-1"}
+        for proc in survivors:
+            assert proc.returncode == 0
+
+    def test_local_fleet_recovers_from_a_mid_lease_kill(
+        self, tmp_path, reference_epoch
+    ):
+        scan = _scan(latency=0.25)
+        coordinator = Coordinator(
+            tmp_path / "coord",
+            scan,
+            lease_ttl=2.0,
+            straggler_after=8.0,
+            max_attempts=5,
+        )
+        fleet = spawn_workers(tmp_path / "coord", 3, poll=0.05)
+        try:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if coordinator.status().leases:
+                    break
+                time.sleep(0.05)
+            time.sleep(0.4)
+            os.kill(fleet[0].pid, signal.SIGKILL)
+            store = ResultsStore(tmp_path / "store")
+            outcome = coordinator.run(store, poll=0.1, timeout=300.0)
+        finally:
+            for proc in fleet:
+                proc.join(timeout=10.0)
+                if proc.is_alive():
+                    proc.terminate()
+        assert outcome.complete
+        assert outcome.epoch_id == reference_epoch

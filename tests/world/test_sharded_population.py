@@ -195,3 +195,44 @@ def test_identity_excludes_shard_count():
     a = ShardedPopulation(3, _config(100, 2)).identity()
     b = ShardedPopulation(3, _config(100, 16)).identity()
     assert a == b
+
+
+class DescribeFromIdentity:
+    """Round-tripping a config through its identity dict — what a
+    distributed-scan worker does when it rebuilds the coordinator's
+    population."""
+
+    def test_round_trips_exactly(self):
+        config = ShardedPopulationConfig(
+            host_count=5_000,
+            shard_count=8,
+            install_rate=0.04,
+            decoy_rate=0.02,
+            country_codes=("YE", "QA"),
+            asn_count=40,
+            products=("netsweeper",),
+        )
+        rebuilt = ShardedPopulationConfig.from_identity(
+            config.identity(), shard_count=config.shard_count
+        )
+        assert rebuilt == config
+        assert rebuilt.identity() == config.identity()
+
+    def test_defaults_round_trip(self):
+        config = ShardedPopulationConfig(host_count=100)
+        rebuilt = ShardedPopulationConfig.from_identity(
+            config.identity(), shard_count=16
+        )
+        assert rebuilt.identity() == config.identity()
+
+    def test_rejects_unknown_keys(self):
+        identity = ShardedPopulationConfig(host_count=100).identity()
+        identity["extra"] = 1
+        with pytest.raises(ValueError):
+            ShardedPopulationConfig.from_identity(identity, shard_count=2)
+
+    def test_rejects_missing_keys(self):
+        identity = ShardedPopulationConfig(host_count=100).identity()
+        del identity["install_rate"]
+        with pytest.raises(ValueError):
+            ShardedPopulationConfig.from_identity(identity, shard_count=2)

@@ -71,6 +71,12 @@ REQUIRED_COVERED = (
     "src/repro/measure/classifiers/network.py",
     "src/repro/measure/classifiers/record.py",
     "src/repro/measure/classifiers/throttle.py",
+    "src/repro/store/merge.py",
+    "src/repro/coord/__init__.py",
+    "src/repro/coord/queue.py",
+    "src/repro/coord/worker.py",
+    "src/repro/coord/coordinator.py",
+    "src/repro/coord/runner.py",
     "tools/serve_smoke.py",
 )
 
