@@ -37,6 +37,7 @@ from repro.core.pipeline import (
     run_full_study,
 )
 from repro.exec import Executor, MemoCache, Metrics, StudyCaches
+from repro.monitor import MonitorConfig, MonitorService, MonitorTarget
 from repro.query import QueryEngine, RecordFilter
 from repro.serve import ResultsServer
 from repro.store import ResultsStore
@@ -65,6 +66,9 @@ __all__ = [
     "IdentificationReport",
     "MemoCache",
     "Metrics",
+    "MonitorConfig",
+    "MonitorService",
+    "MonitorTarget",
     "QueryEngine",
     "RecordFilter",
     "ResultsServer",

@@ -325,6 +325,120 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=128, metavar="N",
         help="response-cache entries (default 128; 0 disables caching)",
     )
+    serve.add_argument(
+        "--monitor", metavar="DIR",
+        help="also expose /monitor/* status endpoints over this monitor "
+        "state directory",
+    )
+
+    monitor = commands.add_parser(
+        "monitor", help="always-on monitoring control plane"
+    )
+    monitor_commands = monitor.add_subparsers(
+        dest="monitor_command", required=True
+    )
+    m_run = monitor_commands.add_parser(
+        "run", help="run the supervised monitoring service"
+    )
+    m_run.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="monitor state directory (schedule journal, snapshots, "
+        "alert ledger)",
+    )
+    m_run.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="results store directory receiving round epochs",
+    )
+    m_run.add_argument(
+        "--rounds", type=int, default=12, metavar="N",
+        help="total round budget, counting rounds already journaled — "
+        "resuming with the same budget completes the original plan "
+        "(default 12)",
+    )
+    m_run.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing monitor directory exactly where it "
+        "died (refused across identity changes)",
+    )
+    m_run.add_argument(
+        "--target", action="append", metavar="PRODUCT:ISP",
+        help="repeatable: a Table 3 (product, isp) pair to monitor "
+        "(default: every distinct pair)",
+    )
+    m_run.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="monitor under a seeded chaos plan (failed rounds degrade "
+        "to timeline gaps, never to fabricated states)",
+    )
+    m_run.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="per-round retry budget for transient faults (default 2)",
+    )
+    m_run.add_argument(
+        "--watchdog", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per round attempt (default: none)",
+    )
+    m_run.add_argument(
+        "--round-delay", type=float, default=None, metavar="SECONDS",
+        help="wall-clock pause after each round-start journal record "
+        "(kill-test and soak seam; results-invisible)",
+    )
+    m_run.add_argument(
+        "--base-interval", type=float, default=30.0, metavar="DAYS",
+        help="initial re-probe interval (default 30)",
+    )
+    m_run.add_argument(
+        "--min-interval", type=float, default=7.0, metavar="DAYS",
+        help="floor for recently-transitioned pairs (default 7)",
+    )
+    m_run.add_argument(
+        "--max-interval", type=float, default=90.0, metavar="DAYS",
+        help="ceiling that stable pairs decay toward (default 90)",
+    )
+    m_run.add_argument(
+        "--retry-interval", type=float, default=2.0, metavar="DAYS",
+        help="re-probe delay after a failed (gap) round (default 2)",
+    )
+    m_run.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="N",
+        help="consecutive failed rounds before a target is "
+        "dead-lettered (default 3)",
+    )
+    m_run.add_argument(
+        "--hysteresis", type=int, default=2, metavar="K",
+        help="rounds a new state must hold before an alert fires "
+        "(default 2)",
+    )
+    m_run.add_argument(
+        "--flap-window", type=int, default=6, metavar="N",
+        help="observation window for flap detection (default 6)",
+    )
+    m_run.add_argument(
+        "--flap-threshold", type=int, default=3, metavar="N",
+        help="state changes within the window that latch a single "
+        "FLAPPING alert (default 3)",
+    )
+    m_run.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot after every N completed rounds (default 1)",
+    )
+    for name in ("status", "targets"):
+        sub = monitor_commands.add_parser(
+            name,
+            help=(
+                "fold a monitor directory's durable records"
+                if name == "status"
+                else "list the schedule table from durable records"
+            ),
+        )
+        sub.add_argument(
+            "--dir", required=True, metavar="DIR",
+            help="monitor state directory",
+        )
+        sub.add_argument(
+            "--json", action="store_true", dest="as_json",
+            help="emit the full status document as JSON",
+        )
 
     identify = commands.add_parser("identify", help="run §3 identification")
     identify.add_argument(
@@ -872,6 +986,7 @@ def _cmd_serve(args) -> int:
         store,
         host=args.host,
         port=args.port,
+        monitor_dir=args.monitor,
         cache_size=args.cache_size,
     )
     print(
@@ -883,6 +998,158 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("\nstopped")
     return EXIT_OK
+
+
+def _monitor_targets_from_args(args):
+    """Resolve --target PRODUCT:ISP selections against PAPER_TABLE3."""
+    from repro.monitor import MonitorTarget
+
+    pairs: List = []
+    if args.target:
+        for spec in args.target:
+            product, sep, isp = spec.rpartition(":")
+            if not sep or not product or not isp:
+                print(
+                    f"bad --target {spec!r}; expected PRODUCT:ISP",
+                    file=sys.stderr,
+                )
+                return None
+            pairs.append((product, isp))
+    else:
+        seen = set()
+        for row in PAPER_TABLE3:
+            if (row.product, row.isp_key) not in seen:
+                seen.add((row.product, row.isp_key))
+                pairs.append((row.product, row.isp_key))
+    targets = []
+    for product, isp in pairs:
+        rows = [
+            row
+            for row in PAPER_TABLE3
+            if row.product == product and row.isp_key == isp
+        ]
+        if not rows:
+            known = sorted({(r.product, r.isp_key) for r in PAPER_TABLE3})
+            print(
+                f"no such monitoring target ({product!r}, {isp!r}); "
+                f"known (product, isp) pairs: {known}",
+                file=sys.stderr,
+            )
+            return None
+        targets.append(MonitorTarget(config_for_row(rows[0])))
+    return targets
+
+
+def _cmd_monitor_run(args) -> int:
+    from pathlib import Path
+
+    from repro.exec.checkpoint import CheckpointError
+    from repro.exec.journal import JournalError
+    from repro.exec.resilience import ResilienceConfig
+    from repro.monitor import (
+        ROUND_DELAY_ENV,
+        AlertConfig,
+        MonitorConfig,
+        MonitorService,
+        ScheduleConfig,
+        SupervisorConfig,
+    )
+
+    if args.rounds < 1:
+        print("--rounds must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"bad --fault-plan: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    targets = _monitor_targets_from_args(args)
+    if targets is None:
+        return EXIT_USAGE
+    try:
+        config = MonitorConfig(
+            schedule=ScheduleConfig(
+                base_interval_days=args.base_interval,
+                min_interval_days=args.min_interval,
+                max_interval_days=args.max_interval,
+                retry_interval_days=args.retry_interval,
+                quarantine_after=args.quarantine_after,
+            ),
+            supervisor=SupervisorConfig(
+                max_retries=args.max_retries,
+                resilience=ResilienceConfig(max_retries=args.max_retries),
+                watchdog_seconds=args.watchdog,
+            ),
+            alerts=AlertConfig(
+                hysteresis_rounds=args.hysteresis,
+                flap_window=args.flap_window,
+                flap_threshold=args.flap_threshold,
+            ),
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ValueError as exc:
+        print(f"bad monitor configuration: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.round_delay is not None:
+        if args.round_delay < 0:
+            print("--round-delay must be >= 0", file=sys.stderr)
+            return EXIT_USAGE
+        os.environ[ROUND_DELAY_ENV] = str(args.round_delay)
+    seed = _seed(args)
+    service = MonitorService(
+        Path(args.dir),
+        Path(args.store),
+        scenario_factory=lambda: build_scenario(seed=seed),
+        targets=targets,
+        config=config,
+        fault_plan=fault_plan,
+    )
+    try:
+        summary = service.run(args.rounds, resume=args.resume)
+    except JournalError as exc:
+        print(f"journal error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except CheckpointError as exc:
+        print(f"resume refused: {exc}", file=sys.stderr)
+        if service.last_recovery is not None:
+            for line in service.last_recovery.describe():
+                print(f"recovery: {line}", file=sys.stderr)
+        return EXIT_HARD
+    if args.resume and summary.recovery is not None:
+        for line in summary.recovery.describe():
+            print(f"recovery: {line}")
+    for line in summary.describe():
+        print(line)
+    return EXIT_PARTIAL if summary.degraded else EXIT_OK
+
+
+def _cmd_monitor_status(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.monitor import describe_status, describe_targets, read_status
+
+    status = read_status(Path(args.dir))
+    if status is None:
+        print(f"no monitor journal in {args.dir}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.as_json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    elif args.monitor_command == "status":
+        for line in describe_status(status):
+            print(line)
+    else:
+        for line in describe_targets(status):
+            print(line)
+    return EXIT_PARTIAL if status["state"] == "DEGRADED" else EXIT_OK
+
+
+def _cmd_monitor(args) -> int:
+    if args.monitor_command == "run":
+        return _cmd_monitor_run(args)
+    return _cmd_monitor_status(args)
 
 
 def _cmd_netalyzr(args) -> int:
@@ -915,6 +1182,7 @@ _COMMANDS = {
     "netalyzr": _cmd_netalyzr,
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "monitor": _cmd_monitor,
 }
 
 

@@ -19,6 +19,7 @@ its full timeline from the store instead of starting blind.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
@@ -30,6 +31,28 @@ from repro.query.diff import sequence_transitions, stored_states
 from repro.store import ResultsStore, confirmation_epoch
 from repro.world.clock import SimTime
 from repro.world.world import World
+
+
+# The store-less legacy path resolves once per monitor, but a process
+# can construct many monitors; warn once per name per process so logs
+# stay readable (same latch the measure-layer shims use).
+_warned: set = set()
+
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the warn-once latch (test helper)."""
+    _warned.clear()
+
+
+def _warn_once(name: str, replacement: str) -> None:
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"repro.core.monitor.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class UsageState(enum.Enum):
@@ -161,6 +184,15 @@ class LongitudinalMonitor:
         if store is not None:
             self.store = (
                 store if isinstance(store, ResultsStore) else ResultsStore(store)
+            )
+        else:
+            # Legacy in-process flow: rounds live only in this object's
+            # MonitoringSeries and die with the process — no durable
+            # epochs, no recoverable timeline, no monitor service.
+            _warn_once(
+                "LongitudinalMonitor(store=None)",
+                "LongitudinalMonitor(..., store=...) or "
+                "repro.monitor.MonitorService for a durable timeline",
             )
         self.series = MonitoringSeries(
             product_name=config.product_name, isp_name=config.isp_name

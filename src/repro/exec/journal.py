@@ -252,7 +252,14 @@ class JournalWriter:
         return writer, records, report
 
     # --------------------------------------------------------------- write
-    def append(self, kind: str, payload: Dict[str, Any]) -> JournalRecord:
+    def append(
+        self, kind: str, payload: Dict[str, Any], *, durable: bool = True
+    ) -> JournalRecord:
+        """Append one record; ``durable=False`` skips the per-record
+        fsync (group commit: the next durable append persists it too,
+        since fsync flushes all buffered data for the file). Only safe
+        for records whose loss a resume tolerates — e.g. an in-flight
+        round marker that recovery would simply re-run."""
         record = JournalRecord(self._next_seq, kind, dict(payload))
         encoded = record.encode()
         if self._handle is None:
@@ -260,7 +267,7 @@ class JournalWriter:
             self._handle = open(self.path, "ab")
         self._handle.write(encoded)
         self._handle.flush()
-        if self._fsync:
+        if self._fsync and durable:
             os.fsync(self._handle.fileno())
         self._next_seq += 1
         if self.after_write is not None:

@@ -1,0 +1,292 @@
+"""Alerting over confirmation transitions, with hysteresis and flap damping.
+
+The transitions worth an operator's attention are the store-level
+APPEARED/WITHDRAWN kinds (:mod:`repro.query.diff`): a product starting
+to confirm in an ISP, or going stale after a vendor withdraws support
+(§2.2's Websense-Yemen arc). Raw round results are too noisy to alert
+on directly — §4.4 documents inconsistent blocking where the same site
+flips between rounds — so the engine applies two classic dampers:
+
+- **Hysteresis**: a pair must hold a *new* state for
+  ``hysteresis_rounds`` consecutive rounds before the transition
+  commits and an APPEARED/WITHDRAWN alert fires. The first committed
+  state is a baseline, not a transition — no alert.
+- **Flap damping**: a pair whose raw state changes ``flap_threshold``
+  times within its last ``flap_window`` observations latches FLAPPING
+  and emits exactly one FLAPPING alert — not one alert per flip. The
+  latch clears only when the pair again holds a state for the full
+  hysteresis window (at which point a real transition, if any, fires).
+
+Failed rounds are *gaps* and are never observed here: a gap is absence
+of evidence, and counting it toward hysteresis or flapping would let an
+injected fault manufacture an alert.
+
+Alerts are durable: :class:`AlertLedger` appends each alert to a
+CRC-protected journal (the :mod:`repro.exec.journal` envelope), keyed
+by a deterministic id so a resumed monitor re-observing the same round
+cannot duplicate ledger entries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exec.journal import (
+    JournalWriter,
+    RecoveryReport,
+    read_journal,
+)
+
+#: The alert ledger file name inside a monitor directory.
+ALERTS_FILENAME = "alerts.jsonl"
+
+
+class AlertKind(enum.Enum):
+    APPEARED = "appeared"  # pair committed to confirmed
+    WITHDRAWN = "withdrawn"  # pair committed to not-confirmed
+    FLAPPING = "flapping"  # pair oscillating; single latched alert
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One operator-facing event."""
+
+    kind: AlertKind
+    product: str
+    isp: str
+    round_index: int
+    at_minutes: int
+    detail: str
+
+    @property
+    def alert_id(self) -> str:
+        """Deterministic identity: same round, same alert, same id."""
+        return (
+            f"{self.kind.value}:{self.product}:{self.isp}:{self.round_index}"
+        )
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "id": self.alert_id,
+            "kind": self.kind.value,
+            "product": self.product,
+            "isp": self.isp,
+            "round": self.round_index,
+            "at_minutes": self.at_minutes,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class AlertConfig:
+    """Damping knobs for the alert engine."""
+
+    #: Consecutive rounds a new state must hold before it commits.
+    hysteresis_rounds: int = 2
+    #: Sliding window (per-pair observations) for flap detection.
+    flap_window: int = 6
+    #: Raw state changes within the window that latch FLAPPING.
+    flap_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_rounds < 1:
+            raise ValueError("hysteresis_rounds must be >= 1")
+        if self.flap_window < 2:
+            raise ValueError("flap_window must be >= 2")
+        if self.flap_threshold < 2:
+            raise ValueError("flap_threshold must be >= 2")
+
+
+@dataclass
+class _PairState:
+    """Damping state for one (product, ISP) pair. All plain data."""
+
+    observations: int = 0
+    last_raw: Optional[bool] = None
+    committed: Optional[bool] = None
+    candidate: Optional[bool] = None
+    candidate_count: int = 0
+    flapping: bool = False
+    #: Per-pair observation indices at which the raw state changed.
+    flips: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "observations": self.observations,
+            "last_raw": self.last_raw,
+            "committed": self.committed,
+            "candidate": self.candidate,
+            "candidate_count": self.candidate_count,
+            "flapping": self.flapping,
+            "flips": list(self.flips),
+        }
+
+
+class AlertEngine:
+    """Pure fold from per-round observations to damped alerts.
+
+    Deterministic: the alerts produced are a function of the observation
+    sequence alone, so a resumed monitor replaying rounds regenerates
+    byte-identical alerts (and the ledger's id-dedup makes the replay
+    idempotent).
+    """
+
+    def __init__(self, config: AlertConfig = AlertConfig()) -> None:
+        self.config = config
+        self._pairs: Dict[Tuple[str, str], _PairState] = {}
+
+    def observe(
+        self,
+        product: str,
+        isp: str,
+        *,
+        confirmed: bool,
+        round_index: int,
+        at_minutes: int,
+    ) -> List[Alert]:
+        """Fold one committed round; the alerts it fired (often none)."""
+        state = self._pairs.setdefault((product, isp), _PairState())
+        state.observations += 1
+        alerts: List[Alert] = []
+
+        if state.last_raw is not None and confirmed != state.last_raw:
+            state.flips.append(state.observations)
+        state.last_raw = confirmed
+        window_floor = state.observations - self.config.flap_window
+        state.flips = [obs for obs in state.flips if obs > window_floor]
+
+        if state.candidate is not None and state.candidate == confirmed:
+            state.candidate_count += 1
+        else:
+            state.candidate = confirmed
+            state.candidate_count = 1
+
+        if (
+            not state.flapping
+            and len(state.flips) >= self.config.flap_threshold
+        ):
+            state.flapping = True
+            alerts.append(
+                Alert(
+                    kind=AlertKind.FLAPPING,
+                    product=product,
+                    isp=isp,
+                    round_index=round_index,
+                    at_minutes=at_minutes,
+                    detail=(
+                        f"{len(state.flips)} state changes in the last "
+                        f"{self.config.flap_window} observation(s)"
+                    ),
+                )
+            )
+
+        # Fire exactly when the hysteresis window fills — not on every
+        # subsequent stable round (committed == candidate blocks those).
+        if state.candidate_count == self.config.hysteresis_rounds:
+            if state.committed is None:
+                state.committed = state.candidate  # baseline, no alert
+            elif state.candidate != state.committed:
+                state.committed = state.candidate
+                alerts.append(
+                    Alert(
+                        kind=(
+                            AlertKind.APPEARED
+                            if state.candidate
+                            else AlertKind.WITHDRAWN
+                        ),
+                        product=product,
+                        isp=isp,
+                        round_index=round_index,
+                        at_minutes=at_minutes,
+                        detail=(
+                            f"held for {self.config.hysteresis_rounds} "
+                            "consecutive round(s)"
+                        ),
+                    )
+                )
+            if state.flapping:
+                # Stability for a full hysteresis window ends the flap.
+                state.flapping = False
+                state.flips.clear()
+        return alerts
+
+    def pair_states(self) -> Dict[str, Dict[str, Any]]:
+        """Current damping state per pair (for status surfaces)."""
+        return {
+            f"{product}|{isp}": state.as_dict()
+            for (product, isp), state in sorted(self._pairs.items())
+        }
+
+    # --------------------------------------------------------- durability
+    def capture_state(self) -> Dict[str, Any]:
+        return {
+            "pairs": {
+                key: state.as_dict() for key, state in self._pairs.items()
+            }
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._pairs = {
+            key: _PairState(**saved) for key, saved in state["pairs"].items()
+        }
+
+
+class AlertLedger:
+    """Durable, replay-idempotent alert log (CRC journal envelope).
+
+    Opening an existing ledger resumes it: the valid record prefix is
+    read (any torn tail from a kill is truncated), known alert ids are
+    loaded, and appends of already-recorded alerts become no-ops — so a
+    resumed monitor re-firing the same deterministic alerts leaves the
+    ledger byte-identical to an uninterrupted run's.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        if self.path.exists():
+            writer, records, report = JournalWriter.resume(self.path)
+        else:
+            writer = JournalWriter.create(self.path)
+            records, report = [], RecoveryReport()
+            report.journal_path = str(self.path)
+            # Materialize the (empty) ledger eagerly: "no alerts yet" is
+            # a real observable state — status folds, ETags, and
+            # byte-identity comparisons all read this file.
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.touch()
+        self._writer = writer
+        self.recovery = report
+        self._seen = {
+            record.payload["id"]
+            for record in records
+            if record.kind == "alert" and "id" in record.payload
+        }
+
+    def record(self, alert: Alert) -> bool:
+        """Append one alert; False when its id is already on disk."""
+        if alert.alert_id in self._seen:
+            return False
+        self._writer.append("alert", alert.to_document())
+        self._seen.add(alert.alert_id)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "AlertLedger":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_alerts(path: Path) -> List[Dict[str, Any]]:
+    """The alert documents in one ledger file (valid prefix only)."""
+    records, _report = read_journal(Path(path))
+    return [record.payload for record in records if record.kind == "alert"]

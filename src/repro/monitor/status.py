@@ -1,0 +1,197 @@
+"""Operator status, folded from a monitor directory's durable records.
+
+The status surface (CLI ``repro monitor status`` and the ``/monitor/*``
+serve endpoints) reads *only* the on-disk journal and alert ledger — it
+never needs the monitor process, its snapshots, or any unpickling — so
+status works on a live monitor, a killed one, and a finished one alike.
+
+The fold is idempotent over resume replay: a monitor restarted from a
+snapshot re-journals the rounds it re-runs, so a round index can appear
+more than once in the journal. Rounds are keyed by index with last
+record winning — the same record the uninterrupted run would have
+written, by the byte-identity contract — so duplicated history collapses
+instead of double-counting.
+
+State taxonomy:
+
+- ``IDLE`` — directory has no journal yet.
+- ``RUNNING`` — begun but no ``final`` record (covers both a live
+  monitor and one that died mid-run; the journal cannot distinguish
+  them, and resume handles either).
+- ``DEGRADED`` — finished (or last known) with committed rounds still
+  buffered because the results store was unwritable.
+- ``FINISHED`` — ``final`` written and nothing buffered.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.exec.journal import JOURNAL_FILENAME, read_journal
+from repro.monitor.alerts import ALERTS_FILENAME, read_alerts
+
+#: Record kinds that carry a per-round accounting payload.
+_ROUND_KINDS = ("round-commit", "round-gap")
+
+
+def read_status(monitor_dir: Path) -> Optional[Dict[str, Any]]:
+    """Fold one monitor directory into a status document.
+
+    Returns None when the directory has no journal (never started).
+    Damage (torn tail, CRC) is reported in ``recovery`` notes, exactly
+    as resume would see it — status never raises for a damaged journal.
+    """
+    monitor_dir = Path(monitor_dir)
+    journal_path = monitor_dir / JOURNAL_FILENAME
+    if not journal_path.exists():
+        return None
+    records, report = read_journal(journal_path)
+
+    begin: Optional[Dict[str, Any]] = None
+    final: Optional[Dict[str, Any]] = None
+    rounds: Dict[int, Dict[str, Any]] = {}
+    targets: Dict[str, Dict[str, Any]] = {}
+    quarantined: List[str] = []
+    in_flight: Optional[Dict[str, Any]] = None
+    buffered_now = 0
+    flushed_epochs: List[str] = []
+
+    for record in records:
+        payload = record.payload
+        if record.kind == "begin":
+            begin = payload
+            for doc in payload.get("targets", []):
+                targets[doc["key"]] = dict(doc)
+        elif record.kind == "round-start":
+            in_flight = dict(payload)
+        elif record.kind in _ROUND_KINDS:
+            in_flight = None
+            entry = {
+                "round": payload["round"],
+                "target": payload["target"],
+                "state": (
+                    payload["state"] if record.kind == "round-commit" else "gap"
+                ),
+            }
+            if record.kind == "round-commit":
+                entry["epoch"] = payload.get("epoch")
+                entry["buffered"] = payload.get("buffered", False)
+            else:
+                entry["error"] = payload.get("error")
+            rounds[payload["round"]] = entry  # last record wins (resume replay)
+            target_state = payload.get("target_state")
+            if target_state:
+                targets[target_state["key"]] = dict(target_state)
+            buffered_now = payload.get("buffered_now", buffered_now)
+        elif record.kind == "quarantine":
+            if payload["target"] not in quarantined:
+                quarantined.append(payload["target"])
+        elif record.kind == "flush":
+            flushed_epochs.extend(payload.get("epochs", []))
+            buffered_now = payload.get("buffered_now", buffered_now)
+        elif record.kind == "snapshot":
+            buffered_now = payload.get("buffered_now", buffered_now)
+        elif record.kind == "final":
+            final = payload
+            in_flight = None
+            buffered_now = payload.get("buffered_now", buffered_now)
+
+    # Quarantine state can also arrive via restored target documents.
+    for key, doc in targets.items():
+        if doc.get("quarantined") and key not in quarantined:
+            quarantined.append(key)
+
+    timeline = [rounds[index] for index in sorted(rounds)]
+    committed = sum(1 for e in timeline if e["state"] != "gap")
+    gaps = sum(1 for e in timeline if e["state"] == "gap")
+
+    alerts = read_alerts(monitor_dir / ALERTS_FILENAME)
+    by_kind: Dict[str, int] = {}
+    for alert in alerts:
+        by_kind[alert["kind"]] = by_kind.get(alert["kind"], 0) + 1
+
+    if final is None:
+        state = "RUNNING"
+    elif buffered_now:
+        state = "DEGRADED"
+    else:
+        state = "FINISHED"
+
+    return {
+        "state": state,
+        "fingerprint": begin.get("fingerprint") if begin else None,
+        "seed": begin.get("seed") if begin else None,
+        "rounds": len(timeline),
+        "committed": committed,
+        "gaps": gaps,
+        "buffered": buffered_now,
+        "quarantined": sorted(quarantined),
+        "flushed_epochs": flushed_epochs,
+        "in_flight": in_flight,
+        "timeline": timeline,
+        "targets": {key: targets[key] for key in sorted(targets)},
+        "alerts": {"total": len(alerts), "by_kind": by_kind},
+        "recovery": {
+            "records_kept": report.records_kept,
+            "records_discarded": report.records_discarded,
+            "notes": list(report.notes),
+        },
+    }
+
+
+def describe_status(status: Dict[str, Any]) -> List[str]:
+    """Human-readable status lines for the CLI."""
+    lines = [
+        f"state: {status['state']}",
+        f"rounds: {status['rounds']} "
+        f"({status['committed']} committed, {status['gaps']} gap(s))",
+        f"alerts: {status['alerts']['total']}"
+        + (
+            " ("
+            + ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(status["alerts"]["by_kind"].items())
+            )
+            + ")"
+            if status["alerts"]["by_kind"]
+            else ""
+        ),
+    ]
+    if status["buffered"]:
+        lines.append(
+            f"buffered epochs awaiting store recovery: {status['buffered']}"
+        )
+    for key in status["quarantined"]:
+        lines.append(f"quarantined: {key}")
+    if status["in_flight"]:
+        lines.append(
+            f"in flight: round {status['in_flight']['round']} "
+            f"({status['in_flight']['target']})"
+        )
+    if status["recovery"]["notes"]:
+        for note in status["recovery"]["notes"]:
+            lines.append(f"journal damage: {note}")
+    return lines
+
+
+def describe_targets(status: Dict[str, Any]) -> List[str]:
+    """One line per scheduled target, for ``repro monitor targets``."""
+    lines: List[str] = []
+    for key, doc in status["targets"].items():
+        flags = []
+        if doc.get("quarantined"):
+            flags.append("QUARANTINED")
+        if doc.get("last_confirmed") is True:
+            flags.append("confirmed")
+        elif doc.get("last_confirmed") is False:
+            flags.append("not-confirmed")
+        else:
+            flags.append("no-data")
+        lines.append(
+            f"{key}: interval {doc['interval_days']:.1f}d, "
+            f"next due @{doc['next_due_minutes']}m, "
+            f"{doc['rounds_run']} round(s), {doc['gap_rounds']} gap(s), "
+            f"{doc['transitions']} transition(s) [{'; '.join(flags)}]"
+        )
+    return lines

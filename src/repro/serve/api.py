@@ -14,6 +14,17 @@ harness can also drive in-process. Endpoints::
     GET /epochs/<id>/products/<name>          per-product drill-down
     GET /diff?old=<id>&new=<id>               longitudinal diff (default:
                                               the two newest epochs)
+    GET /monitor/status                       monitor fold (state, rounds,
+                                              gaps, buffered, recovery)
+    GET /monitor/targets                      paginated schedule table
+    GET /monitor/alerts                       paginated alert ledger
+
+The ``/monitor/*`` endpoints exist only when the server was given a
+monitor directory (``repro serve --monitor DIR``); they fold the
+monitor's durable journal and alert ledger on demand, so they serve a
+live monitor, a killed one, and a finished one alike. Their ETags hash
+the monitor files' bytes instead of the store digest, with identical
+``If-None-Match``/304 semantics.
 
 Epoch ids may be unique prefixes. Listing/record endpoints accept
 ``page`` / ``per_page`` plus the record-filter dimensions (``country``,
@@ -35,14 +46,19 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from repro.exec.journal import JOURNAL_FILENAME
 from repro.exec.metrics import Metrics
+from repro.monitor.alerts import ALERTS_FILENAME, read_alerts
+from repro.monitor.status import read_status
 from repro.query import QueryEngine, RecordFilter, TABLE_NAMES
 from repro.store import RECORD_KINDS, ResultsStore, StoreError, UnknownEpoch
 
@@ -182,11 +198,13 @@ class StoreApi:
         self,
         store: ResultsStore,
         *,
+        monitor_dir: Optional[Union[str, Path]] = None,
         metrics: Optional[Metrics] = None,
         cache_size: int = 128,
     ) -> None:
         self.store = store
         self.engine = QueryEngine(store)
+        self.monitor_dir = None if monitor_dir is None else Path(monitor_dir)
         self.metrics = metrics if metrics is not None else Metrics()
         self.cache = ResponseCache(cache_size)
 
@@ -234,6 +252,8 @@ class StoreApi:
             return ApiResponse(status=200, body=_dump(self.metrics.as_dict()))
         if not parts:
             raise ApiError(404, "no such endpoint; see /epochs")
+        if parts[0] == "monitor":
+            return self._route_monitor(parts, target, if_none_match, params)
         if parts[0] == "diff" and len(parts) == 1:
             return self._cached(target, if_none_match, self._render_diff, params)
         if parts[0] != "epochs":
@@ -287,9 +307,57 @@ class StoreApi:
             )
         raise ApiError(404, f"no such endpoint: {split.path}")
 
+    def _route_monitor(
+        self,
+        parts: List[str],
+        target: str,
+        if_none_match: Optional[str],
+        params: Dict[str, str],
+    ) -> ApiResponse:
+        if self.monitor_dir is None:
+            raise ApiError(
+                404, "monitor surface not enabled; serve with --monitor DIR"
+            )
+        if len(parts) != 2 or parts[1] not in (
+            "status",
+            "targets",
+            "alerts",
+        ):
+            raise ApiError(
+                404,
+                "no such monitor endpoint; one of /monitor/status, "
+                "/monitor/targets, /monitor/alerts",
+            )
+        render = {
+            "status": self._render_monitor_status,
+            "targets": self._render_monitor_targets,
+            "alerts": self._render_monitor_alerts,
+        }[parts[1]]
+        return self._cached(
+            target, if_none_match, render, params, state=self._monitor_state()
+        )
+
     # ------------------------------------------------------- cache plumbing
-    def _etag(self, request_key: str) -> str:
-        source = f"{self.store.content_state()}|{request_key}"
+    def _monitor_state(self) -> str:
+        """Content digest over the monitor's durable files.
+
+        The journal and alert ledger are append-only, so hashing their
+        bytes gives the same strong-ETag property the store digest gives
+        the epoch endpoints: any monitor progress changes the ETag.
+        """
+        assert self.monitor_dir is not None
+        digest = hashlib.sha256()
+        for name in (JOURNAL_FILENAME, ALERTS_FILENAME):
+            path = self.monitor_dir / name
+            digest.update(name.encode("utf-8") + b"\x00")
+            if path.exists():
+                digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        return "monitor:" + digest.hexdigest()
+
+    def _etag(self, request_key: str, state: Optional[str] = None) -> str:
+        state = state if state is not None else self.store.content_state()
+        source = f"{state}|{request_key}"
         return '"' + hashlib.sha256(source.encode("utf-8")).hexdigest() + '"'
 
     def _cached(
@@ -299,9 +367,10 @@ class StoreApi:
         render,
         params: Dict[str, str],
         *args: Any,
+        state: Optional[str] = None,
     ) -> ApiResponse:
         key = target
-        etag = self._etag(key)
+        etag = self._etag(key, state)
         if if_none_match is not None and etag in {
             candidate.strip()
             for candidate in if_none_match.split(",")
@@ -394,6 +463,37 @@ class StoreApi:
         diff = self.engine.diff(params.get("old"), params.get("new"))
         return diff.to_document()
 
+    def _monitor_status_doc(self) -> Dict[str, Any]:
+        assert self.monitor_dir is not None
+        status = read_status(self.monitor_dir)
+        if status is None:
+            raise ApiError(
+                404, f"monitor has not started (no journal in {self.monitor_dir})"
+            )
+        return status
+
+    def _render_monitor_status(self, params: Dict[str, str]) -> Dict[str, Any]:
+        status = self._monitor_status_doc()
+        status.pop("targets", None)  # /monitor/targets owns the table
+        return status
+
+    def _render_monitor_targets(
+        self, params: Dict[str, str]
+    ) -> Dict[str, Any]:
+        status = self._monitor_status_doc()
+        targets = [status["targets"][key] for key in sorted(status["targets"])]
+        document = _paginate(targets, params)
+        document["state"] = status["state"]
+        return document
+
+    def _render_monitor_alerts(
+        self, params: Dict[str, str]
+    ) -> Dict[str, Any]:
+        self._monitor_status_doc()  # 404 before the monitor ever began
+        assert self.monitor_dir is not None
+        alerts = read_alerts(self.monitor_dir / ALERTS_FILENAME)
+        return _paginate(alerts, params)
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Thin HTTP plumbing around the shared :class:`StoreApi`."""
@@ -410,18 +510,43 @@ class _Handler(BaseHTTPRequestHandler):
         response = self.api.handle(
             self.path, self.headers.get("If-None-Match")
         )
-        self.send_response(response.status)
-        for name, value in response.headers:
-            if response.status == 304 and name == "Content-Length":
-                value = "0"
-            self.send_header(name, value)
-        self.end_headers()
-        if response.status != 304 and response.body:
-            self.wfile.write(response.body)
+        try:
+            self.send_response(response.status)
+            for name, value in response.headers:
+                if response.status == 304 and name == "Content-Length":
+                    value = "0"
+                self.send_header(name, value)
+            self.end_headers()
+            if response.status != 304 and response.body:
+                self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response. That is their privilege,
+            # not our stack trace: count it and drop the connection.
+            self.api.metrics.incr("serve.client_disconnects")
+            self.close_connection = True
 
     def log_message(self, format: str, *args: Any) -> None:
         # Request accounting goes through Metrics, not stderr.
         pass
+
+
+class _QuietServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats client disconnects as routine.
+
+    A reset can surface outside ``do_GET`` (during the request read, or
+    the keep-alive flush in ``finish``); the stock ``handle_error``
+    dumps those to stderr as full stack traces. Disconnects are counted
+    in metrics instead; every other error keeps the loud default.
+    """
+
+    api: StoreApi  # set by ResultsServer on the subclass
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            self.api.metrics.incr("serve.client_disconnects")
+            return
+        super().handle_error(request, client_address)
 
 
 class ResultsServer:
@@ -440,12 +565,19 @@ class ResultsServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        monitor_dir: Optional[Union[str, Path]] = None,
         metrics: Optional[Metrics] = None,
         cache_size: int = 128,
     ) -> None:
-        self.api = StoreApi(store, metrics=metrics, cache_size=cache_size)
+        self.api = StoreApi(
+            store,
+            monitor_dir=monitor_dir,
+            metrics=metrics,
+            cache_size=cache_size,
+        )
         handler = type("_BoundHandler", (_Handler,), {"api": self.api})
-        self._server = ThreadingHTTPServer((host, port), handler)
+        server_cls = type("_BoundServer", (_QuietServer,), {"api": self.api})
+        self._server = server_cls((host, port), handler)
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.core.confirm import ConfirmationConfig
@@ -100,6 +102,31 @@ class DescribeMonitoring:
         monitor = LongitudinalMonitor(world, product, 65002, config)
         assert monitor.series.currently_confirmed() is None
         assert not monitor.series.ever_confirmed()
+
+
+class DescribeLegacyPathDeprecation:
+    def test_store_less_monitor_warns_exactly_once(self):
+        from repro.core.monitor import _reset_deprecation_warnings
+
+        _reset_deprecation_warnings()
+        world, product, _box, config = build()
+        with pytest.warns(DeprecationWarning, match="store=None"):
+            LongitudinalMonitor(world, product, 65002, config)
+        # The second store-less monitor stays silent: once per process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            LongitudinalMonitor(world, product, 65002, config)
+
+    def test_store_backed_monitor_does_not_warn(self, tmp_path):
+        from repro.core.monitor import _reset_deprecation_warnings
+
+        _reset_deprecation_warnings()
+        world, product, _box, config = build()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            LongitudinalMonitor(
+                world, product, 65002, config, store=str(tmp_path)
+            )
 
 
 class DescribeStoreBackedMonitoring:

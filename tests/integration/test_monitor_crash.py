@@ -1,0 +1,198 @@
+"""Monitor crash recovery: SIGKILL the monitor process mid-round under
+an active fault plan, restart it, and require the recovered timeline,
+transition set, and alert ledger to be byte-identical to an
+uninterrupted reference run (the service-level analogue of
+``test_crash_resume.py``'s study matrix, but with a real process and a
+real ``SIGKILL``).
+
+The CI ``monitor-soak`` job sets ``REPRO_FAULT_PLAN``; the cases below
+run against that plan when present, else a fixed default, so one suite
+serves both the plain and the chaos legs.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.exec.journal import JOURNAL_FILENAME, read_journal
+from repro.monitor import ALERTS_FILENAME, read_status
+from repro.store import ResultsStore
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+ROUNDS = 5
+TARGET = "McAfee SmartFilter:etisalat"
+
+
+def plan_spec() -> str:
+    return os.environ.get(
+        "REPRO_FAULT_PLAN", "seed=1913,dns_timeout=0.03,reset=0.02"
+    )
+
+
+def monitor_args(monitor_dir, store_dir, *extra):
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "monitor",
+        "run",
+        "--dir",
+        str(monitor_dir),
+        "--store",
+        str(store_dir),
+        "--rounds",
+        str(ROUNDS),
+        "--target",
+        TARGET,
+        "--fault-plan",
+        plan_spec(),
+        "--base-interval",
+        "10",
+        "--min-interval",
+        "2",
+        "--max-interval",
+        "40",
+        *extra,
+    ]
+
+
+def run_monitor(monitor_dir, store_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.run(
+        monitor_args(monitor_dir, store_dir, *extra),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def wait_for_mid_round(journal_path: Path, timeout: float = 60.0) -> bool:
+    """True once the journal's last record is a round-start of round>=1
+    (at least one full round already committed; another is in flight)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal_path.exists():
+            records, _report = read_journal(journal_path)
+            if (
+                records
+                and records[-1].kind == "round-start"
+                and records[-1].payload["round"] >= 1
+            ):
+                return True
+        time.sleep(0.02)
+    return False
+
+
+def output_fingerprint(monitor_dir: Path, store_dir: Path):
+    """Everything the acceptance contract compares."""
+    status = read_status(monitor_dir)
+    alerts_path = monitor_dir / ALERTS_FILENAME
+    return {
+        "epochs": ResultsStore(store_dir).epoch_ids(),
+        "timeline": status["timeline"],
+        "targets": status["targets"],
+        "alerts": alerts_path.read_bytes() if alerts_path.exists() else b"",
+    }
+
+
+class DescribeMonitorCrashRecovery:
+    def test_sigkill_mid_round_resumes_byte_identical(self, tmp_path):
+        # Uninterrupted reference.
+        reference = run_monitor(tmp_path / "ref", tmp_path / "ref-store")
+        assert reference.returncode in (0, 3), reference.stderr
+
+        # Victim: widen the mid-round window, then SIGKILL inside it.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        victim = subprocess.Popen(
+            monitor_args(
+                tmp_path / "mon", tmp_path / "store", "--round-delay", "0.5"
+            ),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            assert wait_for_mid_round(
+                tmp_path / "mon" / JOURNAL_FILENAME
+            ), "monitor never reached a second round"
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        assert victim.returncode == -signal.SIGKILL
+
+        # The killed run must have less output than the reference...
+        partial = read_status(tmp_path / "mon")
+        assert partial["state"] == "RUNNING"  # no final record
+
+        # ...and the resumed run must converge to byte-identity.
+        resumed = run_monitor(
+            tmp_path / "mon", tmp_path / "store", "--resume"
+        )
+        assert resumed.returncode in (0, 3), resumed.stderr
+        assert output_fingerprint(
+            tmp_path / "mon", tmp_path / "store"
+        ) == output_fingerprint(tmp_path / "ref", tmp_path / "ref-store")
+
+    def test_double_kill_still_converges(self, tmp_path):
+        """Two kills in a row (the second during a resumed run) must not
+        compound: recovery is idempotent."""
+        reference = run_monitor(tmp_path / "ref", tmp_path / "ref-store")
+        assert reference.returncode in (0, 3), reference.stderr
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        for attempt in range(2):
+            extra = ["--round-delay", "0.5"]
+            if attempt > 0:
+                extra.append("--resume")
+            victim = subprocess.Popen(
+                monitor_args(tmp_path / "mon", tmp_path / "store", *extra),
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            try:
+                if not wait_for_mid_round(
+                    tmp_path / "mon" / JOURNAL_FILENAME, timeout=30.0
+                ):
+                    # The run may simply have finished; stop killing.
+                    victim.wait(timeout=60)
+                    break
+                victim.send_signal(signal.SIGKILL)
+                victim.wait(timeout=30)
+            finally:
+                if victim.poll() is None:
+                    victim.kill()
+
+        final = run_monitor(tmp_path / "mon", tmp_path / "store", "--resume")
+        assert final.returncode in (0, 3), final.stderr
+        assert output_fingerprint(
+            tmp_path / "mon", tmp_path / "store"
+        ) == output_fingerprint(tmp_path / "ref", tmp_path / "ref-store")
+
+    def test_resume_refused_across_identities(self, tmp_path):
+        first = run_monitor(tmp_path / "mon", tmp_path / "store")
+        assert first.returncode in (0, 3), first.stderr
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        args = monitor_args(tmp_path / "mon", tmp_path / "store", "--resume")
+        args[3:3] = ["--seed", "99"]  # global flag, before the subcommand
+        mismatched = subprocess.run(
+            args,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert mismatched.returncode == 1
+        assert "resume refused" in mismatched.stderr

@@ -1,0 +1,52 @@
+"""Shared builders for monitor tests: a deterministic mini scenario
+factory the MonitorService can rebuild at will (the retry/resume
+contract), plus a canonical target config over it."""
+
+from __future__ import annotations
+
+from repro.core.confirm import ConfirmationConfig
+from repro.middlebox.deploy import deploy
+from repro.products.smartfilter import make_smartfilter
+from repro.world.content import ContentClass
+from repro.world.rng import derive_rng
+from repro.world.scenario import Scenario, ScenarioConfig
+
+from tests.conftest import make_content_oracle, make_mini_world
+
+PRODUCT = "McAfee SmartFilter"
+ISP = "testnet"
+CATEGORY = "Anonymizers"
+HOSTING_ASN = 65002
+TARGET_KEY = f"{PRODUCT}|{ISP}|{CATEGORY}"
+
+
+def mini_scenario(seed: int = 7) -> Scenario:
+    """A fresh one-product scenario; pure function of the seed."""
+    world = make_mini_world(seed)
+    product = make_smartfilter(
+        make_content_oracle(world), derive_rng(1, "mon-sf")
+    )
+    world.clock.on_tick(product.tick)
+    box = deploy(world, world.isps[ISP], product, [CATEGORY])
+    return Scenario(
+        world=world,
+        config=ScenarioConfig(),
+        products={PRODUCT: product},
+        deployments={f"{ISP}-sf": box},
+        hosting_asns=[HOSTING_ASN],
+        population=[],
+    )
+
+
+def mini_config(**overrides) -> ConfirmationConfig:
+    kwargs = dict(
+        product_name=PRODUCT,
+        isp_name=ISP,
+        content_class=ContentClass.PROXY_ANONYMIZER,
+        category_label=CATEGORY,
+        requested_category=CATEGORY,
+        total_domains=6,
+        submit_count=3,
+    )
+    kwargs.update(overrides)
+    return ConfirmationConfig(**kwargs)

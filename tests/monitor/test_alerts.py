@@ -1,0 +1,182 @@
+"""Alert engine and ledger tests: hysteresis, flap damping, durable
+dedup, and torn-tail recovery."""
+
+from __future__ import annotations
+
+from repro.monitor.alerts import (
+    ALERTS_FILENAME,
+    Alert,
+    AlertConfig,
+    AlertEngine,
+    AlertKind,
+    AlertLedger,
+    read_alerts,
+)
+
+import pytest
+
+CONFIG = AlertConfig(hysteresis_rounds=2, flap_window=6, flap_threshold=3)
+
+
+def feed(engine, states, product="p", isp="i"):
+    """Observe a boolean sequence; return every alert fired."""
+    fired = []
+    for index, confirmed in enumerate(states):
+        fired.extend(
+            engine.observe(
+                product,
+                isp,
+                confirmed=confirmed,
+                round_index=index,
+                at_minutes=index * 100,
+            )
+        )
+    return fired
+
+
+class DescribeHysteresis:
+    def test_baseline_commit_fires_no_alert(self):
+        assert feed(AlertEngine(CONFIG), [True, True]) == []
+
+    def test_single_flip_does_not_alert(self):
+        # One not-confirmed round among confirmed ones never commits.
+        fired = feed(AlertEngine(CONFIG), [True, True, False, True, True])
+        assert fired == []
+
+    def test_withdrawal_fires_after_hold(self):
+        fired = feed(AlertEngine(CONFIG), [True, True, False, False])
+        assert [a.kind for a in fired] == [AlertKind.WITHDRAWN]
+        assert fired[0].round_index == 3
+
+    def test_appearance_fires_after_hold(self):
+        fired = feed(AlertEngine(CONFIG), [False, False, True, True])
+        assert [a.kind for a in fired] == [AlertKind.APPEARED]
+
+    def test_stability_after_commit_stays_silent(self):
+        fired = feed(
+            AlertEngine(CONFIG), [True, True, False, False, False, False]
+        )
+        assert len(fired) == 1  # the WITHDRAWN only, not one per round
+
+    def test_round_trip_transition_alerts_twice(self):
+        fired = feed(
+            AlertEngine(CONFIG),
+            [True, True, False, False, True, True],
+        )
+        assert [a.kind for a in fired] == [
+            AlertKind.WITHDRAWN,
+            AlertKind.APPEARED,
+        ]
+
+    def test_pairs_are_independent(self):
+        engine = AlertEngine(CONFIG)
+        feed(engine, [True, True], product="p1")
+        fired = feed(engine, [False, False, True, True], product="p2")
+        assert [a.kind for a in fired] == [AlertKind.APPEARED]
+        assert fired[0].product == "p2"
+
+
+class DescribeFlapDamping:
+    def test_flapping_pair_emits_exactly_one_alert(self):
+        # Alternating states never satisfy hysteresis, flip constantly.
+        fired = feed(
+            AlertEngine(CONFIG), [True, False, True, False, True, False]
+        )
+        assert [a.kind for a in fired] == [AlertKind.FLAPPING]
+
+    def test_latch_clears_after_stable_window_then_real_transition(self):
+        engine = AlertEngine(CONFIG)
+        fired = feed(engine, [True, False, True, False])  # latches
+        assert [a.kind for a in fired] == [AlertKind.FLAPPING]
+        # Holding a state for the hysteresis window clears the latch and
+        # commits the state (baseline was never committed here).
+        fired = feed(engine, [False, False])
+        assert fired == []
+        # A fresh oscillation may latch again — one alert per episode.
+        fired = feed(engine, [True, False, True, False, True])
+        assert [a.kind for a in fired] == [AlertKind.FLAPPING]
+
+    def test_flap_detail_names_the_window(self):
+        fired = feed(AlertEngine(CONFIG), [True, False, True, False])
+        assert "state changes" in fired[0].detail
+
+
+class DescribeDurability:
+    def test_capture_restore_round_trip(self):
+        engine = AlertEngine(CONFIG)
+        feed(engine, [True, True, False])
+        restored = AlertEngine(CONFIG)
+        restored.restore_state(engine.capture_state())
+        assert restored.pair_states() == engine.pair_states()
+        # Same continuation behavior: next False commits the withdrawal.
+        for candidate in (restored, engine):
+            fired = candidate.observe(
+                "p", "i", confirmed=False, round_index=3, at_minutes=300
+            )
+            assert [a.kind for a in fired] == [AlertKind.WITHDRAWN]
+        assert restored.pair_states() == engine.pair_states()
+
+
+def make_alert(round_index=0, kind=AlertKind.APPEARED):
+    return Alert(
+        kind=kind,
+        product="p",
+        isp="i",
+        round_index=round_index,
+        at_minutes=round_index * 100,
+        detail="held",
+    )
+
+
+class DescribeLedger:
+    def test_records_and_reads_back(self, tmp_path):
+        path = tmp_path / ALERTS_FILENAME
+        with AlertLedger(path) as ledger:
+            assert ledger.record(make_alert(0)) is True
+            assert ledger.record(make_alert(1)) is True
+        documents = read_alerts(path)
+        assert [doc["round"] for doc in documents] == [0, 1]
+        assert documents[0]["id"] == make_alert(0).alert_id
+
+    def test_duplicate_ids_are_idempotent(self, tmp_path):
+        path = tmp_path / ALERTS_FILENAME
+        with AlertLedger(path) as ledger:
+            ledger.record(make_alert(0))
+        before = path.read_bytes()
+        # A resumed monitor re-fires the same deterministic alert.
+        with AlertLedger(path) as ledger:
+            assert ledger.record(make_alert(0)) is False
+            assert len(ledger) == 1
+        assert path.read_bytes() == before
+
+    def test_torn_tail_truncated_on_resume(self, tmp_path):
+        path = tmp_path / ALERTS_FILENAME
+        with AlertLedger(path) as ledger:
+            ledger.record(make_alert(0))
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"crc": 1, "rec"')  # torn append
+        with AlertLedger(path) as ledger:
+            assert len(ledger) == 1
+            assert not ledger.recovery.clean
+            # Re-recording the alert that tore is a fresh append.
+            assert ledger.record(make_alert(1)) is True
+        assert path.read_bytes().startswith(intact)
+        assert len(read_alerts(path)) == 2
+
+    def test_alert_id_is_deterministic(self):
+        assert make_alert(3).alert_id == make_alert(3).alert_id
+        assert make_alert(3).alert_id != make_alert(4).alert_id
+        assert (
+            make_alert(3, AlertKind.FLAPPING).alert_id
+            != make_alert(3).alert_id
+        )
+
+
+class DescribeValidation:
+    def test_config_bounds(self):
+        with pytest.raises(ValueError):
+            AlertConfig(hysteresis_rounds=0)
+        with pytest.raises(ValueError):
+            AlertConfig(flap_window=1)
+        with pytest.raises(ValueError):
+            AlertConfig(flap_threshold=1)

@@ -1,0 +1,204 @@
+"""Scheduler policy tests: priority order, interval dynamics,
+quarantine accounting, and snapshot round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.schedule import (
+    PriorityScheduler,
+    ScheduleConfig,
+    ScheduledTarget,
+)
+from repro.world.clock import MINUTES_PER_DAY
+
+CONFIG = ScheduleConfig(
+    base_interval_days=10.0,
+    min_interval_days=2.0,
+    max_interval_days=40.0,
+    shorten_factor=0.5,
+    decay_factor=2.0,
+    retry_interval_days=1.0,
+    quarantine_after=2,
+)
+
+
+def build(*keys, first_due=0):
+    scheduler = PriorityScheduler(CONFIG)
+    for index, key in enumerate(keys):
+        scheduler.add(
+            key,
+            product=f"product-{key}",
+            isp=f"isp-{key}",
+            category="cat",
+            first_due_minutes=first_due + index,
+        )
+    return scheduler
+
+
+class DescribeOrdering:
+    def test_pops_in_due_order(self):
+        scheduler = build("b", "a")  # b due first (added earlier)
+        assert scheduler.pop().key == "b"
+        assert scheduler.pop().key == "a"
+        assert scheduler.pop() is None
+
+    def test_ties_break_by_key(self):
+        scheduler = PriorityScheduler(CONFIG)
+        for key in ("zeta", "alpha"):
+            scheduler.add(
+                key, product="p", isp="i", category="c", first_due_minutes=100
+            )
+        assert scheduler.pop().key == "alpha"
+        assert scheduler.pop().key == "zeta"
+
+    def test_peek_does_not_claim(self):
+        scheduler = build("a")
+        assert scheduler.peek().key == "a"
+        assert scheduler.pop().key == "a"
+
+    def test_duplicate_add_refused(self):
+        scheduler = build("a")
+        with pytest.raises(ValueError):
+            scheduler.add(
+                "a", product="p", isp="i", category="c", first_due_minutes=0
+            )
+
+
+class DescribeIntervalDynamics:
+    def test_first_round_is_baseline_not_transition(self):
+        scheduler = build("a")
+        scheduler.pop()
+        assert (
+            scheduler.record_success("a", confirmed=True, now_minutes=0)
+            is False
+        )
+        # Stability decays 10 -> 20 days.
+        assert scheduler.get("a").interval_days == 20.0
+
+    def test_transition_shortens_interval(self):
+        scheduler = build("a")
+        scheduler.pop()
+        scheduler.record_success("a", confirmed=True, now_minutes=0)
+        scheduler.pop()
+        transitioned = scheduler.record_success(
+            "a", confirmed=False, now_minutes=0
+        )
+        assert transitioned is True
+        # 20 days halved to 10, and the pair is due sooner.
+        target = scheduler.get("a")
+        assert target.interval_days == 10.0
+        assert target.transitions == 1
+        assert target.next_due_minutes == 10 * MINUTES_PER_DAY
+
+    def test_shorten_floors_at_min(self):
+        scheduler = build("a")
+        confirmed = True
+        for _ in range(8):  # alternate: every round transitions
+            scheduler.pop()
+            confirmed = not confirmed
+            scheduler.record_success("a", confirmed=confirmed, now_minutes=0)
+        assert scheduler.get("a").interval_days == CONFIG.min_interval_days
+
+    def test_decay_caps_at_max(self):
+        scheduler = build("a")
+        for _ in range(6):
+            scheduler.pop()
+            scheduler.record_success("a", confirmed=True, now_minutes=0)
+        assert scheduler.get("a").interval_days == CONFIG.max_interval_days
+
+
+class DescribeFailureAccounting:
+    def test_failure_requeues_at_retry_interval(self):
+        scheduler = build("a")
+        scheduler.pop()
+        dead = scheduler.record_failure(
+            "a", now_minutes=500, error="DnsTimeout()"
+        )
+        assert dead is None
+        target = scheduler.get("a")
+        assert target.gap_rounds == 1
+        assert target.next_due_minutes == 500 + MINUTES_PER_DAY
+
+    def test_quarantine_after_consecutive_failures(self):
+        scheduler = build("a")
+        scheduler.pop()
+        assert scheduler.record_failure("a", now_minutes=0, error="x") is None
+        scheduler.pop()
+        dead = scheduler.record_failure("a", now_minutes=0, error="x")
+        assert dead is not None
+        assert dead.consecutive_failures == 2
+        assert "quarantined" in str(dead)
+        assert scheduler.get("a").quarantined
+        assert scheduler.active() == 0
+        assert scheduler.pop() is None
+
+    def test_success_resets_failure_streak(self):
+        scheduler = build("a")
+        scheduler.pop()
+        scheduler.record_failure("a", now_minutes=0, error="x")
+        scheduler.pop()
+        scheduler.record_success("a", confirmed=True, now_minutes=0)
+        assert scheduler.get("a").consecutive_failures == 0
+        # A later failure starts the streak over.
+        scheduler.pop()
+        assert scheduler.record_failure("a", now_minutes=0, error="x") is None
+
+    def test_quarantined_target_skipped_but_others_run(self):
+        scheduler = build("a", "b")
+        # Drive 'a' to quarantine; 'b' keeps cycling cleanly throughout.
+        while not scheduler.get("a").quarantined:
+            target = scheduler.pop()
+            if target.key == "a":
+                scheduler.record_failure("a", now_minutes=0, error="x")
+            else:
+                scheduler.record_success("b", confirmed=True, now_minutes=0)
+        assert scheduler.active() == 1
+        assert scheduler.pop().key == "b"
+
+
+class DescribeDurability:
+    def test_capture_restore_round_trip(self):
+        scheduler = build("a", "b")
+        scheduler.pop()
+        scheduler.record_success("a", confirmed=True, now_minutes=10)
+        scheduler.pop()
+        scheduler.record_failure("b", now_minutes=10, error="x")
+        state = scheduler.capture_state()
+
+        restored = PriorityScheduler(CONFIG)
+        restored.restore_state(state)
+        assert [t.as_document() for t in restored.targets()] == [
+            t.as_document() for t in scheduler.targets()
+        ]
+        assert restored.pop().key == scheduler.pop().key
+
+    def test_restore_excludes_quarantined_from_heap(self):
+        scheduler = build("a")
+        scheduler.pop()
+        scheduler.record_failure("a", now_minutes=0, error="x")
+        scheduler.pop()
+        scheduler.record_failure("a", now_minutes=0, error="x")
+        restored = PriorityScheduler(CONFIG)
+        restored.restore_state(scheduler.capture_state())
+        assert restored.pop() is None
+        assert restored.get("a").quarantined
+
+    def test_document_round_trips_through_constructor(self):
+        scheduler = build("a")
+        document = scheduler.get("a").as_document()
+        assert ScheduledTarget(**document).as_document() == document
+
+
+class DescribeValidation:
+    def test_interval_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ScheduleConfig(min_interval_days=50.0, base_interval_days=30.0)
+
+    def test_bad_factors_refused(self):
+        with pytest.raises(ValueError):
+            ScheduleConfig(shorten_factor=0.0)
+        with pytest.raises(ValueError):
+            ScheduleConfig(decay_factor=0.5)
+        with pytest.raises(ValueError):
+            ScheduleConfig(quarantine_after=0)

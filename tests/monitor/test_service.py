@@ -1,0 +1,337 @@
+"""MonitorService tests: the supervised loop end-to-end on the mini
+scenario — journaled rounds, flap damping, the never-manufacture gap
+invariant, degraded-mode buffering, and the in-process kill matrix
+(byte-identical resume at every journal position)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.checkpoint import CheckpointError
+from repro.exec.journal import JOURNAL_FILENAME, JournalError, read_journal
+from repro.monitor import (
+    ALERTS_FILENAME,
+    AlertConfig,
+    MonitorConfig,
+    MonitorService,
+    MonitorTarget,
+    ScheduleConfig,
+    SupervisorConfig,
+    read_alerts,
+    read_status,
+)
+from repro.store import ResultsStore, StoreError
+from repro.world.faults import FaultPlan
+
+from tests.monitor.conftest import (
+    HOSTING_ASN,
+    ISP,
+    TARGET_KEY,
+    mini_config,
+    mini_scenario,
+)
+
+SCHEDULE = ScheduleConfig(
+    base_interval_days=10.0,
+    min_interval_days=2.0,
+    max_interval_days=40.0,
+    retry_interval_days=1.0,
+    quarantine_after=2,
+)
+ALERTS = AlertConfig(hysteresis_rounds=2, flap_window=6, flap_threshold=3)
+
+
+def make_service(
+    tmp_path,
+    *,
+    subdir="mon",
+    fault_plan=None,
+    before_round=None,
+    after_write=None,
+    max_retries=1,
+    seed=7,
+):
+    return MonitorService(
+        tmp_path / subdir,
+        tmp_path / "store",
+        scenario_factory=lambda: mini_scenario(seed),
+        targets=[MonitorTarget(mini_config())],
+        config=MonitorConfig(
+            schedule=SCHEDULE,
+            supervisor=SupervisorConfig(max_retries=max_retries),
+            alerts=ALERTS,
+        ),
+        fault_plan=fault_plan,
+        hosting_asn=HOSTING_ASN,
+        before_round=before_round,
+        after_write=after_write,
+    )
+
+
+def toggle_censorship(service, round_index, key):
+    """Flip the deployment on/off per round (drives transitions)."""
+    service.scenario.deployments[f"{ISP}-sf"].enabled = round_index % 2 == 0
+
+
+class DescribeBasicOperation:
+    def test_rounds_commit_epochs_and_journal(self, tmp_path):
+        service = make_service(tmp_path)
+        summary = service.run(rounds=3)
+        assert summary.committed == 3 and summary.gaps == 0
+        assert not summary.degraded
+        assert len(ResultsStore(tmp_path / "store").epoch_ids()) == 3
+        records, report = read_journal(tmp_path / "mon" / JOURNAL_FILENAME)
+        assert report.clean
+        kinds = [record.kind for record in records]
+        assert kinds[0] == "begin" and kinds[-1] == "final"
+        assert kinds.count("round-commit") == 3
+        assert kinds.count("snapshot") == 3
+
+    def test_status_fold_matches_run(self, tmp_path):
+        service = make_service(tmp_path)
+        service.run(rounds=3)
+        status = read_status(tmp_path / "mon")
+        assert status["state"] == "FINISHED"
+        assert status["rounds"] == 3 and status["gaps"] == 0
+        assert [e["state"] for e in status["timeline"]] == ["confirmed"] * 3
+        target = status["targets"][TARGET_KEY]
+        assert target["rounds_run"] == 3
+        # Stability decayed the 10-day base: 10 * 1.5^3 days.
+        assert target["interval_days"] == 33.75
+
+    def test_round_epochs_carry_longitudinal_identity(self, tmp_path):
+        service = make_service(tmp_path)
+        service.run(rounds=2)
+        store = ResultsStore(tmp_path / "store")
+        assert store.lookup("isp", ISP) == store.epoch_ids()
+
+    def test_transitions_shorten_the_interval(self, tmp_path):
+        service = make_service(tmp_path, before_round=toggle_censorship)
+        service.run(rounds=3)
+        target = read_status(tmp_path / "mon")["targets"][TARGET_KEY]
+        # Round 1 is a stable baseline (10 -> 15 days); rounds 2 and 3
+        # each flip the state and halve the interval: 7.5 -> 3.75 days.
+        assert target["interval_days"] == 3.75
+        assert target["transitions"] == 2
+
+    def test_fresh_run_refuses_existing_journal(self, tmp_path):
+        make_service(tmp_path).run(rounds=1)
+        with pytest.raises(JournalError):
+            make_service(tmp_path).run(rounds=2)
+
+    def test_resume_refuses_identity_mismatch(self, tmp_path):
+        make_service(tmp_path).run(rounds=1)
+        with pytest.raises(CheckpointError):
+            make_service(tmp_path, seed=8).run(rounds=2, resume=True)
+
+    def test_needs_targets_and_rounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            MonitorService(
+                tmp_path / "m",
+                tmp_path / "s",
+                scenario_factory=mini_scenario,
+                targets=[],
+            )
+        with pytest.raises(ValueError):
+            make_service(tmp_path).run(rounds=0)
+
+
+class DescribeFlapDamping:
+    def test_flapping_pair_emits_exactly_one_alert(self, tmp_path):
+        service = make_service(tmp_path, before_round=toggle_censorship)
+        summary = service.run(rounds=6)
+        assert summary.committed == 6
+        alerts = read_alerts(tmp_path / "mon" / ALERTS_FILENAME)
+        assert [a["kind"] for a in alerts] == ["flapping"]
+        assert read_status(tmp_path / "mon")["alerts"]["by_kind"] == {
+            "flapping": 1
+        }
+
+
+class DescribeNeverManufacture:
+    def test_total_faults_yield_gaps_only(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            fault_plan=FaultPlan.parse("seed=3,dns_timeout=1.0"),
+        )
+        summary = service.run(rounds=6)
+        # quarantine_after=2 stops the single target after two gaps.
+        assert summary.committed == 0 and summary.gaps == 2
+        assert summary.quarantined == [TARGET_KEY]
+        assert ResultsStore(tmp_path / "store").epoch_ids() == []
+        assert read_alerts(tmp_path / "mon" / ALERTS_FILENAME) == []
+        status = read_status(tmp_path / "mon")
+        assert all(e["state"] == "gap" for e in status["timeline"])
+        assert status["quarantined"] == [TARGET_KEY]
+        records, _ = read_journal(tmp_path / "mon" / JOURNAL_FILENAME)
+        assert [r.kind for r in records].count("quarantine") == 1
+        # The gap records carry the failure classification, not a verdict.
+        gap = next(r for r in records if r.kind == "round-gap")
+        assert gap.payload["transient"] is True
+        assert "state" not in gap.payload
+
+    def test_transient_chaos_retries_match_clean_run(self, tmp_path):
+        """A plan whose faults the retry budget absorbs changes nothing:
+        same epochs, same timeline as the fault-free run."""
+        clean = make_service(tmp_path, subdir="clean")
+        clean.run(rounds=3)
+        chaotic = make_service(
+            tmp_path,
+            subdir="chaotic",
+            fault_plan=FaultPlan.parse("seed=3,dns_timeout=0.01"),
+            max_retries=3,
+        )
+        chaotic.run(rounds=3)
+        # Both committed into the same store: identical results dedup to
+        # identical epoch ids (content-addressed), so a fabricated or
+        # perturbed result would show up as extra epochs.
+        clean_status = read_status(tmp_path / "clean")
+        chaos_status = read_status(tmp_path / "chaotic")
+        committed = [
+            e["state"] for e in chaos_status["timeline"] if e["state"] != "gap"
+        ]
+        assert set(committed) <= {"confirmed", "not_confirmed"}
+        assert [e["state"] for e in clean_status["timeline"]] == [
+            "confirmed"
+        ] * 3
+
+
+class FlakyStore:
+    """Store wrapper whose commits fail until told otherwise."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.failing = True
+        self.attempts = 0
+
+    def commit(self, epoch):
+        self.attempts += 1
+        if self.failing:
+            raise StoreError("simulated unwritable store")
+        return self.inner.commit(epoch)
+
+
+class DescribeDegradedMode:
+    def test_rounds_buffer_while_store_down_then_flush(self, tmp_path):
+        service = make_service(tmp_path)
+        flaky = FlakyStore(service.store)
+        service.store = flaky
+        summary = service.run(rounds=3)
+        assert summary.committed == 3  # rounds ran; epochs buffered
+        assert summary.buffered == 3 and summary.degraded
+        assert ResultsStore(tmp_path / "store").epoch_ids() == []
+        status = read_status(tmp_path / "mon")
+        assert status["state"] == "DEGRADED"
+        assert status["buffered"] == 3
+        assert all(e["epoch"] is None for e in status["timeline"])
+
+        # The store recovers; a resumed service flushes the backlog.
+        resumed = make_service(tmp_path)
+        resumed_summary = resumed.run(rounds=3, resume=True)
+        assert resumed_summary.buffered == 0
+        assert len(ResultsStore(tmp_path / "store").epoch_ids()) == 3
+        recovered = read_status(tmp_path / "mon")
+        assert recovered["state"] == "FINISHED"
+        assert recovered["buffered"] == 0
+        assert len(recovered["flushed_epochs"]) == 3
+
+    def test_flush_preserves_commit_order(self, tmp_path):
+        direct = make_service(tmp_path, subdir="direct")
+        direct.run(rounds=3)
+        direct_epochs = ResultsStore(tmp_path / "store").epoch_ids()
+
+        buffered = make_service(tmp_path, subdir="buffered")
+        buffered.store = FlakyStore(
+            ResultsStore(tmp_path / "store2")
+        )
+        buffered.run(rounds=2)
+        resumed = MonitorService(
+            tmp_path / "buffered",
+            tmp_path / "store2",
+            scenario_factory=lambda: mini_scenario(7),
+            targets=[MonitorTarget(mini_config())],
+            config=MonitorConfig(
+                schedule=SCHEDULE,
+                supervisor=SupervisorConfig(max_retries=1),
+                alerts=ALERTS,
+            ),
+            hosting_asn=HOSTING_ASN,
+        )
+        resumed.run(rounds=3, resume=True)
+        assert (
+            ResultsStore(tmp_path / "store2").epoch_ids() == direct_epochs
+        )
+
+
+class SimulatedKill(BaseException):
+    """Escapes normal handling, as destructive as SIGKILL in-process."""
+
+
+def kill_after(n):
+    count = [0]
+
+    def hook(_record):
+        count[0] += 1
+        if count[0] > n:
+            raise SimulatedKill(f"killed after record {n}")
+
+    return hook
+
+
+class DescribeKillMatrix:
+    def test_resume_is_byte_identical_at_every_journal_position(
+        self, tmp_path
+    ):
+        plan = "seed=3,dns_timeout=0.05,reset=0.03"
+        reference = make_service(
+            tmp_path,
+            subdir="reference",
+            fault_plan=FaultPlan.parse(plan),
+            before_round=toggle_censorship,
+            max_retries=2,
+        )
+        reference.run(rounds=5)
+        ref_epochs = ResultsStore(tmp_path / "store").epoch_ids()
+        ref_status = read_status(tmp_path / "reference")
+        ref_alerts = (tmp_path / "reference" / ALERTS_FILENAME).read_bytes()
+        total_records = read_journal(
+            tmp_path / "reference" / JOURNAL_FILENAME
+        )[0]
+
+        for kill_at in range(1, len(total_records), 3):
+            subdir = f"killed-{kill_at}"
+            victim = make_service(
+                tmp_path,
+                subdir=subdir,
+                fault_plan=FaultPlan.parse(plan),
+                before_round=toggle_censorship,
+                max_retries=2,
+                after_write=kill_after(kill_at),
+            )
+            victim.store = ResultsStore(tmp_path / f"store-{kill_at}")
+            killed = False
+            try:
+                victim.run(rounds=5)
+            except SimulatedKill:
+                killed = True
+            if not killed:
+                continue  # hook position past the run's record count
+            survivor = make_service(
+                tmp_path,
+                subdir=subdir,
+                fault_plan=FaultPlan.parse(plan),
+                before_round=toggle_censorship,
+                max_retries=2,
+            )
+            survivor.store = ResultsStore(tmp_path / f"store-{kill_at}")
+            survivor.run(rounds=5, resume=True)
+            assert (
+                ResultsStore(tmp_path / f"store-{kill_at}").epoch_ids()
+                == ref_epochs
+            ), f"store diverged after kill at record {kill_at}"
+            status = read_status(tmp_path / subdir)
+            assert status["timeline"] == ref_status["timeline"]
+            assert status["targets"] == ref_status["targets"]
+            assert (
+                tmp_path / subdir / ALERTS_FILENAME
+            ).read_bytes() == ref_alerts

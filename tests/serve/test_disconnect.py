@@ -1,0 +1,92 @@
+"""Regression tests for client-side socket failures: a client that
+hangs up mid-response (broken pipe / connection reset) must be counted
+in metrics, never dumped to stderr as a ThreadingHTTPServer traceback."""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.serve import ResultsServer
+
+
+@pytest.fixture()
+def server(two_epoch_store):
+    store, _first, _second = two_epoch_store
+    with ResultsServer(store) as running:
+        yield running
+
+
+def _rst_close(sock):
+    """Close with SO_LINGER=0: the kernel sends RST, not FIN — the
+    server's next write/read fails with ECONNRESET/EPIPE."""
+    sock.setsockopt(
+        socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+    )
+    sock.close()
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class DescribeEarlyClosingClient:
+    def test_reset_mid_response_is_counted_not_dumped(self, server, capfd):
+        # Ask for a large response, then slam the connection shut before
+        # reading it; repeat to reliably catch the server mid-write.
+        for _ in range(5):
+            sock = socket.create_connection((server.host, server.port))
+            sock.sendall(
+                b"GET /epochs/%20/records/confirmations?per_page=500 "
+                b"HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            _rst_close(sock)
+        # Server threads notice the dead peer asynchronously.
+        assert _wait_for(
+            lambda: server.metrics.count("serve.requests") >= 1
+        )
+        time.sleep(0.2)
+        _out, err = capfd.readouterr()
+        assert "Traceback" not in err
+        assert "Broken" not in err and "Connection" not in err
+
+    def test_disconnects_are_counted(self, server):
+        counted = 0
+        for _ in range(20):
+            sock = socket.create_connection((server.host, server.port))
+            sock.sendall(
+                b"GET /epochs/%20/records/confirmations?per_page=500 "
+                b"HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            _rst_close(sock)
+            if _wait_for(
+                lambda: server.metrics.count("serve.client_disconnects") > 0,
+                timeout=0.5,
+            ):
+                counted = server.metrics.count("serve.client_disconnects")
+                break
+        # Racing a threaded server is inherently timing-dependent; the
+        # hard guarantee (no traceback) is asserted above. Here we only
+        # require that when the race is won, the disconnect is counted.
+        if counted == 0:
+            pytest.skip("never caught the server mid-write on this machine")
+        assert counted >= 1
+
+    def test_healthy_clients_unaffected(self, server):
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=5
+        )
+        connection.request("GET", "/healthz")
+        response = connection.getresponse()
+        assert response.status == 200
+        response.read()
+        connection.close()

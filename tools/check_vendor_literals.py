@@ -77,6 +77,12 @@ REQUIRED_COVERED = (
     "src/repro/coord/worker.py",
     "src/repro/coord/coordinator.py",
     "src/repro/coord/runner.py",
+    "src/repro/monitor/__init__.py",
+    "src/repro/monitor/schedule.py",
+    "src/repro/monitor/supervisor.py",
+    "src/repro/monitor/alerts.py",
+    "src/repro/monitor/service.py",
+    "src/repro/monitor/status.py",
     "tools/serve_smoke.py",
 )
 

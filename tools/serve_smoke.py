@@ -7,10 +7,11 @@ asserting the full status-code contract:
 
 * 200 on every well-formed read (listing, manifest, records — including
   a ``min_confidence`` filter — tables, drill-downs, diff, healthz,
-  metrics),
+  metrics, and the ``/monitor/*`` operator surface),
 * 304 on revalidation with the ETag each 200 returned,
 * 400 on malformed filter parameters (``min_confidence``),
-* 404 on unknown paths, epochs, record kinds, and table names.
+* 404 on unknown paths, epochs, record kinds, table names, and unknown
+  ``/monitor/*`` endpoints.
 
 Usage::
 
@@ -44,6 +45,25 @@ def build_store(root: Path):
     return ResultsStore(root)
 
 
+def build_monitor(root: Path) -> Path:
+    """A short real monitor run so /monitor/* has state to serve."""
+    from repro.cli import PAPER_TABLE3, config_for_row
+    from repro.monitor import MonitorService, MonitorTarget
+    from repro.products.registry import SMARTFILTER
+    from repro.world.scenario import build_scenario
+
+    row = next(r for r in PAPER_TABLE3 if r.product == SMARTFILTER)
+    monitor_dir = root / "monitor"
+    service = MonitorService(
+        monitor_dir,
+        root / "monitor-store",
+        scenario_factory=build_scenario,
+        targets=[MonitorTarget(config_for_row(row))],
+    )
+    service.run(rounds=2)
+    return monitor_dir
+
+
 def fetch(
     host: str, port: int, target: str, etag: Optional[str] = None
 ) -> Tuple[int, bytes, Optional[str]]:
@@ -57,7 +77,7 @@ def fetch(
         connection.close()
 
 
-def run_checks(store) -> List[str]:
+def run_checks(store, monitor_dir: Optional[Path] = None) -> List[str]:
     from repro.serve import ResultsServer
 
     failures: List[str] = []
@@ -95,8 +115,15 @@ def run_checks(store) -> List[str]:
         f"/epochs/{newest}/tables/table9",
         f"/epochs/{newest}/countries/zz",
     ]
+    if monitor_dir is not None:
+        ok_targets += [
+            "/monitor/status",
+            "/monitor/targets",
+            "/monitor/alerts",
+        ]
+        missing_targets += ["/monitor", "/monitor/nope"]
 
-    with ResultsServer(store) as server:
+    with ResultsServer(store, monitor_dir=monitor_dir) as server:
         for target in ok_targets:
             status, body, etag = fetch(server.host, server.port, target)
             if status != 200:
@@ -133,6 +160,23 @@ def run_checks(store) -> List[str]:
     return failures
 
 
+def check_disabled_monitor_surface(store) -> List[str]:
+    """Without ``--monitor`` the surface must 404 cleanly, not crash."""
+    from repro.serve import ResultsServer
+
+    failures: List[str] = []
+    with ResultsServer(store) as server:
+        for target in ("/monitor/status", "/monitor/targets"):
+            status, _body, _etag = fetch(server.host, server.port, target)
+            if status != 404:
+                failures.append(
+                    f"{target} (monitor disabled): expected 404, got {status}"
+                )
+            else:
+                print(f"  404 {target} (monitor disabled)")
+    return failures
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -144,6 +188,7 @@ def main(argv: List[str]) -> int:
     from repro.store import ResultsStore
 
     temp_root: Optional[Path] = None
+    monitor_root: Optional[Path] = None
     try:
         if args.store:
             store = ResultsStore(Path(args.store))
@@ -154,10 +199,16 @@ def main(argv: List[str]) -> int:
         if len(store.epoch_ids()) < 2:
             print("smoke needs a store with at least two epochs", file=sys.stderr)
             return 1
-        failures = run_checks(store)
+        monitor_root = Path(tempfile.mkdtemp(prefix="serve-smoke-monitor-"))
+        print("building a two-round monitor journal...")
+        monitor_dir = build_monitor(monitor_root)
+        failures = run_checks(store, monitor_dir)
+        failures += check_disabled_monitor_surface(store)
     finally:
         if temp_root is not None:
             shutil.rmtree(temp_root, ignore_errors=True)
+        if monitor_root is not None:
+            shutil.rmtree(monitor_root, ignore_errors=True)
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)
