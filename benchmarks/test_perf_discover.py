@@ -1,0 +1,139 @@
+"""Perf bench — the search-based discovery workload.
+
+Three numbers, written to ``benchmarks/BENCH_discover.json``:
+
+1. **Index build time**: constructing the simulated search engine's
+   inverted index over every woven page in the default world. One-time
+   cost paid before the first query; must stay well under the crawl it
+   serves.
+2. **Crawl throughput (rounds/sec)**: a full discovery run on the
+   default scenario — probe batches through the verdict engine, link
+   and keyword extraction, ranked queries — divided by the number of
+   rounds it took to converge. The crawl loop must never be the
+   bottleneck next to the measurements it orchestrates.
+3. **Coverage gain**: discovered blocked URLs over the static-list
+   baseline. The whole point of the workload — anything under the 2x
+   acceptance floor means discovery is not earning its keep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from repro import build_scenario
+from repro.discover import (
+    CoverageReport,
+    DiscoveryEngine,
+    SearchIndex,
+    static_baseline,
+)
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_discover.json")
+
+#: Median-of-N keeps a single noisy run from deciding the verdict.
+REPEATS = 3
+VANTAGE = "etisalat"
+
+#: Index construction must stay a small fraction of a crawl.
+INDEX_BUDGET_SECONDS = 5.0
+#: The round loop's floor — well below this and the orchestration
+#: overhead, not the probing, dominates the crawl.
+ROUNDS_PER_SECOND_FLOOR = 2.0
+#: The acceptance gate: discovery must at least double the static lists.
+GAIN_FLOOR = 2.0
+
+
+def _timed_index_build():
+    world = build_scenario().world
+    started = time.perf_counter()
+    index = SearchIndex.build(world)
+    elapsed = time.perf_counter() - started
+    return elapsed, index.page_count
+
+
+def _timed_crawl():
+    scenario = build_scenario()
+    world = scenario.world
+    baseline = static_baseline(world, VANTAGE)
+    engine = DiscoveryEngine(world, VANTAGE)
+    started = time.perf_counter()
+    result = engine.run(baseline[:5])
+    elapsed = time.perf_counter() - started
+    assert result.converged, "default scenario must converge"
+    report = CoverageReport.evaluate(result, baseline)
+    return elapsed, result, report
+
+
+def test_discover_throughput_and_coverage(benchmark):
+    index_runs = [_timed_index_build() for _ in range(REPEATS)]
+    index_seconds = statistics.median(seconds for seconds, _ in index_runs)
+    page_count = index_runs[0][1]
+
+    crawls = benchmark.pedantic(
+        lambda: [_timed_crawl() for _ in range(REPEATS)],
+        rounds=1,
+        iterations=1,
+    )
+    crawl_seconds = statistics.median(seconds for seconds, _, _ in crawls)
+    _, result, report = crawls[0]
+    rounds_per_second = len(result.rounds) / crawl_seconds
+
+    payload = {
+        "bench": "discover-workload",
+        "repeats": REPEATS,
+        "index_pages": page_count,
+        "index_build_seconds": round(index_seconds, 3),
+        "index_budget_seconds": INDEX_BUDGET_SECONDS,
+        "crawl_seconds": round(crawl_seconds, 3),
+        "rounds": len(result.rounds),
+        "rounds_per_second": round(rounds_per_second, 2),
+        "rounds_per_second_floor": ROUNDS_PER_SECOND_FLOOR,
+        "probes": len(result.candidates),
+        "static_blocked": report.static_blocked,
+        "discovered_blocked": report.discovered_blocked,
+        "coverage_gain": round(report.gain_ratio, 2),
+        "gain_floor": GAIN_FLOOR,
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\nindex: {index_seconds:.2f}s ({page_count} pages)   "
+        f"crawl: {crawl_seconds:.2f}s over {len(result.rounds)} rounds "
+        f"({rounds_per_second:.1f} rounds/s)   "
+        f"coverage {report.static_blocked} static -> "
+        f"{report.discovered_blocked} discovered "
+        f"({report.gain_ratio:.1f}x, floor {GAIN_FLOOR:.0f}x)"
+    )
+    assert index_seconds < INDEX_BUDGET_SECONDS, (
+        f"index build took {index_seconds:.1f}s, over the "
+        f"{INDEX_BUDGET_SECONDS:.0f}s budget"
+    )
+    assert rounds_per_second > ROUNDS_PER_SECOND_FLOOR, (
+        f"crawl managed only {rounds_per_second:.1f} rounds/s, under the "
+        f"{ROUNDS_PER_SECOND_FLOOR:.0f}/s floor"
+    )
+    assert report.gain_ratio >= GAIN_FLOOR, (
+        f"coverage gain {report.gain_ratio:.1f}x is under the "
+        f"{GAIN_FLOOR:.0f}x acceptance floor"
+    )
+
+
+def test_bench_discover_json_schema():
+    """The committed BENCH_discover.json must carry the full schema."""
+    with open(BENCH_PATH, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "discover-workload"
+    for key in (
+        "index_build_seconds",
+        "rounds_per_second",
+        "coverage_gain",
+        "rounds",
+        "static_blocked",
+        "discovered_blocked",
+    ):
+        assert key in payload, f"BENCH_discover.json missing {key}"
+    assert payload["coverage_gain"] >= payload["gain_floor"]

@@ -268,7 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
     q_records.add_argument(
         "--kind", required=True,
         help="record kind: installations, confirmations, "
-        "characterizations, or category_probe",
+        "characterizations, category_probe, discovery_rounds, or "
+        "discovery_candidates",
     )
     q_records.add_argument(
         "--epoch", help="epoch id or unique prefix (default: newest)"
@@ -470,6 +471,48 @@ def build_parser() -> argparse.ArgumentParser:
     netalyzr.add_argument(
         "--isp", action="append", required=True,
         help="repeatable: ISPs to survey",
+    )
+
+    discover = commands.add_parser(
+        "discover",
+        help="search-based blocked-URL discovery from a censored vantage",
+    )
+    discover.add_argument(
+        "--isp", default="etisalat",
+        help="censored vantage to crawl from (default etisalat)",
+    )
+    discover.add_argument(
+        "--rounds", type=int, default=20,
+        help="crawl-round budget; a zero-new-blocked round stops earlier",
+    )
+    discover.add_argument(
+        "--workers", type=int, default=1,
+        help="probe fan-out (results are byte-identical at any count)",
+    )
+    discover.add_argument(
+        "--latency", type=float, default=0.0,
+        help="simulated per-probe link latency in seconds",
+    )
+    discover.add_argument(
+        "--seed-url", action="append", metavar="URL", dest="seed_urls",
+        help="repeatable: seed URLs (default: the first 5 blocked URLs "
+        "from the static global+local lists)",
+    )
+    discover.add_argument(
+        "--population", type=int, default=None,
+        help="override the scenario's website population size "
+        "(small worlds for smoke runs)",
+    )
+    discover.add_argument(
+        "--store", help="commit the run to this store as a discovery epoch"
+    )
+    discover.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="inject seeded faults (see `repro study --fault-plan`)",
+    )
+    discover.add_argument(
+        "--max-retries", type=int, default=2,
+        help="transient-failure retries per probe under a fault plan",
     )
     return parser
 
@@ -1171,6 +1214,149 @@ def _cmd_netalyzr(args) -> int:
     return 0
 
 
+def _cmd_discover(args) -> int:
+    """Search-based discovery: crawl outward from known-blocked URLs.
+
+    Exit taxonomy: 0 for a clean converged run, 3 when the run degraded
+    (insufficient probes under a fault plan, or the round budget ran
+    out before convergence), 2 on bad invocations.
+    """
+    from pathlib import Path
+
+    from repro.discover import (
+        CoverageReport,
+        DiscoveryConfig,
+        DiscoveryEngine,
+        static_baseline,
+    )
+    from repro.exec.checkpoint import fingerprint
+    from repro.exec.executor import Executor
+    from repro.exec.resilience import ResilienceConfig, ResilientRunner
+    from repro.net.errors import UrlError
+    from repro.store import ResultsStore, discovery_epoch
+    from repro.world.scenario import ScenarioConfig
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if args.latency < 0:
+        print("--latency must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.population is not None and args.population < 1:
+        print("--population must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        config = DiscoveryConfig(max_rounds=args.rounds)
+    except ValueError as exc:
+        print(f"bad --rounds: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"bad --fault-plan: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    scenario_config = None
+    if args.population is not None:
+        scenario_config = ScenarioConfig(population_size=args.population)
+    scenario = build_scenario(seed=_seed(args), config=scenario_config)
+    world = scenario.world
+    if args.isp not in world.isps:
+        print(
+            f"unknown ISP {args.isp!r}; known: "
+            f"{', '.join(sorted(world.isps))}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    resilience = None
+    if fault_plan is not None and fault_plan.active:
+        world.install_faults(fault_plan)
+        resilience = ResilientRunner(
+            ResilienceConfig(
+                max_retries=args.max_retries, jitter_seed=fault_plan.seed
+            ),
+            clock=lambda: world.now,
+        )
+    executor = Executor(workers=args.workers) if args.workers > 1 else None
+    window_start = world.now.minutes
+
+    baseline = static_baseline(
+        world,
+        args.isp,
+        executor=executor,
+        link_latency=args.latency,
+        resilience=resilience,
+    )
+    seeds = args.seed_urls or baseline[:5]
+    if not seeds:
+        print(
+            f"the static lists found no blocked URLs at {args.isp}; "
+            "pass --seed-url to seed discovery explicitly",
+            file=sys.stderr,
+        )
+        return EXIT_HARD
+    engine = DiscoveryEngine(
+        world,
+        args.isp,
+        config=config,
+        executor=executor,
+        link_latency=args.latency,
+        resilience=resilience,
+    )
+    try:
+        result = engine.run(seeds)
+    except (UrlError, ValueError) as exc:
+        print(f"bad seed URL: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    coverage = CoverageReport.evaluate(result, baseline)
+    print(f"discovery from {args.isp} ({len(seeds)} seed URLs):")
+    for trace in result.rounds:
+        print(f"  {trace.line()}")
+    state = "converged" if result.converged else "round budget exhausted"
+    print(
+        f"{state} after {len(result.rounds)} rounds: "
+        f"{len(result.blocked_urls)} blocked URLs on "
+        f"{len(result.blocked_hosts)} hosts "
+        f"({result.insufficient_count} probes insufficient)"
+    )
+    print(coverage.describe())
+
+    degraded = result.insufficient_count > 0 or not result.converged
+    if args.store:
+        identity = {
+            "kind": "discovery",
+            "seed": _seed(args),
+            "isp": args.isp,
+            "population": args.population,
+            "config": config.identity(),
+            "seed_urls": list(result.seed_urls),
+        }
+        epoch = discovery_epoch(
+            result,
+            identity=identity,
+            fingerprint=fingerprint(identity),
+            world=world,
+            window=(window_start, world.now.minutes),
+            coverage=coverage,
+            partial=(
+                ("discovery_rounds", "discovery_candidates")
+                if degraded
+                else ()
+            ),
+        )
+        commit = ResultsStore(Path(args.store)).commit(epoch)
+        verb = "committed" if commit.created else "already committed"
+        print(f"epoch {commit.epoch_id[:12]} {verb} to {args.store}")
+    return EXIT_PARTIAL if degraded else EXIT_OK
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "scan": _cmd_scan,
@@ -1183,6 +1369,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
     "monitor": _cmd_monitor,
+    "discover": _cmd_discover,
 }
 
 

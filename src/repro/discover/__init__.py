@@ -1,0 +1,30 @@
+"""Search-based blocked-URL discovery (FilteredWeb-style workload).
+
+The paper characterizes censorship only over fixed global/local test
+lists; this package implements the modern follow-on: crawl outward from
+known-blocked URLs, extract candidate keywords and links from origin
+content, query a simulated search index, and probe the candidates from
+a censored vantage — expanding the blocked-URL list far beyond what
+the static Table 4 lists contain.
+"""
+
+from repro.discover.crawler import (
+    CoverageReport,
+    DiscoveryConfig,
+    DiscoveryEngine,
+    DiscoveryResult,
+    RoundTrace,
+    static_baseline,
+)
+from repro.discover.index import SearchIndex, SearchPage
+
+__all__ = [
+    "CoverageReport",
+    "DiscoveryConfig",
+    "DiscoveryEngine",
+    "DiscoveryResult",
+    "RoundTrace",
+    "SearchIndex",
+    "SearchPage",
+    "static_baseline",
+]

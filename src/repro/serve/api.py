@@ -254,6 +254,8 @@ class StoreApi:
             raise ApiError(404, "no such endpoint; see /epochs")
         if parts[0] == "monitor":
             return self._route_monitor(parts, target, if_none_match, params)
+        if parts[0] == "discover":
+            return self._route_discover(parts, target, if_none_match, params)
         if parts[0] == "diff" and len(parts) == 1:
             return self._cached(target, if_none_match, self._render_diff, params)
         if parts[0] != "epochs":
@@ -462,6 +464,55 @@ class StoreApi:
     def _render_diff(self, params: Dict[str, str]) -> Dict[str, Any]:
         diff = self.engine.diff(params.get("old"), params.get("new"))
         return diff.to_document()
+
+    # --------------------------------------------------------- discovery
+    def _route_discover(
+        self,
+        parts: List[str],
+        target: str,
+        if_none_match: Optional[str],
+        params: Dict[str, str],
+    ) -> ApiResponse:
+        if len(parts) != 2 or parts[1] not in ("rounds", "candidates"):
+            raise ApiError(
+                404,
+                "discovery endpoints: /discover/rounds, /discover/candidates",
+            )
+        kind = f"discovery_{parts[1]}"
+        return self._cached(
+            target, if_none_match, self._render_discover, params, kind
+        )
+
+    def _discovery_epoch(self, ref: Optional[str]) -> str:
+        """The epoch to serve discovery rows from: ``ref`` or the newest."""
+        if ref:
+            epoch_id = self.store.resolve(ref)
+            manifest = self.store.manifest(epoch_id)
+            if "discovery_rounds" not in manifest.segments:
+                raise ApiError(
+                    404,
+                    f"epoch {manifest.short_id} holds no discovery records",
+                )
+            return epoch_id
+        for manifest in reversed(self.store.manifests()):
+            if "discovery_rounds" in manifest.segments:
+                return manifest.epoch_id
+        raise ApiError(
+            404,
+            "no discovery epochs committed; run `repro discover --store`",
+        )
+
+    def _render_discover(
+        self, params: Dict[str, str], kind: str
+    ) -> Dict[str, Any]:
+        epoch_id = self._discovery_epoch(params.get("epoch"))
+        rows = self.engine.select(
+            kind, epoch=epoch_id, record_filter=_record_filter(params)
+        )
+        document = _paginate(rows, params)
+        document["epoch"] = epoch_id
+        document["kind"] = kind
+        return document
 
     def _monitor_status_doc(self) -> Dict[str, Any]:
         assert self.monitor_dir is not None

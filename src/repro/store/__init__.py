@@ -13,6 +13,7 @@ from repro.store.records import (
     build_epoch,
     confirmation_epoch,
     confirmation_record,
+    discovery_epoch,
     study_epoch,
 )
 from repro.store.segments import EpochStream, SegmentWriter
@@ -44,5 +45,6 @@ __all__ = [
     "build_epoch",
     "confirmation_epoch",
     "confirmation_record",
+    "discovery_epoch",
     "study_epoch",
 ]

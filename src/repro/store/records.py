@@ -37,6 +37,8 @@ RECORD_KINDS = (
     "confirmations",
     "characterizations",
     "category_probe",
+    "discovery_rounds",
+    "discovery_candidates",
 )
 
 #: The secondary-index dimensions and the row field each one reads.
@@ -208,6 +210,98 @@ def confirmation_epoch(
         seed=report_seed(identity),
         window=window,
         records={"confirmations": [confirmation_record(result, world)]},
+    )
+
+
+def discovery_round_record(
+    trace: Any, result: Any, world: "World"
+) -> Dict[str, Any]:
+    """One stored discovery round (convergence-trace row + geography)."""
+    row = {
+        "isp": result.isp_name,
+        "round": trace.index,
+        "probed": trace.probed,
+        "new_blocked": trace.new_blocked,
+        "insufficient": trace.insufficient,
+        "queries": trace.queries_issued,
+        "enqueued": trace.enqueued,
+        "converged": result.converged and trace is result.rounds[-1],
+    }
+    row.update(_isp_geography(world, result.isp_name))
+    return row
+
+
+def discovery_candidate_record(
+    candidate: Any, world: "World", isp_name: str
+) -> Dict[str, Any]:
+    """One probed candidate URL and its fused verdict."""
+    row = {
+        "isp": isp_name,
+        "url": candidate.url,
+        "source": candidate.source,
+        "round": candidate.round_index,
+        "verdict": candidate.verdict,
+        "blocked": candidate.blocked,
+        "insufficient": candidate.insufficient,
+        "product": candidate.vendor,
+        "confidence": round(candidate.confidence, 4),
+    }
+    row.update(_isp_geography(world, isp_name))
+    return row
+
+
+def discovery_epoch(
+    result: Any,
+    *,
+    identity: Dict[str, Any],
+    fingerprint: str,
+    world: "World",
+    window: Tuple[int, int],
+    coverage: Optional[Any] = None,
+    partial: Sequence[str] = (),
+) -> EpochData:
+    """Flatten one discovery run into an epoch.
+
+    ``result`` is a :class:`repro.discover.DiscoveryResult`; typed via
+    ``Any`` to keep the store layer import-free of the workloads it
+    persists. ``coverage`` (a ``CoverageReport``) annotates the summary
+    row with the gain over the static lists.
+    """
+    summary: Dict[str, Any] = {
+        "isp": result.isp_name,
+        "round": 0,
+        "probed": len(result.candidates),
+        "new_blocked": len(result.blocked_urls),
+        "insufficient": result.insufficient_count,
+        "queries": sum(r.queries_issued for r in result.rounds),
+        "enqueued": 0,
+        "converged": result.converged,
+        "seed_urls": list(result.seed_urls),
+        "blocked_urls": list(result.blocked_urls),
+    }
+    if coverage is not None:
+        summary["static_blocked"] = coverage.static_blocked
+        summary["discovered_blocked"] = coverage.discovered_blocked
+        summary["gain_ratio"] = round(coverage.gain_ratio, 4)
+    summary.update(_isp_geography(world, result.isp_name))
+    records = {
+        "discovery_rounds": [summary]
+        + [
+            discovery_round_record(trace, result, world)
+            for trace in result.rounds
+        ],
+        "discovery_candidates": [
+            discovery_candidate_record(candidate, world, result.isp_name)
+            for candidate in result.candidates
+        ],
+    }
+    return build_epoch(
+        identity=identity,
+        fingerprint=fingerprint,
+        seed=report_seed(identity),
+        window=window,
+        records=records,
+        partial=partial,
     )
 
 

@@ -189,13 +189,31 @@ class WebSite:
                 f"<h1>{self.title}</h1><p>{self.content_class.value} content</p>",
             )
 
-    def add_page(self, path: str, response: HttpResponse) -> None:
+    @staticmethod
+    def canonical_path(path: str) -> str:
+        """Normalize a page path to its canonical stored form.
+
+        Crawler-extracted self-links often carry a trailing ``?query``
+        or doubled slashes; both variants must resolve to the page they
+        reference instead of 404ing. Rejects paths without a leading
+        slash (the caller passed a relative or malformed reference).
+        """
         if not path.startswith("/"):
             raise ValueError(f"path must start with '/': {path!r}")
-        self.pages[path] = response
+        path = path.split("?", 1)[0].split("#", 1)[0]
+        while "//" in path:
+            path = path.replace("//", "/")
+        return path or "/"
+
+    def add_page(self, path: str, response: HttpResponse) -> None:
+        self.pages[self.canonical_path(path)] = response
 
     def app(self, request: HttpRequest) -> HttpResponse:
-        response = self.pages.get(request.url.path)
+        try:
+            path = self.canonical_path(request.url.path)
+        except ValueError:
+            return not_found_response()
+        response = self.pages.get(path)
         if response is None:
             return not_found_response()
         return response

@@ -44,6 +44,7 @@ from repro.world.content import ContentClass
 from repro.world.entities import Host, OrgKind, WebSite
 from repro.world.population import PopulationConfig, populate
 from repro.world.rng import derive_rng
+from repro.world.weave import weave_content
 from repro.world.world import World
 
 #: The calibrated default: under this seed the stochastic components
@@ -289,6 +290,10 @@ def build_scenario(
         PopulationConfig(site_count=config.population_size),
     )
     population.extend(_add_local_content(world, hosting_asns))
+    # Content substrate for the discovery workload: token vocabularies
+    # and a cross-site link graph, woven before vendor infrastructure
+    # registers so only the content population gets pages.
+    weave_content(world)
 
     scenario = Scenario(
         world=world,

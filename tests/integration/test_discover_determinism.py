@@ -1,0 +1,64 @@
+"""Discovery determinism: byte-identity across workers and re-runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discover import DiscoveryConfig, DiscoveryEngine, static_baseline
+from repro.exec.executor import Executor
+from repro.world.scenario import ScenarioConfig, build_scenario
+
+VANTAGE = "etisalat"
+POPULATION = 200
+
+
+def _run(workers: int, seed: int = 2013):
+    scenario = build_scenario(
+        seed=seed, config=ScenarioConfig(population_size=POPULATION)
+    )
+    world = scenario.world
+    baseline = static_baseline(world, VANTAGE)
+    executor = Executor(workers=workers) if workers > 1 else None
+    engine = DiscoveryEngine(world, VANTAGE, executor=executor)
+    result = engine.run(baseline[:5])
+    return result.discovered_list_text(), result.trace_text(), result
+
+
+class DescribeWorkerInvariance:
+    def test_workers_1_and_8_byte_identical(self):
+        list1, trace1, result1 = _run(workers=1)
+        list8, trace8, result8 = _run(workers=8)
+        assert list1 == list8
+        assert trace1 == trace8
+        assert result1.converged == result8.converged
+        assert [
+            (c.url, c.verdict, c.source) for c in result1.candidates
+        ] == [(c.url, c.verdict, c.source) for c in result8.candidates]
+
+    def test_rerun_same_seed_byte_identical(self):
+        first = _run(workers=1)
+        second = _run(workers=1)
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_different_seed_diverges(self):
+        base = _run(workers=1)[0]
+        other = _run(workers=1, seed=99)[0]
+        assert base != other
+
+
+class DescribeConvergence:
+    def test_small_world_converges_and_gains_coverage(self):
+        scenario = build_scenario(
+            config=ScenarioConfig(population_size=POPULATION)
+        )
+        world = scenario.world
+        baseline = static_baseline(world, VANTAGE)
+        assert baseline, "static lists must find blocked URLs"
+        engine = DiscoveryEngine(
+            world, VANTAGE, config=DiscoveryConfig(max_rounds=20)
+        )
+        result = engine.run(baseline[:5])
+        assert result.converged
+        assert result.rounds[-1].new_blocked == 0
+        assert len(result.blocked_urls) >= 2 * len(baseline)

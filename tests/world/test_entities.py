@@ -114,6 +114,27 @@ class DescribeWebSite:
         response = site.app(HttpRequest.get(Url.parse("http://example.com/nope")))
         assert response.status == 404
 
+    def test_canonical_path_normalizes(self):
+        assert WebSite.canonical_path("//a//b?x=1#frag") == "/a/b"
+        assert WebSite.canonical_path("/") == "/"
+        assert WebSite.canonical_path("/?q=1") == "/"
+        with pytest.raises(ValueError):
+            WebSite.canonical_path("relative")
+
+    def test_add_page_stores_canonical_form(self):
+        site = self._site()
+        site.add_page("//news//today?utm=x", ok_response("t", "body"))
+        assert "/news/today" in site.pages
+
+    def test_messy_self_links_resolve(self):
+        site = self._site()
+        site.add_page("/news", ok_response("t", "body"))
+        for messy in ("/news?ref=home", "//news", "/news#top"):
+            request = HttpRequest.get(
+                Url.parse(f"http://example.com{messy}")
+            )
+            assert site.app(request).status == 200, messy
+
     def test_as_host_serves_both_schemes(self):
         host = self._site().as_host()
         assert set(host.open_ports()) == {80, 443}

@@ -1,0 +1,116 @@
+"""The discovery content substrate: vocabularies, links, determinism."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.net.http import HttpRequest
+from repro.net.url import Url
+from repro.world.content import ContentClass
+from repro.world.scenario import ScenarioConfig, build_scenario
+from repro.world.weave import class_vocabulary, weave_content
+
+_HREF = re.compile(r'href="([^"]+)"')
+
+
+@pytest.fixture(scope="module")
+def woven_world():
+    # build_scenario weaves the population as part of construction.
+    return build_scenario(config=ScenarioConfig(population_size=200)).world
+
+
+class DescribeClassVocabulary:
+    def test_pure_in_seed_and_class(self):
+        first = class_vocabulary(7, ContentClass.NEWS)
+        again = class_vocabulary(7, ContentClass.NEWS)
+        assert first == again
+
+    def test_distinct_across_classes_and_seeds(self):
+        news = class_vocabulary(7, ContentClass.NEWS)
+        assert news != class_vocabulary(7, ContentClass.PORNOGRAPHY)
+        assert news != class_vocabulary(8, ContentClass.NEWS)
+
+    def test_compound_tokens(self):
+        for token in class_vocabulary(7, ContentClass.LGBT):
+            assert token.isalpha() and len(token) >= 7
+
+
+class DescribeWeaveContent:
+    def test_every_site_gains_article_pages(self, woven_world):
+        for domain in sorted(woven_world.websites):
+            site = woven_world.websites[domain]
+            articles = [p for p in site.pages if p.startswith("/article-")]
+            assert 2 <= len(articles) <= 4, domain
+
+    def test_titles_untouched(self, woven_world):
+        for domain in sorted(woven_world.websites):
+            site = woven_world.websites[domain]
+            assert site.pages["/"].html_title() == site.title
+
+    def test_byte_identical_across_builds(self):
+        config = ScenarioConfig(population_size=120)
+        first = build_scenario(config=config).world
+        second = build_scenario(config=config).world
+        assert sorted(first.websites) == sorted(second.websites)
+        for domain in sorted(first.websites):
+            left, right = first.websites[domain], second.websites[domain]
+            assert sorted(left.pages) == sorted(right.pages)
+            for path in left.pages:
+                assert left.pages[path].body == right.pages[path].body, (
+                    domain,
+                    path,
+                )
+
+    def test_reweave_is_idempotent(self, woven_world):
+        domain = sorted(woven_world.websites)[0]
+        before = dict(woven_world.websites[domain].pages)
+        weave_content(woven_world)
+        after = woven_world.websites[domain].pages
+        assert sorted(before) == sorted(after)
+        assert all(before[p].body == after[p].body for p in before)
+
+    def test_same_class_ring_connects_each_cluster(self, woven_world):
+        """BFS over front-page links must reach a whole class cluster."""
+        by_class = {}
+        for domain in sorted(woven_world.websites):
+            site = woven_world.websites[domain]
+            by_class.setdefault(site.content_class, []).append(domain)
+        content_class, domains = max(
+            by_class.items(), key=lambda kv: len(kv[1])
+        )
+        assert len(domains) > 3
+        reached = {domains[0]}
+        frontier = [domains[0]]
+        while frontier:
+            domain = frontier.pop()
+            body = woven_world.websites[domain].pages["/"].body
+            for href in _HREF.findall(body):
+                if not href.startswith("http://"):
+                    continue
+                neighbor = Url.parse(href).host
+                site = woven_world.websites.get(neighbor)
+                if (
+                    site is not None
+                    and site.content_class is content_class
+                    and neighbor not in reached
+                ):
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        assert reached == set(domains)
+
+    def test_messy_self_links_resolve(self, woven_world):
+        """The woven nav includes ?query and // links; none may 404."""
+        checked = 0
+        for domain in sorted(woven_world.websites)[:25]:
+            site = woven_world.websites[domain]
+            for href in _HREF.findall(site.pages["/"].body):
+                if href.startswith("http://"):
+                    continue
+                request = HttpRequest.get(
+                    Url.parse(f"http://{domain}{href}")
+                )
+                assert site.app(request).status == 200, (domain, href)
+                checked += 1
+        assert checked > 0

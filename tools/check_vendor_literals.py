@@ -83,6 +83,10 @@ REQUIRED_COVERED = (
     "src/repro/monitor/alerts.py",
     "src/repro/monitor/service.py",
     "src/repro/monitor/status.py",
+    "src/repro/discover/__init__.py",
+    "src/repro/discover/index.py",
+    "src/repro/discover/crawler.py",
+    "src/repro/world/weave.py",
     "tools/serve_smoke.py",
 )
 

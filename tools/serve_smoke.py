@@ -7,7 +7,9 @@ asserting the full status-code contract:
 
 * 200 on every well-formed read (listing, manifest, records — including
   a ``min_confidence`` filter — tables, drill-downs, diff, healthz,
-  metrics, and the ``/monitor/*`` operator surface),
+  metrics, the ``/monitor/*`` operator surface, and the
+  ``/discover/*`` discovery surface — checked both before any
+  discovery epoch exists, when it must 404, and after one commits),
 * 304 on revalidation with the ETag each 200 returned,
 * 400 on malformed filter parameters (``min_confidence``),
 * 404 on unknown paths, epochs, record kinds, table names, and unknown
@@ -43,6 +45,46 @@ def build_store(root: Path):
     run_full_study(products=[SMARTFILTER], store_dir=root)
     run_full_study(store_dir=root)
     return ResultsStore(root)
+
+
+def commit_discovery(store) -> None:
+    """Commit a small-world discovery epoch so /discover/* has rows."""
+    from repro.discover import (
+        CoverageReport,
+        DiscoveryConfig,
+        DiscoveryEngine,
+        static_baseline,
+    )
+    from repro.exec.checkpoint import fingerprint
+    from repro.store import discovery_epoch
+    from repro.world.scenario import ScenarioConfig, build_scenario
+
+    scenario = build_scenario(config=ScenarioConfig(population_size=220))
+    world = scenario.world
+    window_start = world.now.minutes
+    baseline = static_baseline(world, "etisalat")
+    config = DiscoveryConfig(max_rounds=6, max_probes_per_round=60)
+    result = DiscoveryEngine(world, "etisalat", config=config).run(
+        baseline[:5]
+    )
+    identity = {
+        "kind": "discovery",
+        "seed": world.seed,
+        "isp": "etisalat",
+        "population": 220,
+        "config": config.identity(),
+        "seed_urls": list(result.seed_urls),
+    }
+    store.commit(
+        discovery_epoch(
+            result,
+            identity=identity,
+            fingerprint=fingerprint(identity),
+            world=world,
+            window=(window_start, world.now.minutes),
+            coverage=CoverageReport.evaluate(result, baseline),
+        )
+    )
 
 
 def build_monitor(root: Path) -> Path:
@@ -122,6 +164,22 @@ def run_checks(store, monitor_dir: Optional[Path] = None) -> List[str]:
             "/monitor/alerts",
         ]
         missing_targets += ["/monitor", "/monitor/nope"]
+    has_discovery = any(
+        "discovery_rounds" in m.segments for m in store.manifests()
+    )
+    missing_targets += ["/discover", "/discover/nope"]
+    if has_discovery:
+        ok_targets += [
+            "/discover/rounds",
+            "/discover/candidates",
+            "/discover/candidates?min_confidence=0.5&per_page=10",
+        ]
+        bad_request_targets += [
+            "/discover/candidates?min_confidence=high",
+        ]
+    else:
+        # A store without discovery epochs must 404 cleanly, not crash.
+        missing_targets += ["/discover/rounds", "/discover/candidates"]
 
     with ResultsServer(store, monitor_dir=monitor_dir) as server:
         for target in ok_targets:
@@ -199,6 +257,16 @@ def main(argv: List[str]) -> int:
         if len(store.epoch_ids()) < 2:
             print("smoke needs a store with at least two epochs", file=sys.stderr)
             return 1
+        if temp_root is not None:
+            # Exercise both discovery-surface states: 404 while the
+            # store holds no discovery epoch, 200/304 once one lands.
+            failures = run_checks(store)
+            if failures:
+                for failure in failures:
+                    print(f"FAIL {failure}", file=sys.stderr)
+                return 1
+            print("building a small-world discovery epoch...")
+            commit_discovery(store)
         monitor_root = Path(tempfile.mkdtemp(prefix="serve-smoke-monitor-"))
         print("building a two-round monitor journal...")
         monitor_dir = build_monitor(monitor_root)
